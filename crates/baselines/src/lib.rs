@@ -1,0 +1,35 @@
+//! # safe-baselines — the comparison methods of the paper's evaluation
+//!
+//! Section V compares SAFE against two published generation-selection
+//! algorithms, both rebuilt here from their original descriptions:
+//!
+//! - [`tfc::Tfc`] — *Iterative feature construction for improving inductive
+//!   learning algorithms* (Piramuthu & Sikora, 2009). Each iteration
+//!   **generates every legal feature** from the current pool with every
+//!   operator, then selects the best by information gain. Time complexity
+//!   `O(N·M²)` (Eq. 8) — the combinatorial explosion SAFE exists to avoid.
+//! - [`fctree::FcTree`] — *Generalized and heuristic-free feature
+//!   construction* (Fan et al., 2010). Trains a decision tree where every
+//!   node chooses, by information gain, among the original features plus
+//!   `ne` freshly constructed candidate features; constructions chosen at
+//!   internal nodes become the engineered set. Complexity
+//!   `O(ne·N·(log N)²)` (Eq. 9).
+//!
+//! Beyond the paper's two comparison baselines, [`autolearn::AutoLearn`]
+//! reproduces the third generation-selection method whose cost Section IV-D
+//! analyses (Kaul et al., ICDM 2017): pairwise ridge/kernel-ridge regression
+//! features with stability selection.
+//!
+//! All implement [`safe_core::engineer::FeatureEngineer`] and emit the same
+//! [`safe_core::plan::FeaturePlan`] artifact as SAFE, so the benchmark
+//! harness treats every method identically.
+
+#![warn(missing_docs)]
+
+pub mod autolearn;
+pub mod fctree;
+pub mod tfc;
+
+pub use autolearn::AutoLearn;
+pub use fctree::FcTree;
+pub use tfc::Tfc;

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the statistical primitives on the SAFE
+//! hot path: Information Value, Pearson, gain ratio, binning, and AUC.
+//! These are the per-feature/per-pair kernels whose cost Section IV-D's
+//! complexity analysis counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use safe_data::binning::{bin_column, BinStrategy};
+use safe_stats::auc::auc;
+use safe_stats::entropy::{gain_ratio, joint_cells};
+use safe_stats::iv::information_value;
+use safe_stats::pearson::pearson;
+
+fn column(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix high and low bits to avoid lattice artifacts.
+            let bits = (state >> 11) ^ (state << 7);
+            (bits % 100_000) as f64 / 1000.0
+        })
+        .collect()
+}
+
+fn labels_for(values: &[f64]) -> Vec<u8> {
+    let mid = 50.0;
+    values.iter().map(|&v| (v > mid) as u8).collect()
+}
+
+fn bench_iv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("information_value");
+    for n in [10_000usize, 100_000] {
+        let values = column(n, 1);
+        let labels = labels_for(&values);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| information_value(&values, &labels, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearson");
+    for n in [10_000usize, 100_000] {
+        let x = column(n, 2);
+        let y = column(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| pearson(&x, &y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gain_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_ratio_pair");
+    for n in [10_000usize, 100_000] {
+        let x = column(n, 4);
+        let y = column(n, 5);
+        let labels = labels_for(&x);
+        let ax = bin_column(&x, 8, BinStrategy::EqualFrequency).unwrap();
+        let ay = bin_column(&y, 8, BinStrategy::EqualFrequency).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (cells, n_cells) =
+                    joint_cells(&[(&ax.bins, ax.n_bins), (&ay.bins, ay.n_bins)]);
+                gain_ratio(&cells, &labels, n_cells)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equal_frequency_binning");
+    for n in [10_000usize, 100_000] {
+        let values = column(n, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bin_column(&values, 10, BinStrategy::EqualFrequency).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auc");
+    for n in [10_000usize, 100_000] {
+        let scores = column(n, 7);
+        let labels = labels_for(&column(n, 8));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| auc(&scores, &labels))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_iv,
+    bench_pearson,
+    bench_gain_ratio,
+    bench_binning,
+    bench_auc
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! §IV-D — empirical complexity check.
+//!
+//! Eq. (13): `O_SAFE = O(N·K₁(K₁+K₂))` — linear in the record count N, and
+//! controlled by the miner/ranker tree counts K. This sweep times SAFE over
+//! geometric N and K grids so the scaling exponents can be eyeballed (a
+//! doubling of N should roughly double the time; K enters quadratically
+//! through the candidate count in the worst case, but the γ cap tames it).
+
+use std::time::Instant;
+
+use safe_bench::{Flags, TablePrinter};
+use safe_core::{Safe, SafeConfig};
+use safe_datagen::synth::{generate, SyntheticConfig};
+use safe_gbm::config::GbmConfig;
+
+fn time_safe(n_rows: usize, dim: usize, k_trees: usize, seed: u64) -> f64 {
+    let ds = generate(&SyntheticConfig {
+        n_rows,
+        dim,
+        n_signal: (dim / 4).max(2),
+        ..Default::default()
+    });
+    let config = SafeConfig {
+        miner: GbmConfig {
+            n_rounds: k_trees,
+            ..GbmConfig::miner()
+        },
+        ranker: GbmConfig {
+            n_rounds: k_trees,
+            ..GbmConfig::miner()
+        },
+        seed,
+        ..SafeConfig::paper()
+    };
+    let start = Instant::now();
+    let _ = Safe::new(config).fit(&ds, None).expect("pipeline runs");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let seed: u64 = flags.get_or("seed", 42);
+    let dim: usize = flags.get_or("dim", 20);
+    let base_n: usize = flags.get_or("base-n", 2_000);
+
+    println!("SAFE complexity sweep (Eq. 13: time ~ N * K1*(K1+K2))\n");
+
+    println!("N sweep (K = 20 trees, dim = {dim}):");
+    let t = TablePrinter::new(&["N", "seconds", "sec/N x1e6"], &[10, 10, 12]);
+    let mut last: Option<(usize, f64)> = None;
+    for mult in [1usize, 2, 4, 8] {
+        let n = base_n * mult;
+        let secs = time_safe(n, dim, 20, seed);
+        t.row(&[
+            &n.to_string(),
+            &format!("{secs:.3}"),
+            &format!("{:.3}", secs / n as f64 * 1e6),
+        ]);
+        if let Some((pn, ps)) = last {
+            let growth = secs / ps;
+            let n_growth = n as f64 / pn as f64;
+            println!(
+                "    growth x{growth:.2} for N x{n_growth:.0} (linear would be x{n_growth:.0})"
+            );
+        }
+        last = Some((n, secs));
+    }
+
+    println!("\nK sweep (N = {base_n}, dim = {dim}):");
+    let t = TablePrinter::new(&["K trees", "seconds"], &[10, 10]);
+    for k in [5usize, 10, 20, 40] {
+        let secs = time_safe(base_n, dim, k, seed);
+        t.row(&[&k.to_string(), &format!("{secs:.3}")]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 4 — AUC as SAFE iterates.
+//!
+//! Runs SAFE with `nIter = 5` (paper protocol), evaluates the plan snapshot
+//! of every iteration under XGB, and prints the per-iteration series. The
+//! expected shape: AUC rises over the first iterations, then plateaus once
+//! no new useful combinations remain.
+
+use safe_bench::{Flags, TablePrinter};
+use safe_core::{Safe, SafeConfig};
+use safe_datagen::benchmarks::generate_benchmark_scaled;
+use safe_models::classifier::{evaluate_auc, ClassifierKind};
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.05);
+    let seed: u64 = flags.get_or("seed", 42);
+    let n_iter: usize = flags.get_or("iterations", 5);
+    let datasets = flags.datasets();
+
+    println!("Fig. 4: AUC x100 per SAFE iteration (nIter={n_iter}, scale={scale})\n");
+    let mut headers: Vec<String> = vec!["Dataset".into(), "iter0(ORIG)".into()];
+    for i in 1..=n_iter {
+        headers.push(format!("iter{i}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let widths: Vec<usize> = std::iter::once(10).chain(headers.iter().skip(1).map(|_| 12)).collect();
+    let t = TablePrinter::new(&header_refs, &widths);
+
+    for id in datasets {
+        let split = generate_benchmark_scaled(id, scale, seed);
+        let config = SafeConfig {
+            n_iterations: n_iter,
+            seed,
+            ..SafeConfig::paper()
+        };
+        let outcome = match Safe::new(config).fit(&split.train, split.valid.as_ref()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{}: SAFE failed: {e}", id.spec().name);
+                continue;
+            }
+        };
+
+        let mut cells: Vec<String> = vec![id.spec().name.to_string()];
+        // Iteration 0 = original features.
+        match evaluate_auc(ClassifierKind::Xgb, &split.train, &split.test, seed) {
+            Ok(a) => cells.push(format!("{:.2}", a * 100.0)),
+            Err(_) => cells.push("-".into()),
+        }
+        for i in 0..n_iter {
+            // Converged runs freeze at their last snapshot (the paper:
+            // "the features will not be updated, and the performance keeps
+            // unchanged").
+            let plan = outcome
+                .plans_per_iteration
+                .get(i)
+                .or_else(|| outcome.plans_per_iteration.last());
+            match plan {
+                Some(plan) => {
+                    let train_new = plan.apply(&split.train).expect("schema matches");
+                    let test_new = plan.apply(&split.test).expect("schema matches");
+                    match evaluate_auc(ClassifierKind::Xgb, &train_new, &test_new, seed) {
+                        Ok(a) => cells.push(format!("{:.2}", a * 100.0)),
+                        Err(_) => cells.push("-".into()),
+                    }
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+        t.row(&refs);
+    }
+}

@@ -1,0 +1,69 @@
+//! One-command reproduction driver: runs every table/figure binary at a
+//! chosen scale and collects the outputs under `results/`.
+//!
+//! ```sh
+//! cargo run --release -p safe-bench --bin paper_suite -- --scale 0.1
+//! ```
+//!
+//! Individual binaries remain the primary interface (they expose more
+//! flags); this driver exists so `EXPERIMENTS.md` can be regenerated with
+//! one invocation.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use safe_bench::Flags;
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.1);
+    let seed: u64 = flags.get_or("seed", 42);
+    let out_dir = PathBuf::from(flags.get("out").unwrap_or("results"));
+    fs::create_dir_all(&out_dir).expect("create results dir");
+
+    let scale_s = scale.to_string();
+    let seed_s = seed.to_string();
+    let business_scale = (scale * 0.05).max(0.001).to_string();
+    let runs: Vec<(&str, Vec<&str>)> = vec![
+        ("table1_iv_bands", vec![]),
+        ("table2_pearson_bands", vec![]),
+        ("table4_datasets", vec![]),
+        ("table7_business_datasets", vec!["--scale", &business_scale]),
+        ("table5_execution_time", vec!["--scale", &scale_s]),
+        ("table6_stability", vec!["--scale", &scale_s, "--repeats", "5"]),
+        ("fig3_feature_importance", vec!["--scale", &scale_s]),
+        ("fig4_iterations", vec!["--scale", &scale_s]),
+        ("ablation_selection", vec!["--scale", &scale_s]),
+        ("table8_business", vec!["--scale", &business_scale]),
+        ("table3_classification", vec!["--scale", &scale_s]),
+        ("complexity_sweep", vec![]),
+    ];
+
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate binary dir");
+
+    for (name, extra) in runs {
+        let mut cmd = Command::new(exe_dir.join(name));
+        cmd.args(["--seed", &seed_s]);
+        cmd.args(&extra);
+        print!("running {name} ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                fs::write(&path, &out.stdout).expect("write result");
+                println!("ok -> {}", path.display());
+            }
+            Ok(out) => {
+                println!("FAILED (status {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            Err(e) => println!("FAILED to launch: {e}"),
+        }
+    }
+    println!("\nall results under {}", out_dir.display());
+}

@@ -1,0 +1,108 @@
+//! Table III — classification AUC (×100) of each FE method under each
+//! downstream classifier, per dataset.
+//!
+//! Default run uses `--scale 0.05` (5% of the paper's row counts, same
+//! dimensionality) so the full 12 × 6 × 9 grid finishes in minutes; pass
+//! `--scale 1.0` for paper-size data. TFC on the 970-dim `gina` is
+//! exhaustive by design and dominates runtime — trim with
+//! `--datasets ...`/`--methods ...` when iterating.
+//!
+//! The paper's headline claims checked here: SAFE ≥ IMP ≥ RAND ≥ ORIG on
+//! average, and SAFE competitive-or-better vs FCT/TFC at a fraction of
+//! their cost (cost is Table V's binary).
+
+use safe_bench::{auc100, engineer_split, fmt_auc, Flags, Method, TablePrinter};
+use safe_datagen::benchmarks::generate_benchmark_scaled;
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.05);
+    let seed: u64 = flags.get_or("seed", 42);
+    let repeats: usize = flags.get_or("repeats", 1);
+    let datasets = flags.datasets();
+    let methods = flags.methods();
+    let classifiers = flags.classifiers();
+
+    println!(
+        "Table III: classification AUC x100 (scale={scale}, repeats={repeats}, seed={seed})\n"
+    );
+
+    // Per-method average lift accumulator (vs ORIG).
+    let mut totals: Vec<(f64, usize)> = vec![(0.0, 0); methods.len()];
+
+    for id in datasets {
+        let spec = id.spec();
+        println!("== {} (dim {}) ==", spec.name, spec.dim);
+        let mut headers = vec!["CLF"];
+        headers.extend(methods.iter().map(|m| m.label()));
+        let widths: Vec<usize> = std::iter::once(5).chain(methods.iter().map(|_| 7)).collect();
+        let t = TablePrinter::new(&headers, &widths);
+
+        // Engineer once per method per repeat; reuse across classifiers.
+        let mut per_method: Vec<Vec<safe_bench::EngineeredSplit>> = Vec::new();
+        for (mi, &method) in methods.iter().enumerate() {
+            let mut runs = Vec::new();
+            for r in 0..repeats {
+                let split = generate_benchmark_scaled(id, scale, seed + r as u64);
+                match engineer_split(method, &split, seed + r as u64) {
+                    Ok(e) => runs.push(e),
+                    Err(err) => {
+                        eprintln!("  {} failed on {}: {err}", method.label(), spec.name);
+                    }
+                }
+            }
+            let _ = mi;
+            per_method.push(runs);
+        }
+
+        for &clf in &classifiers {
+            let mut cells: Vec<String> = vec![clf.abbrev().to_string()];
+            let mut orig_score = None;
+            for (mi, runs) in per_method.iter().enumerate() {
+                if runs.is_empty() {
+                    cells.push("-".into());
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for (r, eng) in runs.iter().enumerate() {
+                    match auc100(clf, eng, seed + r as u64) {
+                        Ok(a) => {
+                            sum += a;
+                            n += 1;
+                        }
+                        Err(err) => eprintln!("  {clf:?} failed: {err}"),
+                    }
+                }
+                if n == 0 {
+                    cells.push("-".into());
+                    continue;
+                }
+                let mean = sum / n as f64;
+                if methods[mi] == Method::Orig {
+                    orig_score = Some(mean);
+                }
+                if let (Some(orig), true) = (orig_score, methods[mi] != Method::Orig) {
+                    totals[mi].0 += mean - orig;
+                    totals[mi].1 += 1;
+                }
+                cells.push(fmt_auc(mean));
+            }
+            let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+            t.row(&refs);
+        }
+        println!();
+    }
+
+    println!("Average AUC lift over ORIG (x100), across all cells:");
+    for (mi, &method) in methods.iter().enumerate() {
+        if method == Method::Orig || totals[mi].1 == 0 {
+            continue;
+        }
+        println!(
+            "  {:>5}: {:+.2}",
+            method.label(),
+            totals[mi].0 / totals[mi].1 as f64
+        );
+    }
+}

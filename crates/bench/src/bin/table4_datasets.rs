@@ -1,0 +1,45 @@
+//! Table IV — benchmark dataset information (shapes of the synthetic
+//! stand-ins match the paper exactly; `--verify` regenerates each dataset
+//! and checks the actual split sizes).
+
+use safe_bench::{Flags, TablePrinter};
+use safe_datagen::benchmarks::{generate_benchmark, BenchmarkId};
+
+fn main() {
+    let flags = Flags::from_env();
+    println!("Table IV: benchmark data sets\n");
+    let t = TablePrinter::new(&["Dataset", "#Train", "#Valid", "#Test", "#Dim"], &[10, 8, 8, 8, 6]);
+    for id in BenchmarkId::ALL {
+        let s = id.spec();
+        let valid = if s.n_valid == 0 { "-".to_string() } else { s.n_valid.to_string() };
+        t.row(&[
+            s.name,
+            &s.n_train.to_string(),
+            &valid,
+            &s.n_test.to_string(),
+            &s.dim.to_string(),
+        ]);
+    }
+
+    if flags.get("verify").is_some() {
+        println!("\nVerifying generated splits match the spec:");
+        for id in BenchmarkId::ALL {
+            let s = id.spec();
+            let split = generate_benchmark(id, flags.get_or("seed", 42u64));
+            let valid_rows = split.valid.as_ref().map(|v| v.n_rows()).unwrap_or(0);
+            let ok = split.train.n_rows() == s.n_train
+                && valid_rows == s.n_valid
+                && split.test.n_rows() == s.n_test
+                && split.train.n_cols() == s.dim;
+            println!(
+                "  {:10} train={} valid={} test={} dim={}  {}",
+                s.name,
+                split.train.n_rows(),
+                valid_rows,
+                split.test.n_rows(),
+                split.train.n_cols(),
+                if ok { "OK" } else { "MISMATCH" }
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Table V — execution time (seconds) of each feature-engineering method.
+//!
+//! The paper's finding: SAFE runs at roughly 0.13× FCTree's and 0.08× TFC's
+//! wall-clock, and close to RAND/IMP. Shapes reproduce here because TFC's
+//! O(N·M²) exhaustive generation and FCTree's per-node construction loops
+//! dwarf SAFE's path-bounded search.
+
+use safe_bench::{engineer_split, fmt_secs, Flags, Method, TablePrinter};
+use safe_datagen::benchmarks::generate_benchmark_scaled;
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.05);
+    let seed: u64 = flags.get_or("seed", 42);
+    let datasets = flags.datasets();
+    let methods: Vec<Method> = flags
+        .methods()
+        .into_iter()
+        .filter(|m| *m != Method::Orig) // ORIG has no fit cost
+        .collect();
+
+    println!("Table V: execution time in seconds (scale={scale}, seed={seed})\n");
+    let mut headers = vec!["Dataset"];
+    headers.extend(methods.iter().map(|m| m.label()));
+    let widths: Vec<usize> = std::iter::once(10).chain(methods.iter().map(|_| 9)).collect();
+    let t = TablePrinter::new(&headers, &widths);
+
+    let mut ratio_acc: Vec<(f64, usize)> = vec![(0.0, 0); methods.len()];
+    for id in datasets {
+        let split = generate_benchmark_scaled(id, scale, seed);
+        let mut cells: Vec<String> = vec![id.spec().name.to_string()];
+        let mut safe_time = None;
+        let mut times = Vec::new();
+        for &method in &methods {
+            match engineer_split(method, &split, seed) {
+                Ok(eng) => {
+                    if method == Method::Safe {
+                        safe_time = Some(eng.fit_time.as_secs_f64());
+                    }
+                    times.push(Some(eng.fit_time));
+                    cells.push(fmt_secs(eng.fit_time));
+                }
+                Err(err) => {
+                    eprintln!("  {} failed on {}: {err}", method.label(), id.spec().name);
+                    times.push(None);
+                    cells.push("-".into());
+                }
+            }
+        }
+        if let Some(st) = safe_time {
+            for (mi, t) in times.iter().enumerate() {
+                if let Some(t) = t {
+                    if methods[mi] != Method::Safe && t.as_secs_f64() > 0.0 {
+                        ratio_acc[mi].0 += st / t.as_secs_f64();
+                        ratio_acc[mi].1 += 1;
+                    }
+                }
+            }
+        }
+        let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+        t.row(&refs);
+    }
+
+    println!("\nSAFE time as a fraction of each method (paper: 0.13x FCT, 0.08x TFC):");
+    for (mi, &method) in methods.iter().enumerate() {
+        if method == Method::Safe || ratio_acc[mi].1 == 0 {
+            continue;
+        }
+        println!(
+            "  SAFE / {:>4} = {:.3}",
+            method.label(),
+            ratio_acc[mi].0 / ratio_acc[mi].1 as f64
+        );
+    }
+}

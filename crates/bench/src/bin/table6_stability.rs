@@ -1,0 +1,97 @@
+//! Table VI — feature stability: Jensen–Shannon divergence between the
+//! empirical generated-feature distribution over T repeated runs and the
+//! ideal (every run emits the same 2M features). Lower = more stable.
+//!
+//! Each repeat re-splits the data with a different seed (feature stability
+//! under resampling is exactly what the paper probes). TFC is excluded by
+//! default, as in the paper ("the execution time of TFC is too long").
+
+use std::collections::HashMap;
+
+use safe_bench::{engineer_split, Flags, Method, TablePrinter};
+use safe_datagen::benchmarks::generate_benchmark_scaled;
+use safe_stats::divergence::stability_score;
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.05);
+    let seed: u64 = flags.get_or("seed", 42);
+    let repeats: usize = flags.get_or("repeats", 10);
+    let datasets = flags.datasets();
+    let methods: Vec<Method> = match flags.get("methods") {
+        Some(_) => flags.methods(),
+        None => vec![Method::Fct, Method::Rand, Method::Imp, Method::Safe],
+    };
+
+    println!(
+        "Table VI: feature stability (JSD vs ideal; T={repeats}, scale={scale}; lower is better)\n"
+    );
+    let mut headers = vec!["Dataset"];
+    headers.extend(methods.iter().map(|m| m.label()));
+    let widths: Vec<usize> = std::iter::once(10).chain(methods.iter().map(|_| 9)).collect();
+    let t = TablePrinter::new(&headers, &widths);
+
+    let mut wins = vec![0usize; methods.len()];
+    for id in datasets {
+        let spec = id.spec();
+        let mut cells: Vec<String> = vec![spec.name.to_string()];
+        let mut scores: Vec<Option<f64>> = Vec::new();
+        for &method in &methods {
+            let mut occurrences: HashMap<String, usize> = HashMap::new();
+            let mut per_run = 0usize;
+            let mut ok_runs = 0usize;
+            for r in 0..repeats {
+                let split = generate_benchmark_scaled(id, scale, seed + 1000 * r as u64);
+                match engineer_split(method, &split, seed + 1000 * r as u64) {
+                    Ok(eng) => {
+                        // The paper's metric is over *generated* features
+                        // ("each time the algorithm will generate 2M
+                        // features"): pass-through originals are trivially
+                        // stable and would mask the differences.
+                        let step_names: std::collections::HashSet<&str> =
+                            eng.plan.steps.iter().map(|s| s.name.as_str()).collect();
+                        let generated: Vec<&String> = eng
+                            .plan
+                            .outputs
+                            .iter()
+                            .filter(|o| step_names.contains(o.as_str()))
+                            .collect();
+                        if generated.is_empty() {
+                            continue;
+                        }
+                        per_run = per_run.max(generated.len());
+                        ok_runs += 1;
+                        for name in generated {
+                            *occurrences.entry(name.clone()).or_insert(0) += 1;
+                        }
+                    }
+                    Err(err) => eprintln!("  {} failed: {err}", method.label()),
+                }
+            }
+            if ok_runs == 0 || per_run == 0 {
+                cells.push("-".into());
+                scores.push(None);
+                continue;
+            }
+            let counts: Vec<usize> = occurrences.values().copied().collect();
+            let s = stability_score(&counts, per_run, ok_runs);
+            cells.push(format!("{s:.4}"));
+            scores.push(Some(s));
+        }
+        // Count per-dataset winners (lowest JSD).
+        if let Some(min) = scores.iter().flatten().cloned().reduce(f64::min) {
+            for (mi, s) in scores.iter().enumerate() {
+                if *s == Some(min) {
+                    wins[mi] += 1;
+                }
+            }
+        }
+        let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+        t.row(&refs);
+    }
+
+    println!("\nPer-dataset stability wins (paper: SAFE most stable on most datasets):");
+    for (mi, &method) in methods.iter().enumerate() {
+        println!("  {:>5}: {}", method.label(), wins[mi]);
+    }
+}

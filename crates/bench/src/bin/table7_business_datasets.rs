@@ -1,0 +1,41 @@
+//! Table VII — business dataset information. Prints the paper's full-scale
+//! shapes plus the harness scale used by `table8_business`.
+
+use safe_bench::{Flags, TablePrinter};
+use safe_datagen::business::{generate_business, BusinessId};
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.01);
+
+    println!("Table VII: business data sets (paper scale)\n");
+    let t = TablePrinter::new(&["Dataset", "#Train", "#Valid", "#Test", "#Dim"], &[8, 10, 10, 10, 6]);
+    for id in BusinessId::ALL {
+        let s = id.spec();
+        t.row(&[
+            s.name,
+            &s.n_train.to_string(),
+            &s.n_valid.to_string(),
+            &s.n_test.to_string(),
+            &s.dim.to_string(),
+        ]);
+    }
+
+    println!("\nSynthetic stand-ins at harness scale {scale}:\n");
+    let t = TablePrinter::new(
+        &["Dataset", "#Train", "#Valid", "#Test", "#Dim", "pos-rate"],
+        &[8, 10, 10, 10, 6, 9],
+    );
+    for id in BusinessId::ALL {
+        let split = generate_business(id, scale, flags.get_or("seed", 42u64));
+        let valid_rows = split.valid.as_ref().map(|v| v.n_rows()).unwrap_or(0);
+        t.row(&[
+            id.spec().name,
+            &split.train.n_rows().to_string(),
+            &valid_rows.to_string(),
+            &split.test.n_rows().to_string(),
+            &split.train.n_cols().to_string(),
+            &format!("{:.3}", split.train.positive_rate().unwrap_or(0.0)),
+        ]);
+    }
+}

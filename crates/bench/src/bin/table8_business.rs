@@ -1,0 +1,76 @@
+//! Table VIII — classification AUC (×100) on the (synthetic stand-in)
+//! business datasets, methods {ORIG, RAND, IMP, SAFE} × classifiers
+//! {LR, RF, XGB}. TFC and FCTree are excluded, as in the paper, because
+//! their cost is prohibitive at this scale.
+//!
+//! Default `--scale 0.01` keeps the demo tractable (25k–80k train rows);
+//! raise toward 1.0 to approach the paper's 2.5M–8M rows.
+
+use safe_bench::{auc100, engineer_split, fmt_auc, Flags, Method, TablePrinter};
+use safe_datagen::business::{generate_business, BusinessId};
+use safe_models::classifier::ClassifierKind;
+
+fn main() {
+    let flags = Flags::from_env();
+    let scale: f64 = flags.get_or("scale", 0.01);
+    let seed: u64 = flags.get_or("seed", 42);
+    let methods: Vec<Method> = match flags.get("methods") {
+        Some(_) => flags.methods(),
+        None => vec![Method::Orig, Method::Rand, Method::Imp, Method::Safe],
+    };
+    let classifiers: Vec<ClassifierKind> = match flags.get("classifiers") {
+        Some(_) => flags.classifiers(),
+        None => vec![ClassifierKind::Lr, ClassifierKind::Rf, ClassifierKind::Xgb],
+    };
+
+    println!("Table VIII: business dataset AUC x100 (scale={scale}, seed={seed})\n");
+
+    for id in BusinessId::ALL {
+        let spec = id.spec();
+        let split = generate_business(id, scale, seed);
+        println!(
+            "== {} (train {} rows, dim {}, pos-rate {:.3}) ==",
+            spec.name,
+            split.train.n_rows(),
+            split.train.n_cols(),
+            split.train.positive_rate().unwrap_or(0.0)
+        );
+        let mut headers = vec!["CLF"];
+        headers.extend(methods.iter().map(|m| m.label()));
+        let widths: Vec<usize> = std::iter::once(5).chain(methods.iter().map(|_| 7)).collect();
+        let t = TablePrinter::new(&headers, &widths);
+
+        let engineered: Vec<Option<safe_bench::EngineeredSplit>> = methods
+            .iter()
+            .map(|&m| match engineer_split(m, &split, seed) {
+                Ok(e) => {
+                    println!("  [{} fit in {:.2}s]", m.label(), e.fit_time.as_secs_f64());
+                    Some(e)
+                }
+                Err(err) => {
+                    eprintln!("  {} failed: {err}", m.label());
+                    None
+                }
+            })
+            .collect();
+
+        for &clf in &classifiers {
+            let mut cells: Vec<String> = vec![clf.abbrev().to_string()];
+            for eng in &engineered {
+                match eng {
+                    Some(e) => match auc100(clf, e, seed) {
+                        Ok(a) => cells.push(fmt_auc(a)),
+                        Err(err) => {
+                            eprintln!("  {clf:?} failed: {err}");
+                            cells.push("-".into());
+                        }
+                    },
+                    None => cells.push("-".into()),
+                }
+            }
+            let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+            t.row(&refs);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,335 @@
+//! # safe-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p safe-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_iv_bands` | Table I (IV predictive-power bands) |
+//! | `table2_pearson_bands` | Table II (Pearson strength bands) |
+//! | `table3_classification` | Table III (AUC: 6 methods × 9 classifiers × 12 datasets) |
+//! | `table4_datasets` | Table IV (benchmark dataset info) |
+//! | `table5_execution_time` | Table V (FE method wall-clock) |
+//! | `table6_stability` | Table VI (feature stability, JSD) |
+//! | `table7_business_datasets` | Table VII (business dataset info) |
+//! | `table8_business` | Table VIII (business AUC: 4 methods × 3 classifiers) |
+//! | `fig3_feature_importance` | Fig. 3 (generated vs original importance) |
+//! | `fig4_iterations` | Fig. 4 (AUC over SAFE iterations) |
+//! | `complexity_sweep` | §IV-D (SAFE runtime vs N and vs K) |
+//!
+//! Common flags: `--scale <f>` (fraction of the paper's row counts, default
+//! varies per binary), `--seed <u64>`, `--datasets a,b,c`, `--repeats <n>`.
+//! This module holds the shared plumbing: method roster, evaluation loops,
+//! flag parsing, table formatting.
+
+use std::time::{Duration, Instant};
+
+use safe_baselines::{AutoLearn, FcTree, Tfc};
+use safe_core::engineer::{FeatureEngineer, Identity};
+use safe_core::{Safe, SafeConfig};
+use safe_data::dataset::Dataset;
+use safe_data::split::DatasetSplit;
+use safe_datagen::benchmarks::BenchmarkId;
+use safe_models::classifier::ClassifierKind;
+
+/// The six feature-engineering methods of Table III, in column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Original features, untouched.
+    Orig,
+    /// FCTree (Fan et al., 2010).
+    Fct,
+    /// TFC (Piramuthu & Sikora, 2009).
+    Tfc,
+    /// Random combinations over all features.
+    Rand,
+    /// Random combinations over GBM split features.
+    Imp,
+    /// The paper's method.
+    Safe,
+    /// AutoLearn (Kaul et al., 2017) — not in the paper's Table III roster,
+    /// available via `--methods autolearn` as an extension.
+    AutoLearn,
+}
+
+impl Method {
+    /// Table III column order.
+    pub const ALL: [Method; 6] = [
+        Method::Orig,
+        Method::Fct,
+        Method::Tfc,
+        Method::Rand,
+        Method::Imp,
+        Method::Safe,
+    ];
+
+    /// Column header as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Orig => "ORIG",
+            Method::Fct => "FCT",
+            Method::Tfc => "TFC",
+            Method::Rand => "RAND",
+            Method::Imp => "IMP",
+            Method::Safe => "SAFE",
+            Method::AutoLearn => "AUTOL",
+        }
+    }
+
+    /// Parse one method name.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s.to_ascii_uppercase().as_str() {
+            "ORIG" => Some(Method::Orig),
+            "FCT" | "FCTREE" => Some(Method::Fct),
+            "TFC" => Some(Method::Tfc),
+            "RAND" => Some(Method::Rand),
+            "IMP" => Some(Method::Imp),
+            "SAFE" => Some(Method::Safe),
+            "AUTOL" | "AUTOLEARN" => Some(Method::AutoLearn),
+            _ => None,
+        }
+    }
+
+    /// Build the engineer with paper-default settings.
+    pub fn build(self, seed: u64) -> Box<dyn FeatureEngineer> {
+        match self {
+            Method::Orig => Box::new(Identity),
+            Method::Fct => Box::new(FcTree { seed, ..FcTree::default() }),
+            Method::Tfc => Box::new(Tfc::default()),
+            Method::Rand => Box::new(Safe::new(SafeConfig::rand_baseline(seed))),
+            Method::Imp => Box::new(Safe::new(SafeConfig::imp_baseline(seed))),
+            Method::Safe => Box::new(Safe::new(SafeConfig { seed, ..SafeConfig::paper() })),
+            Method::AutoLearn => Box::new(AutoLearn { seed, ..AutoLearn::default() }),
+        }
+    }
+}
+
+/// One FE method's output on a split, with the fit timed (Table V).
+pub struct EngineeredSplit {
+    /// Transformed training set.
+    pub train: Dataset,
+    /// Transformed validation set (when the split had one).
+    pub valid: Option<Dataset>,
+    /// Transformed test set.
+    pub test: Dataset,
+    /// Wall-clock time of plan learning (excludes transformation).
+    pub fit_time: Duration,
+    /// The learned plan.
+    pub plan: safe_core::plan::FeaturePlan,
+}
+
+/// Run one FE method on a split.
+pub fn engineer_split(
+    method: Method,
+    split: &DatasetSplit,
+    seed: u64,
+) -> Result<EngineeredSplit, String> {
+    let engineer = method.build(seed);
+    let start = Instant::now();
+    let plan = engineer.engineer(&split.train, split.valid.as_ref())?;
+    let fit_time = start.elapsed();
+    let train = plan.apply(&split.train).map_err(|e| e.to_string())?;
+    let valid = match &split.valid {
+        Some(v) => Some(plan.apply(v).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let test = plan.apply(&split.test).map_err(|e| e.to_string())?;
+    Ok(EngineeredSplit {
+        train,
+        valid,
+        test,
+        fit_time,
+        plan,
+    })
+}
+
+/// Train a classifier on the engineered train split and report test AUC
+/// (× 100, the paper's convention).
+pub fn auc100(kind: ClassifierKind, eng: &EngineeredSplit, seed: u64) -> Result<f64, String> {
+    safe_models::classifier::evaluate_auc(kind, &eng.train, &eng.test, seed)
+        .map(|a| a * 100.0)
+        .map_err(|e| e.to_string())
+}
+
+/// Tiny flag parser: `--name value` pairs from `std::env::args`.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    args: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parse the process arguments.
+    pub fn from_env() -> Flags {
+        Flags::from_list(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit list (testable).
+    pub fn from_list(raw: Vec<String>) -> Flags {
+        let mut args = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).cloned().unwrap_or_default();
+                args.push((name.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Flags { args }
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Comma-separated dataset selection (default: all 12).
+    pub fn datasets(&self) -> Vec<BenchmarkId> {
+        match self.get("datasets") {
+            None => BenchmarkId::ALL.to_vec(),
+            Some(spec) => {
+                let wanted: Vec<String> =
+                    spec.split(',').map(|s| s.trim().to_lowercase()).collect();
+                BenchmarkId::ALL
+                    .into_iter()
+                    .filter(|b| wanted.iter().any(|w| w == b.spec().name))
+                    .collect()
+            }
+        }
+    }
+
+    /// Comma-separated method selection (default: all 6).
+    pub fn methods(&self) -> Vec<Method> {
+        match self.get("methods") {
+            None => Method::ALL.to_vec(),
+            Some(spec) => spec.split(',').filter_map(Method::parse).collect(),
+        }
+    }
+
+    /// Comma-separated classifier selection (default: all 9).
+    pub fn classifiers(&self) -> Vec<ClassifierKind> {
+        match self.get("classifiers") {
+            None => ClassifierKind::ALL.to_vec(),
+            Some(spec) => {
+                let wanted: Vec<String> =
+                    spec.split(',').map(|s| s.trim().to_lowercase()).collect();
+                ClassifierKind::ALL
+                    .into_iter()
+                    .filter(|k| wanted.iter().any(|w| w == &k.abbrev().to_lowercase()))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Fixed-width table printer (plain text, paper-style).
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Create with column headers; prints the header row immediately.
+    pub fn new(headers: &[&str], widths: &[usize]) -> TablePrinter {
+        let p = TablePrinter {
+            widths: widths.to_vec(),
+        };
+        p.row(headers);
+        let total: usize = p.widths.iter().sum::<usize>() + p.widths.len();
+        println!("{}", "-".repeat(total));
+        p
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[&str]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join(" "));
+    }
+}
+
+/// Format an AUC×100 cell like the paper ("87.16").
+pub fn fmt_auc(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a duration in seconds like Table V ("9.80").
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safe_datagen::benchmarks::generate_benchmark_scaled;
+
+    #[test]
+    fn method_roster_matches_table3_columns() {
+        let labels: Vec<&str> = Method::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["ORIG", "FCT", "TFC", "RAND", "IMP", "SAFE"]);
+    }
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("safe"), Some(Method::Safe));
+        assert_eq!(Method::parse("FCTree"), Some(Method::Fct));
+        assert_eq!(Method::parse("bogus"), None);
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_lists() {
+        let f = Flags::from_list(vec![
+            "--scale".into(),
+            "0.25".into(),
+            "--datasets".into(),
+            "banknote,magic".into(),
+            "--methods".into(),
+            "safe,orig".into(),
+            "--classifiers".into(),
+            "xgb,lr".into(),
+        ]);
+        assert_eq!(f.get_or("scale", 1.0f64), 0.25);
+        assert_eq!(f.get_or("missing", 7u32), 7);
+        assert_eq!(f.datasets().len(), 2);
+        assert_eq!(f.methods(), vec![Method::Safe, Method::Orig]);
+        assert_eq!(f.classifiers().len(), 2);
+    }
+
+    #[test]
+    fn every_method_engineers_a_usable_plan() {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.2, 1);
+        for method in Method::ALL {
+            let eng = engineer_split(method, &split, 0).unwrap();
+            assert!(eng.train.n_cols() > 0, "{}", method.label());
+            assert_eq!(eng.train.n_rows(), split.train.n_rows());
+            assert_eq!(eng.test.n_rows(), split.test.n_rows());
+            assert_eq!(
+                eng.train.n_cols(),
+                eng.test.n_cols(),
+                "{}: train/test schema must agree",
+                method.label()
+            );
+        }
+    }
+
+    #[test]
+    fn auc_evaluation_runs() {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.2, 2);
+        let eng = engineer_split(Method::Orig, &split, 0).unwrap();
+        let a = auc100(ClassifierKind::Xgb, &eng, 0).unwrap();
+        assert!(a > 50.0 && a <= 100.0, "auc100 = {a}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Dependency-free `--flag value` argument parsing with typed accessors and
+//! unknown-flag detection.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--name value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    /// Bare `--flag` switches with no value.
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse an argv slice (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(name) = token.strip_prefix("--") {
+                // A flag followed by a value, unless the next token is
+                // another flag or absent (then it is a switch).
+                match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        out.flags.insert(name.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        out.switches.push(name.to_string());
+                        i += 1;
+                    }
+                }
+            } else if out.command.is_none() {
+                out.command = Some(token.clone());
+                i += 1;
+            } else {
+                return Err(format!("unexpected positional argument '{token}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// True when the bare switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Reject flags outside the allowed set (catches typos early).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for name in self.flags.keys().chain(self.switches.iter()) {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = Args::parse(&argv("fit --input x.csv --seed 7 --full-ops")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("fit"));
+        assert_eq!(a.get("input"), Some("x.csv"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.switch("full-ops"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn required_and_typed_errors() {
+        let a = Args::parse(&argv("fit --gamma banana")).unwrap();
+        assert!(a.require("input").unwrap_err().contains("--input"));
+        assert!(a.get_or("gamma", 30usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = Args::parse(&argv("fit --inptu x.csv")).unwrap();
+        assert!(a.ensure_known(&["input"]).unwrap_err().contains("inptu"));
+    }
+
+    #[test]
+    fn stray_positionals_rejected() {
+        assert!(Args::parse(&argv("fit extra")).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(&argv("explain --plan p --verbose")).unwrap();
+        assert_eq!(a.get("plan"), Some("p"));
+        assert!(a.switch("verbose"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Subcommand implementations.
+
+use std::time::Instant;
+
+use safe_core::explain::{explain_plan, explanation_report};
+use safe_core::plan::FeaturePlan;
+use safe_core::{Safe, SafeConfig};
+use safe_data::csv::{read_csv, write_csv};
+use safe_ops::registry::OperatorRegistry;
+
+use crate::args::Args;
+
+const USAGE: &str = "\
+safe-cli — SAFE automatic feature engineering (ICDE 2020 reproduction)
+
+USAGE:
+  safe-cli fit     --input train.csv [--valid valid.csv] --plan out.safeplan
+                   [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
+                   [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
+  safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
+                   [--label label]
+  safe-cli explain --plan plan.safeplan [--input data.csv] [--label label]
+  safe-cli score   --input data.csv [--label label]
+";
+
+/// Dispatch the parsed command line.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("fit") => fit(&args),
+        Some("apply") => apply(&args),
+        Some("explain") => explain(&args),
+        Some("score") => score(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn registry(args: &Args) -> OperatorRegistry {
+    if args.switch("full-ops") {
+        OperatorRegistry::standard()
+    } else {
+        OperatorRegistry::arithmetic()
+    }
+}
+
+fn fit(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "input", "valid", "plan", "label", "gamma", "alpha", "theta",
+        "iterations", "multiplier", "seed", "full-ops",
+    ])?;
+    let input = args.require("input")?;
+    let plan_path = args.require("plan")?;
+    let label = args.get("label").unwrap_or("label");
+
+    let train = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let valid = match args.get("valid") {
+        Some(path) => Some(read_csv(path, Some(label)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let config = SafeConfig {
+        gamma: args.get_or("gamma", 30usize)?,
+        alpha: args.get_or("alpha", 0.1f64)?,
+        theta: args.get_or("theta", 0.8f64)?,
+        n_iterations: args.get_or("iterations", 1usize)?,
+        output_multiplier: args.get_or("multiplier", 2usize)?,
+        seed: args.get_or("seed", 0u64)?,
+        operators: registry(args),
+        ..SafeConfig::paper()
+    };
+
+    eprintln!(
+        "fitting SAFE on {} ({} rows x {} features)...",
+        input,
+        train.n_rows(),
+        train.n_cols()
+    );
+    let start = Instant::now();
+    let outcome = Safe::new(config)
+        .fit(&train, valid.as_ref())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "done in {:.2}s: {} features selected ({} generated)",
+        start.elapsed().as_secs_f64(),
+        outcome.plan.outputs.len(),
+        outcome.plan.n_generated_outputs()
+    );
+    for r in &outcome.history {
+        eprintln!(
+            "  iter {}: {} combos -> {} generated -> {} after IV -> {} after redundancy -> {} selected",
+            r.iteration, r.n_combinations_kept, r.n_generated, r.n_after_iv,
+            r.n_after_redundancy, r.n_selected
+        );
+    }
+    std::fs::write(plan_path, outcome.plan.to_text()).map_err(|e| e.to_string())?;
+    eprintln!("plan written to {plan_path}");
+    Ok(())
+}
+
+fn load_plan(path: &str) -> Result<FeaturePlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    FeaturePlan::from_text(&text).map_err(|e| e.to_string())
+}
+
+fn apply(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["plan", "input", "output", "label", "full-ops"])?;
+    let plan = load_plan(args.require("plan")?)?;
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let label = args.get("label").unwrap_or("label");
+
+    // Label column optional at apply time (inference data is unlabeled).
+    let ds = read_csv(input, Some(label))
+        .or_else(|_| read_csv(input, None))
+        .map_err(|e| e.to_string())?;
+    let compiled = plan
+        .compile(&OperatorRegistry::standard())
+        .map_err(|e| e.to_string())?;
+    let out = compiled.apply(&ds).map_err(|e| e.to_string())?;
+    write_csv(&out, output).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} rows x {} engineered features -> {}",
+        input,
+        out.n_rows(),
+        out.n_cols(),
+        output
+    );
+    Ok(())
+}
+
+fn explain(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["plan", "input", "label"])?;
+    let plan = load_plan(args.require("plan")?)?;
+    let reference = match args.get("input") {
+        Some(path) => {
+            let label = args.get("label").unwrap_or("label");
+            Some(read_csv(path, Some(label)).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let explanations = explain_plan(&plan, reference.as_ref());
+    print!("{}", explanation_report(&explanations));
+    Ok(())
+}
+
+fn score(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["input", "label"])?;
+    let input = args.require("input")?;
+    let label = args.get("label").unwrap_or("label");
+    let ds = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let labels = ds
+        .labels()
+        .ok_or_else(|| "score requires a label column".to_string())?;
+    let mut rows: Vec<(String, f64)> = (0..ds.n_cols())
+        .map(|f| {
+            let iv = safe_stats::iv::information_value(
+                ds.column(f).expect("in range"),
+                labels,
+                10,
+            )
+            .unwrap_or(0.0);
+            (ds.meta()[f].name.clone(), iv)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(7).max(7);
+    println!("{:<name_w$}  {:>8}  band", "feature", "IV");
+    for (name, iv) in rows {
+        println!(
+            "{name:<name_w$}  {iv:>8.4}  {}",
+            safe_stats::iv::IvBand::of(iv).description()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("safe_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_training_csv(path: &std::path::Path) {
+        // Label depends on a*b: SAFE should find an (a,b) feature.
+        let mut text = String::from("a,b,noise,label\n");
+        for i in 0..400 {
+            let a = ((i * 37) % 100) as f64 / 50.0 - 1.0;
+            let b = ((i * 61) % 100) as f64 / 50.0 - 1.0;
+            let noise = ((i * 17) % 100) as f64;
+            let y = (a * b > 0.0) as u8;
+            text.push_str(&format!("{a},{b},{noise},{y}\n"));
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn fit_apply_explain_round_trip() {
+        let train = tmp("train.csv");
+        let plan = tmp("plan.safeplan");
+        let out = tmp("out.csv");
+        write_training_csv(&train);
+
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        assert!(plan.exists());
+
+        run(&argv(&format!(
+            "apply --plan {} --input {} --output {}",
+            plan.display(),
+            train.display(),
+            out.display()
+        )))
+        .unwrap();
+        let transformed = read_csv(&out, Some("label")).unwrap();
+        assert!(transformed.n_cols() >= 1);
+        assert_eq!(transformed.n_rows(), 400);
+
+        run(&argv(&format!("explain --plan {}", plan.display()))).unwrap();
+    }
+
+    #[test]
+    fn score_runs() {
+        let train = tmp("score.csv");
+        write_training_csv(&train);
+        run(&argv(&format!("score --input {}", train.display()))).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&argv("fit --bogus 1")).is_err());
+        assert!(run(&argv("fit")).unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&argv("help")).unwrap();
+        run(&[]).unwrap();
+    }
+
+    #[test]
+    fn apply_with_missing_plan_errors() {
+        assert!(run(&argv("apply --plan /nonexistent --input x --output y")).is_err());
+    }
+}

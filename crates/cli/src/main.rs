@@ -1,0 +1,29 @@
+//! # safe-cli — SAFE feature engineering from the command line
+//!
+//! ```text
+//! safe-cli fit     --input train.csv [--valid valid.csv] --plan out.safeplan
+//!                  [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
+//!                  [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
+//! safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
+//! safe-cli explain --plan plan.safeplan [--input data.csv]
+//! safe-cli score   --input data.csv [--label label]     # per-feature IV table
+//! ```
+//!
+//! CSV convention: header row, numeric cells, label column named `label`
+//! (override with `--label`), empty/NA cells are missing.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! SAFE hyper-parameters.
+//!
+//! Section IV-E1 (strong applicability): every knob either controls
+//! complexity (γ, iteration budget, output cap, miner size) or is a
+//! rule-of-thumb constant the paper fixes once for all datasets (α = 0.1
+//! from Table I, θ = 0.8 from Table II, β equal-frequency bins).
+
+use safe_gbm::config::GbmConfig;
+use safe_ops::registry::OperatorRegistry;
+use std::time::Duration;
+
+/// How candidate feature combinations are produced — SAFE proper plus the
+/// paper's two ablation baselines (Section V-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerationStrategy {
+    /// SAFE: combinations mined from GBM tree paths, ranked by information
+    /// gain ratio.
+    Mined,
+    /// IMP: γ random combinations drawn from the GBM's *split features*.
+    RandomSplitFeatures,
+    /// RAND: γ random combinations drawn from all features.
+    RandomAllFeatures,
+}
+
+/// Configuration of the SAFE pipeline.
+#[derive(Debug, Clone)]
+pub struct SafeConfig {
+    /// γ — number of top feature combinations kept per iteration
+    /// (Algorithm 2).
+    pub gamma: usize,
+    /// α — Information Value threshold (Algorithm 3); features with
+    /// IV ≤ α are dropped. Paper default 0.1.
+    pub alpha: f64,
+    /// β — equal-frequency bins for the IV computation. Paper default 10.
+    pub beta: usize,
+    /// θ — absolute Pearson threshold (Algorithm 4); of any pair above it,
+    /// the lower-IV feature is dropped. Paper default 0.8.
+    pub theta: f64,
+    /// Final feature budget as a multiple of the original feature count
+    /// (the experiments cap output at 2M).
+    pub output_multiplier: usize,
+    /// nIter — iteration budget (the benchmark experiments use 1).
+    pub n_iterations: usize,
+    /// tIter — optional wall-clock budget; the loop stops when exceeded.
+    pub time_budget: Option<Duration>,
+    /// Booster used for combination mining (small: complexity is
+    /// O(N·K₁(K₁+K₂)), Eq. 13).
+    pub miner: GbmConfig,
+    /// Booster used for final feature ranking.
+    pub ranker: GbmConfig,
+    /// The operator set O.
+    pub operators: OperatorRegistry,
+    /// SAFE / RAND / IMP.
+    pub strategy: GenerationStrategy,
+    /// Seed for the randomized strategies and subsampling.
+    pub seed: u64,
+}
+
+impl Default for SafeConfig {
+    fn default() -> Self {
+        SafeConfig {
+            gamma: 30,
+            alpha: 0.1,
+            beta: 10,
+            theta: 0.8,
+            output_multiplier: 2,
+            n_iterations: 1,
+            time_budget: None,
+            miner: GbmConfig::miner(),
+            ranker: GbmConfig::miner(),
+            operators: OperatorRegistry::arithmetic(),
+            strategy: GenerationStrategy::Mined,
+            seed: 0,
+        }
+    }
+}
+
+impl SafeConfig {
+    /// Paper-experiment configuration: four arithmetic operators, one
+    /// iteration, 2M output cap.
+    pub fn paper() -> Self {
+        SafeConfig::default()
+    }
+
+    /// The RAND ablation baseline with otherwise identical settings.
+    pub fn rand_baseline(seed: u64) -> Self {
+        SafeConfig {
+            strategy: GenerationStrategy::RandomAllFeatures,
+            seed,
+            ..SafeConfig::default()
+        }
+    }
+
+    /// The IMP ablation baseline with otherwise identical settings.
+    pub fn imp_baseline(seed: u64) -> Self {
+        SafeConfig {
+            strategy: GenerationStrategy::RandomSplitFeatures,
+            seed,
+            ..SafeConfig::default()
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gamma == 0 {
+            return Err("gamma must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(format!("theta {} not in [0, 1]", self.theta));
+        }
+        if self.alpha < 0.0 {
+            return Err("alpha must be non-negative".into());
+        }
+        if self.beta < 2 {
+            return Err("beta must be at least 2".into());
+        }
+        if self.output_multiplier == 0 {
+            return Err("output_multiplier must be positive".into());
+        }
+        if self.n_iterations == 0 && self.time_budget.is_none() {
+            return Err("need n_iterations > 0 or a time budget".into());
+        }
+        if self.operators.is_empty() {
+            return Err("operator registry is empty".into());
+        }
+        self.miner.validate()?;
+        self.ranker.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = SafeConfig::paper();
+        assert_eq!(c.alpha, 0.1, "Table I medium-predictor edge");
+        assert_eq!(c.theta, 0.8, "Table II extremely-strong edge");
+        assert_eq!(c.output_multiplier, 2, "2M output cap");
+        assert_eq!(c.n_iterations, 1, "benchmark experiments use one iteration");
+        assert_eq!(c.operators.names(), vec!["add", "sub", "mul", "div"]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn baselines_share_selection_settings() {
+        let safe = SafeConfig::paper();
+        let rand = SafeConfig::rand_baseline(1);
+        let imp = SafeConfig::imp_baseline(1);
+        assert_eq!(rand.alpha, safe.alpha);
+        assert_eq!(imp.theta, safe.theta);
+        assert_eq!(rand.strategy, GenerationStrategy::RandomAllFeatures);
+        assert_eq!(imp.strategy, GenerationStrategy::RandomSplitFeatures);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SafeConfig::default();
+        c.gamma = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SafeConfig::default();
+        c.theta = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SafeConfig::default();
+        c.beta = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = SafeConfig::default();
+        c.n_iterations = 0;
+        assert!(c.validate().is_err());
+        c.time_budget = Some(Duration::from_secs(1));
+        assert!(c.validate().is_ok(), "time budget alone is a valid stop rule");
+
+        let mut c = SafeConfig::default();
+        c.operators = OperatorRegistry::empty();
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! A common interface over every feature engineering method the experiments
+//! compare: ORIG (identity), SAFE, RAND, IMP (this crate) and the external
+//! baselines TFC / FCTree (`safe-baselines`).
+
+use safe_data::dataset::Dataset;
+
+use crate::config::GenerationStrategy;
+use crate::plan::FeaturePlan;
+use crate::safe::Safe;
+
+/// Anything that learns a feature-generation function Ψ from training data.
+pub trait FeatureEngineer: Send + Sync {
+    /// Method name as printed in the paper's tables (SAFE, RAND, IMP, ORIG,
+    /// TFC, FCT).
+    fn method_name(&self) -> &'static str;
+
+    /// Learn Ψ.
+    fn engineer(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+    ) -> Result<FeaturePlan, String>;
+}
+
+impl FeatureEngineer for Safe {
+    fn method_name(&self) -> &'static str {
+        match self.config().strategy {
+            GenerationStrategy::Mined => "SAFE",
+            GenerationStrategy::RandomSplitFeatures => "IMP",
+            GenerationStrategy::RandomAllFeatures => "RAND",
+        }
+    }
+    fn engineer(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+    ) -> Result<FeaturePlan, String> {
+        self.fit(train, valid)
+            .map(|o| o.plan)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// ORIG: the identity transformation (original features untouched).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl FeatureEngineer for Identity {
+    fn method_name(&self) -> &'static str {
+        "ORIG"
+    }
+    fn engineer(
+        &self,
+        train: &Dataset,
+        _valid: Option<&Dataset>,
+    ) -> Result<FeaturePlan, String> {
+        let names: Vec<String> = train.feature_names().iter().map(|s| s.to_string()).collect();
+        Ok(FeaturePlan {
+            input_names: names.clone(),
+            steps: Vec::new(),
+            outputs: names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SafeConfig;
+
+    #[test]
+    fn identity_passes_features_through() {
+        let ds = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            Some(vec![0, 1]),
+        )
+        .unwrap();
+        let plan = Identity.engineer(&ds, None).unwrap();
+        let out = plan.apply(&ds).unwrap();
+        assert_eq!(out.n_cols(), 2);
+        assert_eq!(out.column(0).unwrap(), ds.column(0).unwrap());
+        assert_eq!(Identity.method_name(), "ORIG");
+    }
+
+    #[test]
+    fn method_names_follow_strategy() {
+        assert_eq!(Safe::new(SafeConfig::paper()).method_name(), "SAFE");
+        assert_eq!(Safe::new(SafeConfig::rand_baseline(0)).method_name(), "RAND");
+        assert_eq!(Safe::new(SafeConfig::imp_baseline(0)).method_name(), "IMP");
+    }
+}

@@ -1,0 +1,45 @@
+//! # safe-core — the SAFE automatic feature engineering pipeline
+//!
+//! Faithful implementation of Algorithm 1 of *SAFE: Scalable Automatic
+//! Feature Engineering Framework for Industrial Tasks* (ICDE 2020). Each
+//! iteration:
+//!
+//! 1. train a gradient-boosted miner on the current feature set
+//!    ([`safe_gbm`]),
+//! 2. harvest feature combinations from the trees' root→leaf-parent paths
+//!    ([`combine`], Section IV-B1),
+//! 3. rank combinations by information gain ratio and keep the top γ
+//!    ([`combine::rank_combinations`], Algorithm 2),
+//! 4. apply the operator set to the kept combinations ([`generate`]),
+//! 5. filter candidates by Information Value > α ([`select::iv_filter`],
+//!    Algorithm 3),
+//! 6. drop the lower-IV member of every |ρ| > θ pair
+//!    ([`select::redundancy_filter`], Algorithm 4),
+//! 7. rank survivors by average split gain and keep the best
+//!    ([`select::rank_and_cap`], Section IV-C3).
+//!
+//! The result is a serializable [`plan::FeaturePlan`] — the learned Ψ — that
+//! replays generation on any dataset or single record (the paper's real-time
+//! inference requirement).
+//!
+//! The paper's own ablation baselines **RAND** (random combinations over all
+//! features) and **IMP** (random combinations over split features) are
+//! selectable via [`config::GenerationStrategy`]; they share the full
+//! selection pipeline exactly as in Section V-A1.
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod engineer;
+pub mod explain;
+pub mod config;
+pub mod generate;
+pub mod plan;
+pub mod safe;
+pub mod select;
+
+pub use config::{GenerationStrategy, SafeConfig};
+pub use engineer::{FeatureEngineer, Identity};
+pub use explain::{explain_plan, explanation_report, FeatureExplanation};
+pub use plan::FeaturePlan;
+pub use safe::{IterationReport, Safe, SafeError, SafeOutcome};

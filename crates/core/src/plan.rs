@@ -1,0 +1,567 @@
+//! The learned feature-generation function Ψ.
+//!
+//! A [`FeaturePlan`] is the portable artifact SAFE produces: the input
+//! schema, a topologically ordered list of generation steps (operator name,
+//! parent features, frozen parameters), and the selected output features.
+//! Plans serialize to a line-oriented text format and compile — against any
+//! [`OperatorRegistry`] — into a [`CompiledPlan`] that scores whole datasets
+//! or single records (the paper's *real-time inference* requirement: "once
+//! an instance is inputted, the feature should be produced instantly").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use safe_data::dataset::{Dataset, FeatureMeta};
+use safe_ops::op::{FittedOperator, OpError};
+use safe_ops::registry::OperatorRegistry;
+
+/// Errors from plan construction, serialization or execution.
+#[derive(Debug)]
+pub enum PlanError {
+    /// A step references an operator absent from the registry.
+    UnknownOperator(String),
+    /// A step or output references an undefined feature.
+    UnknownFeature(String),
+    /// The dataset to transform is missing a required input column.
+    MissingInput(String),
+    /// A feature name contains a character the codec reserves.
+    BadName(String),
+    /// Text deserialization failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Operator rehydration/application failed.
+    Op(OpError),
+    /// Underlying data error.
+    Data(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownOperator(op) => write!(f, "unknown operator '{op}'"),
+            PlanError::UnknownFeature(name) => write!(f, "unknown feature '{name}'"),
+            PlanError::MissingInput(name) => write!(f, "dataset lacks input column '{name}'"),
+            PlanError::BadName(name) => {
+                write!(f, "feature name '{name}' contains a reserved character")
+            }
+            PlanError::Parse { line, message } => write!(f, "plan parse error, line {line}: {message}"),
+            PlanError::Op(e) => write!(f, "operator error: {e}"),
+            PlanError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<OpError> for PlanError {
+    fn from(e: OpError) -> Self {
+        PlanError::Op(e)
+    }
+}
+
+/// One generation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Name of the produced feature.
+    pub name: String,
+    /// Operator registry name.
+    pub op: String,
+    /// Parent feature names (inputs or earlier steps), in argument order.
+    pub parents: Vec<String>,
+    /// Frozen operator parameters.
+    pub params: Vec<f64>,
+}
+
+/// The serializable feature-generation function Ψ.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeaturePlan {
+    /// Names of the raw input features the plan consumes.
+    pub input_names: Vec<String>,
+    /// Generation steps in dependency order.
+    pub steps: Vec<PlanStep>,
+    /// Names of the selected output features (inputs or step names).
+    pub outputs: Vec<String>,
+}
+
+fn name_ok(name: &str) -> bool {
+    !name.is_empty() && !name.contains('\t') && !name.contains('\n') && !name.contains('\r')
+}
+
+impl FeaturePlan {
+    /// Validate internal consistency: names are codec-safe, steps reference
+    /// only earlier definitions, outputs exist.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut defined: HashMap<&str, ()> = HashMap::new();
+        for n in &self.input_names {
+            if !name_ok(n) {
+                return Err(PlanError::BadName(n.clone()));
+            }
+            defined.insert(n, ());
+        }
+        for s in &self.steps {
+            if !name_ok(&s.name) || !name_ok(&s.op) {
+                return Err(PlanError::BadName(s.name.clone()));
+            }
+            for p in &s.parents {
+                if !defined.contains_key(p.as_str()) {
+                    return Err(PlanError::UnknownFeature(p.clone()));
+                }
+            }
+            defined.insert(&s.name, ());
+        }
+        for o in &self.outputs {
+            if !defined.contains_key(o.as_str()) {
+                return Err(PlanError::UnknownFeature(o.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of outputs that are generated (vs. passed-through originals).
+    pub fn n_generated_outputs(&self) -> usize {
+        let step_names: std::collections::HashSet<&str> =
+            self.steps.iter().map(|s| s.name.as_str()).collect();
+        self.outputs
+            .iter()
+            .filter(|o| step_names.contains(o.as_str()))
+            .count()
+    }
+
+    /// Compile against a registry, resolving operators and parent slots.
+    pub fn compile(&self, registry: &OperatorRegistry) -> Result<CompiledPlan, PlanError> {
+        self.validate()?;
+        let mut slot_of: HashMap<&str, usize> = HashMap::new();
+        for (i, n) in self.input_names.iter().enumerate() {
+            slot_of.insert(n, i);
+        }
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for (k, s) in self.steps.iter().enumerate() {
+            let op = registry
+                .get(&s.op)
+                .ok_or_else(|| PlanError::UnknownOperator(s.op.clone()))?;
+            let fitted = op.rehydrate(&s.params)?;
+            let parents: Vec<usize> = s
+                .parents
+                .iter()
+                .map(|p| *slot_of.get(p.as_str()).expect("validated"))
+                .collect();
+            let out_slot = self.input_names.len() + k;
+            slot_of.insert(&s.name, out_slot);
+            steps.push(CompiledStep {
+                fitted,
+                parents,
+                out_slot,
+            });
+        }
+        let outputs: Vec<usize> = self
+            .outputs
+            .iter()
+            .map(|o| *slot_of.get(o.as_str()).expect("validated"))
+            .collect();
+        let output_meta = self
+            .outputs
+            .iter()
+            .map(|o| match self.steps.iter().find(|s| &s.name == o) {
+                Some(s) => FeatureMeta::generated(o.clone(), s.op.clone(), s.parents.clone()),
+                None => FeatureMeta::original(o.clone()),
+            })
+            .collect();
+        Ok(CompiledPlan {
+            input_names: self.input_names.clone(),
+            steps,
+            outputs,
+            output_meta,
+        })
+    }
+
+    /// Convenience: compile against the standard registry and transform a
+    /// dataset.
+    pub fn apply(&self, ds: &Dataset) -> Result<Dataset, PlanError> {
+        self.compile(&OperatorRegistry::standard())?.apply(ds)
+    }
+
+    /// Serialize to the versioned text codec.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("SAFEPLAN\t1\n");
+        for n in &self.input_names {
+            out.push_str("INPUT\t");
+            out.push_str(n);
+            out.push('\n');
+        }
+        for s in &self.steps {
+            out.push_str("STEP\t");
+            out.push_str(&s.name);
+            out.push('\t');
+            out.push_str(&s.op);
+            out.push('\t');
+            out.push_str(&s.parents.len().to_string());
+            for p in &s.parents {
+                out.push('\t');
+                out.push_str(p);
+            }
+            out.push('\t');
+            out.push_str(&s.params.len().to_string());
+            for v in &s.params {
+                // Hex bit pattern: lossless f64 round trip.
+                out.push('\t');
+                out.push_str(&format!("{:016x}", v.to_bits()));
+            }
+            out.push('\n');
+        }
+        for o in &self.outputs {
+            out.push_str("OUT\t");
+            out.push_str(o);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text codec.
+    pub fn from_text(text: &str) -> Result<FeaturePlan, PlanError> {
+        let mut lines = text.lines().enumerate();
+        let err = |line: usize, message: &str| PlanError::Parse {
+            line: line + 1,
+            message: message.to_string(),
+        };
+        let (i, header) = lines.next().ok_or_else(|| err(0, "empty plan"))?;
+        if header != "SAFEPLAN\t1" {
+            return Err(err(i, "bad header (expected SAFEPLAN v1)"));
+        }
+        let mut plan = FeaturePlan::default();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "INPUT" if fields.len() == 2 => plan.input_names.push(fields[1].to_string()),
+                "OUT" if fields.len() == 2 => plan.outputs.push(fields[1].to_string()),
+                "STEP" if fields.len() >= 4 => {
+                    let name = fields[1].to_string();
+                    let op = fields[2].to_string();
+                    let n_parents: usize = fields[3]
+                        .parse()
+                        .map_err(|_| err(i, "bad parent count"))?;
+                    let parents_end = 4 + n_parents;
+                    if fields.len() < parents_end + 1 {
+                        return Err(err(i, "truncated STEP line"));
+                    }
+                    let parents: Vec<String> =
+                        fields[4..parents_end].iter().map(|s| s.to_string()).collect();
+                    let n_params: usize = fields[parents_end]
+                        .parse()
+                        .map_err(|_| err(i, "bad param count"))?;
+                    if fields.len() != parents_end + 1 + n_params {
+                        return Err(err(i, "param count mismatch"));
+                    }
+                    let params: Result<Vec<f64>, PlanError> = fields[parents_end + 1..]
+                        .iter()
+                        .map(|s| {
+                            u64::from_str_radix(s, 16)
+                                .map(f64::from_bits)
+                                .map_err(|_| err(i, "bad param hex"))
+                        })
+                        .collect();
+                    plan.steps.push(PlanStep {
+                        name,
+                        op,
+                        parents,
+                        params: params?,
+                    });
+                }
+                other => return Err(err(i, &format!("unrecognized record '{other}'"))),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[derive(Debug)]
+struct CompiledStep {
+    fitted: Box<dyn FittedOperator>,
+    parents: Vec<usize>,
+    out_slot: usize,
+}
+
+/// An executable plan: operators rehydrated, names resolved to slots.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    input_names: Vec<String>,
+    steps: Vec<CompiledStep>,
+    outputs: Vec<usize>,
+    output_meta: Vec<FeatureMeta>,
+}
+
+impl CompiledPlan {
+    /// Number of raw inputs expected.
+    pub fn n_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of output features produced.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Transform a whole dataset (columns located by name; label carried
+    /// over).
+    pub fn apply(&self, ds: &Dataset) -> Result<Dataset, PlanError> {
+        let n_slots = self.input_names.len() + self.steps.len();
+        let mut slots: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_slots);
+        for name in &self.input_names {
+            let col = ds
+                .column_by_name(name)
+                .map_err(|_| PlanError::MissingInput(name.clone()))?;
+            slots.push(Some(col.to_vec()));
+        }
+        slots.resize_with(n_slots, || None);
+        for step in &self.steps {
+            let parent_cols: Vec<&[f64]> = step
+                .parents
+                .iter()
+                .map(|&p| slots[p].as_deref().expect("topological order"))
+                .collect();
+            let values = step.fitted.apply(&parent_cols);
+            slots[step.out_slot] = Some(values);
+        }
+        let mut out = Dataset::with_rows(ds.n_rows());
+        for (&slot, meta) in self.outputs.iter().zip(&self.output_meta) {
+            out.push_column(meta.clone(), slots[slot].as_ref().expect("computed").clone())
+                .map_err(|e| PlanError::Data(e.to_string()))?;
+        }
+        if let Some(labels) = ds.labels() {
+            out.set_labels(labels.to_vec())
+                .map_err(|e| PlanError::Data(e.to_string()))?;
+        }
+        Ok(out)
+    }
+
+    /// Transform one record (values aligned with the plan's input order) —
+    /// the real-time inference path.
+    pub fn apply_row(&self, row: &[f64]) -> Result<Vec<f64>, PlanError> {
+        if row.len() != self.input_names.len() {
+            return Err(PlanError::MissingInput(format!(
+                "expected {} input values, got {}",
+                self.input_names.len(),
+                row.len()
+            )));
+        }
+        let n_slots = self.input_names.len() + self.steps.len();
+        let mut slots = vec![f64::NAN; n_slots];
+        slots[..row.len()].copy_from_slice(row);
+        let mut args = Vec::new();
+        for step in &self.steps {
+            args.clear();
+            args.extend(step.parents.iter().map(|&p| slots[p]));
+            slots[step.out_slot] = step.fitted.apply_row(&args);
+        }
+        Ok(self.outputs.iter().map(|&s| slots[s]).collect())
+    }
+
+    /// Input feature names, in expected order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output metadata (name + provenance), in output order.
+    pub fn output_meta(&self) -> &[FeatureMeta] {
+        &self.output_meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FeaturePlan {
+        FeaturePlan {
+            input_names: vec!["a".into(), "b".into()],
+            steps: vec![
+                PlanStep {
+                    name: "mul(a,b)".into(),
+                    op: "mul".into(),
+                    parents: vec!["a".into(), "b".into()],
+                    params: vec![],
+                },
+                PlanStep {
+                    name: "log(mul(a,b))".into(),
+                    op: "log".into(),
+                    parents: vec!["mul(a,b)".into()],
+                    params: vec![],
+                },
+            ],
+            outputs: vec!["a".into(), "mul(a,b)".into(), "log(mul(a,b))".into()],
+        }
+    }
+
+    fn sample_dataset() -> Dataset {
+        Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            Some(vec![0, 1, 0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn apply_computes_chained_steps() {
+        let out = sample_plan().apply(&sample_dataset()).unwrap();
+        assert_eq!(out.n_cols(), 3);
+        assert_eq!(out.column_by_name("a").unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.column_by_name("mul(a,b)").unwrap(), &[4.0, 10.0, 18.0]);
+        let log_col = out.column_by_name("log(mul(a,b))").unwrap();
+        assert!((log_col[0] - (5.0f64).ln()).abs() < 1e-12);
+        assert_eq!(out.labels().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn provenance_is_preserved() {
+        let out = sample_plan().apply(&sample_dataset()).unwrap();
+        assert_eq!(out.n_generated(), 2);
+        assert!(!out.meta()[0].origin.is_generated());
+    }
+
+    #[test]
+    fn apply_row_matches_batch() {
+        let plan = sample_plan();
+        let compiled = plan.compile(&OperatorRegistry::standard()).unwrap();
+        let ds = sample_dataset();
+        let batch = compiled.apply(&ds).unwrap();
+        for i in 0..ds.n_rows() {
+            let row_out = compiled.apply_row(&ds.row(i)).unwrap();
+            for (c, &v) in row_out.iter().enumerate() {
+                assert!((batch.column(c).unwrap()[i] - v).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let mut plan = sample_plan();
+        // Include gnarly params to prove hex round-trip is lossless.
+        plan.steps.push(PlanStep {
+            name: "zscore(a)".into(),
+            op: "zscore".into(),
+            parents: vec!["a".into()],
+            params: vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1e300],
+        });
+        plan.outputs.push("zscore(a)".into());
+        let text = plan.to_text();
+        let back = FeaturePlan::from_text(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn column_order_independence() {
+        // apply() locates inputs by name, so a permuted dataset still works.
+        let plan = sample_plan();
+        let swapped = Dataset::from_columns(
+            vec!["b".into(), "a".into()],
+            vec![vec![4.0], vec![1.0]],
+            None,
+        )
+        .unwrap();
+        let out = plan.apply(&swapped).unwrap();
+        assert_eq!(out.column_by_name("mul(a,b)").unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let plan = sample_plan();
+        let bad = Dataset::from_columns(vec!["a".into()], vec![vec![1.0]], None).unwrap();
+        assert!(matches!(
+            plan.apply(&bad).unwrap_err(),
+            PlanError::MissingInput(name) if name == "b"
+        ));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let plan = FeaturePlan {
+            input_names: vec!["a".into()],
+            steps: vec![PlanStep {
+                name: "x".into(),
+                op: "log".into(),
+                parents: vec!["y".into()], // never defined
+                params: vec![],
+            }],
+            outputs: vec!["x".into()],
+        };
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::UnknownFeature(n) if n == "y"
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_rejected_at_compile() {
+        let plan = FeaturePlan {
+            input_names: vec!["a".into()],
+            steps: vec![PlanStep {
+                name: "x".into(),
+                op: "teleport".into(),
+                parents: vec!["a".into()],
+                params: vec![],
+            }],
+            outputs: vec!["x".into()],
+        };
+        assert!(matches!(
+            plan.compile(&OperatorRegistry::standard()).unwrap_err(),
+            PlanError::UnknownOperator(_)
+        ));
+    }
+
+    #[test]
+    fn bad_text_is_rejected_with_line_numbers() {
+        assert!(FeaturePlan::from_text("").is_err());
+        assert!(FeaturePlan::from_text("NOTAPLAN\t1\n").is_err());
+        let err = FeaturePlan::from_text("SAFEPLAN\t1\nBOGUS\tx\n").unwrap_err();
+        assert!(matches!(err, PlanError::Parse { line: 2, .. }));
+        // Truncated STEP.
+        assert!(FeaturePlan::from_text("SAFEPLAN\t1\nINPUT\ta\nSTEP\tx\tlog\t5\ta\n").is_err());
+    }
+
+    #[test]
+    fn reserved_characters_in_names_rejected() {
+        let plan = FeaturePlan {
+            input_names: vec!["bad\tname".into()],
+            steps: vec![],
+            outputs: vec![],
+        };
+        assert!(matches!(plan.validate().unwrap_err(), PlanError::BadName(_)));
+    }
+
+    #[test]
+    fn stateful_step_round_trips_through_text() {
+        // zscore with params must produce identical outputs after recode.
+        let plan = FeaturePlan {
+            input_names: vec!["a".into()],
+            steps: vec![PlanStep {
+                name: "zscore(a)".into(),
+                op: "zscore".into(),
+                parents: vec!["a".into()],
+                params: vec![10.0, 2.0],
+            }],
+            outputs: vec!["zscore(a)".into()],
+        };
+        let ds =
+            Dataset::from_columns(vec!["a".into()], vec![vec![8.0, 12.0]], None).unwrap();
+        let direct = plan.apply(&ds).unwrap();
+        let recoded = FeaturePlan::from_text(&plan.to_text()).unwrap().apply(&ds).unwrap();
+        assert_eq!(
+            direct.column(0).unwrap(),
+            recoded.column(0).unwrap()
+        );
+        assert_eq!(direct.column(0).unwrap(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn n_generated_outputs_counts_steps_only() {
+        assert_eq!(sample_plan().n_generated_outputs(), 2);
+    }
+}

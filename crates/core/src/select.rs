@@ -1,0 +1,209 @@
+//! The three-step feature selection pipeline (Section IV-C).
+
+use safe_data::dataset::Dataset;
+use safe_gbm::booster::Gbm;
+use safe_gbm::config::GbmConfig;
+use safe_gbm::importance::ImportanceKind;
+use safe_stats::iv::information_value;
+use safe_stats::pearson::pearson;
+
+/// Algorithm 3: compute the IV of every candidate column (β equal-frequency
+/// bins, in parallel) and keep those with `IV > α`. Returns the surviving
+/// `(column index, IV)` pairs in the original column order.
+pub fn iv_filter(train: &Dataset, alpha: f64, beta: usize) -> Vec<(usize, f64)> {
+    let labels = train.labels().expect("IV filter requires labels");
+    let ivs = safe_stats::parallel::par_map_indexed(train.n_cols(), |f| {
+        information_value(train.column(f).expect("in range"), labels, beta)
+            .unwrap_or(0.0)
+    });
+    ivs.into_iter()
+        .enumerate()
+        .filter(|&(_, iv)| iv > alpha)
+        .collect()
+}
+
+/// Algorithm 4: redundancy removal. Candidates are visited in descending-IV
+/// order; a candidate is kept unless it correlates above θ (absolute
+/// Pearson) with an already-kept feature.
+///
+/// (The paper's pseudo-code adds the higher-IV member of each offending pair
+/// to the output; taken literally that drops uncorrelated features entirely,
+/// so — like every scorecard implementation of this step — we implement the
+/// stated *intent*: "if the pearson correlation of the two features is
+/// greater than 0.8, the feature with the smaller IV of them will be
+/// removed".)
+///
+/// Returns surviving column indices in descending-IV order. Pair
+/// correlations are computed in parallel per kept-candidate row.
+pub fn redundancy_filter(
+    train: &Dataset,
+    survivors: &[(usize, f64)],
+    theta: f64,
+) -> Vec<usize> {
+    let mut order: Vec<(usize, f64)> = survivors.to_vec();
+    order.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut kept: Vec<usize> = Vec::new();
+    for &(candidate, _) in &order {
+        let col = train.column(candidate).expect("in range");
+        // Compare against all kept features in parallel; any hit disqualifies.
+        let hits = safe_stats::parallel::par_map_indexed(kept.len(), |i| {
+            let kept_col = train.column(kept[i]).expect("in range");
+            pearson(col, kept_col).abs() > theta
+        });
+        if !hits.iter().any(|&h| h) {
+            kept.push(candidate);
+        }
+    }
+    kept
+}
+
+/// Section IV-C3: rank the surviving candidates by average split gain of a
+/// booster trained on exactly those columns, and keep at most `cap`.
+/// Features the booster never split on rank after used ones, in IV order
+/// (`fallback_order`). Returns column indices **into `train`**.
+pub fn rank_and_cap(
+    train: &Dataset,
+    valid: Option<&Dataset>,
+    survivors: &[usize],
+    ranker: &GbmConfig,
+    cap: usize,
+) -> Result<Vec<usize>, String> {
+    if survivors.is_empty() {
+        return Ok(Vec::new());
+    }
+    if survivors.len() <= cap {
+        // Still rank for deterministic ordering, but nothing to cut.
+        // Fall through so the returned order is importance-based.
+    }
+    let sub_train = train
+        .select_columns(survivors)
+        .map_err(|e| e.to_string())?;
+    let sub_valid = match valid {
+        Some(v) => Some(v.select_columns(survivors).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let model = Gbm::new(ranker.clone()).fit(&sub_train, sub_valid.as_ref())?;
+    let importance = model.importance(ImportanceKind::AverageGain);
+    let mut order: Vec<usize> = (0..survivors.len()).collect();
+    order.sort_by(|&a, &b| {
+        importance.scores[b]
+            .partial_cmp(&importance.scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    Ok(order
+        .into_iter()
+        .take(cap)
+        .map(|i| survivors[i])
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Columns: strong signal, its near-copy, weak signal, pure noise.
+    fn fixture(n: usize) -> Dataset {
+        let labels: Vec<u8> = (0..n).map(|i| (i >= n / 2) as u8).collect();
+        let strong: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let copy: Vec<f64> = strong.iter().map(|v| v * 2.0 + 1.0).collect();
+        let weak: Vec<f64> = (0..n)
+            .map(|i| if i % 5 == 0 { (i >= n / 2) as u8 as f64 } else { (i % 2) as f64 })
+            .collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 7919) % 97) as f64).collect();
+        Dataset::from_columns(
+            vec!["strong".into(), "copy".into(), "weak".into(), "noise".into()],
+            vec![strong, copy, weak, noise],
+            Some(labels),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn iv_filter_drops_noise_keeps_signal() {
+        let ds = fixture(1000);
+        let kept = iv_filter(&ds, 0.1, 10);
+        let indices: Vec<usize> = kept.iter().map(|&(i, _)| i).collect();
+        assert!(indices.contains(&0), "strong signal survives");
+        assert!(indices.contains(&1), "the copy also has high IV");
+        assert!(!indices.contains(&3), "noise must be dropped");
+        for &(_, iv) in &kept {
+            assert!(iv > 0.1);
+        }
+    }
+
+    #[test]
+    fn iv_filter_respects_alpha() {
+        let ds = fixture(1000);
+        let loose = iv_filter(&ds, 0.0, 10);
+        let strict = iv_filter(&ds, 50.0, 10);
+        assert!(loose.len() >= iv_filter(&ds, 0.1, 10).len());
+        assert!(strict.is_empty(), "nothing clears an absurd threshold");
+    }
+
+    #[test]
+    fn redundancy_filter_keeps_one_of_each_pair() {
+        let ds = fixture(1000);
+        let survivors = iv_filter(&ds, 0.1, 10);
+        let kept = redundancy_filter(&ds, &survivors, 0.8);
+        // strong and copy are affinely related (ρ = 1): only one survives.
+        let both = kept.contains(&0) && kept.contains(&1);
+        assert!(!both, "perfectly correlated pair must lose a member: {kept:?}");
+        assert!(kept.contains(&0) || kept.contains(&1));
+    }
+
+    #[test]
+    fn redundancy_filter_no_false_drops() {
+        // Uncorrelated survivors all stay.
+        let n = 400;
+        let labels: Vec<u8> = (0..n).map(|i| (i >= n / 2) as u8).collect();
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31) % n) as f64).collect();
+        let ds = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![a, b],
+            Some(labels),
+        )
+        .unwrap();
+        let survivors = vec![(0, 2.0), (1, 1.0)];
+        let kept = redundancy_filter(&ds, &survivors, 0.8);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn redundancy_filter_prefers_higher_iv() {
+        let ds = fixture(1000);
+        // Force explicit IVs: column 1 higher than column 0.
+        let survivors = vec![(0, 0.5), (1, 0.9)];
+        let kept = redundancy_filter(&ds, &survivors, 0.8);
+        assert_eq!(kept, vec![1], "higher-IV member of the pair wins");
+    }
+
+    #[test]
+    fn rank_and_cap_puts_signal_first() {
+        let ds = fixture(1000);
+        let survivors = vec![0, 2, 3];
+        let ranked = rank_and_cap(&ds, None, &survivors, &GbmConfig::miner(), 2).unwrap();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0], 0, "strong signal ranks first: {ranked:?}");
+    }
+
+    #[test]
+    fn rank_and_cap_handles_empty() {
+        let ds = fixture(100);
+        let ranked = rank_and_cap(&ds, None, &[], &GbmConfig::miner(), 5).unwrap();
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn rank_and_cap_caps() {
+        let ds = fixture(500);
+        let survivors = vec![0, 1, 2, 3];
+        let ranked = rank_and_cap(&ds, None, &survivors, &GbmConfig::miner(), 3).unwrap();
+        assert_eq!(ranked.len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! SAFE end-to-end with the *full* operator registry (unary + binary +
+//! ternary, stateful and supervised operators included) — exercises the
+//! paths the paper-default arithmetic configuration never touches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use safe_core::{Safe, SafeConfig};
+use safe_data::dataset::Dataset;
+use safe_ops::registry::OperatorRegistry;
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols = vec![Vec::with_capacity(n); 6];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f64 = rng.gen_range(0.1..4.0); // positive: log/sqrt friendly
+        let b: f64 = rng.gen_range(0.1..4.0);
+        let c: f64 = rng.gen_range(-1.0..1.0);
+        let flag: f64 = f64::from(rng.gen_bool(0.5));
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(c);
+        cols[3].push(flag);
+        cols[4].push(rng.gen_range(-1.0..1.0));
+        cols[5].push(rng.gen_range(-1.0..1.0));
+        let score = (a / b).ln() + 0.5 * c + 0.8 * flag + rng.gen_range(-0.2..0.2);
+        labels.push((score > 0.4) as u8);
+    }
+    Dataset::from_columns(
+        vec!["amt".into(), "bal".into(), "c".into(), "flag".into(), "n1".into(), "n2".into()],
+        cols,
+        Some(labels),
+    )
+    .unwrap()
+}
+
+#[test]
+fn safe_runs_with_the_standard_registry() {
+    let train = dataset(1_500, 1);
+    let config = SafeConfig {
+        operators: OperatorRegistry::standard(),
+        gamma: 12,
+        seed: 1,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config).fit(&train, None).unwrap();
+    assert!(!outcome.plan.outputs.is_empty());
+    // The plan must apply and serialize despite stateful steps.
+    let applied = outcome.plan.apply(&train).unwrap();
+    assert_eq!(applied.n_rows(), train.n_rows());
+    let text = outcome.plan.to_text();
+    let back = safe_core::plan::FeaturePlan::from_text(&text).unwrap();
+    // Plans may legitimately carry NaN params (e.g. an empty group's
+    // aggregate), and NaN != NaN breaks PartialEq — compare the bit-exact
+    // codec output instead.
+    assert_eq!(back.to_text(), text);
+}
+
+#[test]
+fn stateful_steps_carry_parameters() {
+    let train = dataset(1_200, 2);
+    let config = SafeConfig {
+        operators: OperatorRegistry::standard(),
+        gamma: 15,
+        seed: 2,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config).fit(&train, None).unwrap();
+    // If any stateful operator made it into the plan, its params must be
+    // non-empty and must round-trip through text.
+    let stateful = [
+        "minmax", "zscore", "disc_width", "disc_freq", "disc_chimerge",
+        "group_then_max", "group_then_min", "group_then_avg",
+        "group_then_stdev", "group_then_count", "ridge_pred", "ridge_res",
+    ];
+    for step in &outcome.plan.steps {
+        if stateful.contains(&step.op.as_str()) {
+            assert!(
+                !step.params.is_empty(),
+                "{} should carry fitted parameters",
+                step.op
+            );
+        }
+    }
+    let back = safe_core::plan::FeaturePlan::from_text(&outcome.plan.to_text()).unwrap();
+    for (a, b) in outcome.plan.steps.iter().zip(&back.steps) {
+        assert_eq!(a.params.len(), b.params.len());
+        for (x, y) in a.params.iter().zip(&b.params) {
+            assert_eq!(x.to_bits(), y.to_bits(), "lossless param round trip");
+        }
+    }
+}
+
+#[test]
+fn plan_replay_on_unseen_data_is_consistent_rowwise() {
+    let train = dataset(1_000, 3);
+    let unseen = dataset(300, 4);
+    let config = SafeConfig {
+        operators: OperatorRegistry::standard(),
+        gamma: 10,
+        seed: 3,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config).fit(&train, None).unwrap();
+    let compiled = outcome
+        .plan
+        .compile(&OperatorRegistry::standard())
+        .unwrap();
+    let batch = compiled.apply(&unseen).unwrap();
+    for i in 0..unseen.n_rows() {
+        let row = compiled.apply_row(&unseen.row(i)).unwrap();
+        for (c, &v) in row.iter().enumerate() {
+            let b = batch.column(c).unwrap()[i];
+            assert!(
+                v == b || (v.is_nan() && b.is_nan()),
+                "row {i} col {c}: {v} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unary_only_registry_generates_unary_features() {
+    let train = dataset(800, 5);
+    let mut unary = OperatorRegistry::empty();
+    // Borrow a few unary operators from the standard set.
+    let std_reg = OperatorRegistry::standard();
+    for name in ["log", "square", "zscore"] {
+        unary.register(std_reg.get(name).unwrap().clone());
+    }
+    let config = SafeConfig {
+        operators: unary,
+        gamma: 10,
+        seed: 5,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config).fit(&train, None).unwrap();
+    for step in &outcome.plan.steps {
+        assert_eq!(step.parents.len(), 1, "only unary steps possible");
+    }
+}
+
+#[test]
+fn iteration_reports_expose_elapsed_time() {
+    let train = dataset(600, 6);
+    let outcome = Safe::new(SafeConfig { seed: 6, ..SafeConfig::paper() })
+        .fit(&train, None)
+        .unwrap();
+    for r in &outcome.history {
+        assert!(r.elapsed.as_nanos() > 0);
+    }
+}

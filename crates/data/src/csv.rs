@@ -1,0 +1,328 @@
+//! Minimal CSV reader/writer for labeled numeric tables.
+//!
+//! Industrial SAFE ingests data from a feature store; this reproduction reads
+//! plain CSV: a header row of feature names, numeric cells, an optional label
+//! column (named `label` by convention), and empty cells / `NA` / `nan`
+//! parsed as missing (`f64::NAN`). RFC-4180-style double-quoting is
+//! supported for header cells — engineered feature names like `mul(x0,x1)`
+//! contain commas, so the writer quotes them and the reader unquotes.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::{Dataset, FeatureMeta};
+use crate::error::DataError;
+
+/// Split one CSV line with RFC-4180 double-quote handling: `"a,b"` is one
+/// cell `a,b`, doubled quotes inside a quoted cell unescape to one quote.
+fn split_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    cells.push(current);
+    cells
+}
+
+/// Quote a header cell when it contains a comma or quote.
+fn quote_cell(name: &str) -> String {
+    if name.contains(',') || name.contains('"') {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_string()
+    }
+}
+
+/// Parse one cell: empty, `NA`, `NaN` (any case) → NaN; otherwise f64.
+fn parse_cell(token: &str, line: usize) -> Result<f64, DataError> {
+    let t = token.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
+        return Ok(f64::NAN);
+    }
+    t.parse::<f64>().map_err(|_| DataError::Csv {
+        line,
+        message: format!("cannot parse '{t}' as a number"),
+    })
+}
+
+/// Read a dataset from CSV text. If `label_column` is `Some(name)` that
+/// column is pulled out as binary labels (cells must be 0 or 1).
+pub fn read_csv_str(content: &str, label_column: Option<&str>) -> Result<Dataset, DataError> {
+    let mut lines = content.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let names: Vec<String> = split_line(header)
+        .into_iter()
+        .map(|s| s.trim().to_string())
+        .collect();
+    let label_idx = match label_column {
+        Some(name) => Some(
+            names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| DataError::UnknownFeature(name.to_string()))?,
+        ),
+        None => None,
+    };
+
+    let n_features = names.len() - usize::from(label_idx.is_some());
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_features];
+    let mut labels: Vec<u8> = Vec::new();
+
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<String> = split_line(line);
+        if cells.len() != names.len() {
+            return Err(DataError::Csv {
+                line: line_no,
+                message: format!("expected {} cells, found {}", names.len(), cells.len()),
+            });
+        }
+        let mut c = 0;
+        for (j, cell) in cells.iter().map(|c| c.as_str()).enumerate() {
+            if Some(j) == label_idx {
+                let v = parse_cell(cell, line_no)?;
+                if v != 0.0 && v != 1.0 {
+                    return Err(DataError::InvalidLabel {
+                        row: labels.len(),
+                        value: v,
+                    });
+                }
+                labels.push(v as u8);
+            } else {
+                columns[c].push(parse_cell(cell, line_no)?);
+                c += 1;
+            }
+        }
+    }
+
+    let feature_names: Vec<String> = names
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| Some(*j) != label_idx)
+        .map(|(_, n)| n.clone())
+        .collect();
+    let n_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+    let mut ds = Dataset::with_rows(n_rows);
+    for (name, col) in feature_names.into_iter().zip(columns) {
+        ds.push_column(FeatureMeta::original(name), col)?;
+    }
+    if label_idx.is_some() {
+        ds.set_labels(labels)?;
+    }
+    Ok(ds)
+}
+
+/// Read a dataset from a CSV file on disk.
+pub fn read_csv(path: impl AsRef<Path>, label_column: Option<&str>) -> Result<Dataset, DataError> {
+    let mut file = File::open(path)?;
+    let mut content = String::new();
+    file.read_to_string(&mut content)?;
+    read_csv_str(&content, label_column)
+}
+
+/// Serialize a dataset to CSV text. Labels, when present, are written as a
+/// trailing `label` column. NaN is written as an empty cell.
+pub fn write_csv_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = ds
+        .feature_names()
+        .iter()
+        .map(|n| quote_cell(n))
+        .collect();
+    out.push_str(&names.join(","));
+    if ds.labels().is_some() {
+        out.push_str(",label");
+    }
+    out.push('\n');
+    for i in 0..ds.n_rows() {
+        let row = ds.row(i);
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.is_finite() {
+                    // Shortest round-trippable representation.
+                    format!("{v}")
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        if let Some(labels) = ds.labels() {
+            out.push(',');
+            out.push_str(if labels[i] == 1 { "1" } else { "0" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(write_csv_string(ds).as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labeled_csv() {
+        let text = "a,b,label\n1.0,2.5,0\n3,4,1\n";
+        let ds = read_csv_str(text, Some("label")).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.feature_names(), vec!["a", "b"]);
+        assert_eq!(ds.column(0).unwrap(), &[1.0, 3.0]);
+        assert_eq!(ds.labels().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn label_column_can_be_interior() {
+        let text = "a,label,b\n1,1,2\n3,0,4\n";
+        let ds = read_csv_str(text, Some("label")).unwrap();
+        assert_eq!(ds.feature_names(), vec!["a", "b"]);
+        assert_eq!(ds.column(1).unwrap(), &[2.0, 4.0]);
+        assert_eq!(ds.labels().unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn missing_values_parse_as_nan() {
+        let text = "a,b\n1,\nNA,2\nnan,3\n";
+        let ds = read_csv_str(text, None).unwrap();
+        assert!(ds.column(1).unwrap()[0].is_nan());
+        assert!(ds.column(0).unwrap()[1].is_nan());
+        assert!(ds.column(0).unwrap()[2].is_nan());
+        assert!(ds.labels().is_none());
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let text = "a\n1\nbogus\n";
+        let err = read_csv_str(text, None).unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let text = "a,b\n1,2\n3\n";
+        assert!(matches!(
+            read_csv_str(text, None).unwrap_err(),
+            DataError::Csv { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn non_binary_label_rejected() {
+        let text = "a,label\n1,2\n";
+        assert!(matches!(
+            read_csv_str(text, Some("label")).unwrap_err(),
+            DataError::InvalidLabel { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_label_column_rejected() {
+        let text = "a,b\n1,2\n";
+        assert!(matches!(
+            read_csv_str(text, Some("y")).unwrap_err(),
+            DataError::UnknownFeature(_)
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let text = "a,b,label\n1,2,0\n,4,1\n";
+        let ds = read_csv_str(text, Some("label")).unwrap();
+        let written = write_csv_string(&ds);
+        let back = read_csv_str(&written, Some("label")).unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.labels(), ds.labels());
+        assert_eq!(back.column(1).unwrap(), ds.column(1).unwrap());
+        assert!(back.column(0).unwrap()[1].is_nan());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("safe_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let ds = read_csv_str("a,label\n1,0\n2,1\n", Some("label")).unwrap();
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path, Some("label")).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(read_csv_str("", None).is_err());
+    }
+}
+
+#[cfg(test)]
+mod quoting_tests {
+    use super::*;
+    use crate::dataset::{Dataset, FeatureMeta};
+
+    #[test]
+    fn split_line_handles_quoted_commas() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line(r#""mul(x0,x1)",b"#), vec!["mul(x0,x1)", "b"]);
+        assert_eq!(split_line(r#""say ""hi""",2"#), vec![r#"say "hi""#, "2"]);
+        assert_eq!(split_line(""), vec![""]);
+    }
+
+    #[test]
+    fn quote_cell_round_trips() {
+        for name in ["plain", "mul(x0,x1)", "we\"ird"] {
+            let quoted = quote_cell(name);
+            assert_eq!(split_line(&quoted), vec![name.to_string()]);
+        }
+    }
+
+    #[test]
+    fn engineered_names_survive_csv_round_trip() {
+        let mut ds = Dataset::with_rows(2);
+        ds.push_column(FeatureMeta::original("x0"), vec![1.0, 2.0]).unwrap();
+        ds.push_column(
+            FeatureMeta::generated("mul(x0,x1)", "mul", vec!["x0".into(), "x1".into()]),
+            vec![3.0, 4.0],
+        )
+        .unwrap();
+        ds.set_labels(vec![0, 1]).unwrap();
+        let text = write_csv_string(&ds);
+        let back = read_csv_str(&text, Some("label")).unwrap();
+        assert_eq!(back.feature_names(), vec!["x0", "mul(x0,x1)"]);
+        assert_eq!(back.column(1).unwrap(), &[3.0, 4.0]);
+    }
+}

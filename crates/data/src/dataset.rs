@@ -1,0 +1,437 @@
+//! Column-major dataset with binary labels and feature provenance.
+
+use crate::error::DataError;
+
+/// Where a feature came from. SAFE needs provenance to (a) report which
+/// features in the final set were generated vs. original (Fig. 3 of the
+/// paper) and (b) replay generation at inference time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureOrigin {
+    /// Present in the raw input data.
+    Original,
+    /// Produced by applying operator `op` to the named parent features.
+    Generated {
+        /// Operator name as registered in `safe-ops`.
+        op: String,
+        /// Names of the parent features, in operator-argument order.
+        parents: Vec<String>,
+    },
+}
+
+impl FeatureOrigin {
+    /// True if the feature was created by feature engineering.
+    pub fn is_generated(&self) -> bool {
+        matches!(self, FeatureOrigin::Generated { .. })
+    }
+}
+
+/// Metadata carried alongside each feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMeta {
+    /// Unique feature name, e.g. `"x3"` or `"mul(x3,x7)"`.
+    pub name: String,
+    /// Provenance of the feature.
+    pub origin: FeatureOrigin,
+}
+
+impl FeatureMeta {
+    /// Metadata for an original (raw) feature.
+    pub fn original(name: impl Into<String>) -> Self {
+        FeatureMeta {
+            name: name.into(),
+            origin: FeatureOrigin::Original,
+        }
+    }
+
+    /// Metadata for a generated feature.
+    pub fn generated(name: impl Into<String>, op: impl Into<String>, parents: Vec<String>) -> Self {
+        FeatureMeta {
+            name: name.into(),
+            origin: FeatureOrigin::Generated {
+                op: op.into(),
+                parents,
+            },
+        }
+    }
+}
+
+/// Column-major numeric dataset with optional binary labels.
+///
+/// Features are `f64` columns; `NaN` encodes a missing value. Labels are
+/// `u8 ∈ {0, 1}` (the paper's tasks are binary classification: fraud vs.
+/// legitimate, OpenML binary benchmarks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    n_rows: usize,
+    columns: Vec<Vec<f64>>,
+    meta: Vec<FeatureMeta>,
+    labels: Option<Vec<u8>>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with a fixed row count and no columns yet.
+    pub fn with_rows(n_rows: usize) -> Self {
+        Dataset {
+            n_rows,
+            columns: Vec::new(),
+            meta: Vec::new(),
+            labels: None,
+        }
+    }
+
+    /// Build a dataset from column vectors and names. All columns must share
+    /// the same length and names must be unique.
+    pub fn from_columns(
+        names: Vec<String>,
+        columns: Vec<Vec<f64>>,
+        labels: Option<Vec<u8>>,
+    ) -> Result<Self, DataError> {
+        if names.len() != columns.len() {
+            return Err(DataError::ColumnLengthMismatch {
+                name: "<names>".into(),
+                expected: columns.len(),
+                actual: names.len(),
+            });
+        }
+        let n_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        let mut ds = Dataset::with_rows(n_rows);
+        for (name, col) in names.into_iter().zip(columns) {
+            ds.push_column(FeatureMeta::original(name), col)?;
+        }
+        if let Some(labels) = labels {
+            ds.set_labels(labels)?;
+        }
+        Ok(ds)
+    }
+
+    /// Build from row-major data (convenience for tests and CSV ingestion).
+    pub fn from_rows(
+        names: Vec<String>,
+        rows: &[Vec<f64>],
+        labels: Option<Vec<u8>>,
+    ) -> Result<Self, DataError> {
+        let n_cols = names.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_cols];
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(DataError::Csv {
+                    line: i + 1,
+                    message: format!("row has {} fields, expected {n_cols}", row.len()),
+                });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Dataset::from_columns(names, columns, labels)
+    }
+
+    /// Number of rows (records).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the dataset has no rows or no columns.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0 || self.columns.is_empty()
+    }
+
+    /// Append a feature column.
+    pub fn push_column(&mut self, meta: FeatureMeta, values: Vec<f64>) -> Result<(), DataError> {
+        if values.len() != self.n_rows {
+            return Err(DataError::ColumnLengthMismatch {
+                name: meta.name,
+                expected: self.n_rows,
+                actual: values.len(),
+            });
+        }
+        if self.meta.iter().any(|m| m.name == meta.name) {
+            return Err(DataError::DuplicateFeature(meta.name));
+        }
+        self.meta.push(meta);
+        self.columns.push(values);
+        Ok(())
+    }
+
+    /// Attach binary labels.
+    pub fn set_labels(&mut self, labels: Vec<u8>) -> Result<(), DataError> {
+        if labels.len() != self.n_rows {
+            return Err(DataError::LabelLengthMismatch {
+                expected: self.n_rows,
+                actual: labels.len(),
+            });
+        }
+        if let Some((row, &value)) = labels.iter().enumerate().find(|(_, &v)| v > 1) {
+            return Err(DataError::InvalidLabel {
+                row,
+                value: value as f64,
+            });
+        }
+        self.labels = Some(labels);
+        Ok(())
+    }
+
+    /// Binary labels, if attached.
+    pub fn labels(&self) -> Option<&[u8]> {
+        self.labels.as_deref()
+    }
+
+    /// Labels or an error for pipelines that require supervision.
+    pub fn require_labels(&self) -> Result<&[u8], DataError> {
+        self.labels().ok_or(DataError::EmptyDataset)
+    }
+
+    /// Feature column by index.
+    pub fn column(&self, index: usize) -> Result<&[f64], DataError> {
+        self.columns
+            .get(index)
+            .map(|c| c.as_slice())
+            .ok_or(DataError::ColumnOutOfRange {
+                index,
+                len: self.columns.len(),
+            })
+    }
+
+    /// Feature column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[f64], DataError> {
+        let idx = self.feature_index(name)?;
+        self.column(idx)
+    }
+
+    /// Index of the named feature.
+    pub fn feature_index(&self, name: &str) -> Result<usize, DataError> {
+        self.meta
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| DataError::UnknownFeature(name.to_string()))
+    }
+
+    /// All column slices, in order.
+    pub fn columns(&self) -> impl Iterator<Item = &[f64]> {
+        self.columns.iter().map(|c| c.as_slice())
+    }
+
+    /// Metadata for every feature, in column order.
+    pub fn meta(&self) -> &[FeatureMeta] {
+        &self.meta
+    }
+
+    /// Metadata for one column.
+    pub fn meta_at(&self, index: usize) -> Result<&FeatureMeta, DataError> {
+        self.meta.get(index).ok_or(DataError::ColumnOutOfRange {
+            index,
+            len: self.meta.len(),
+        })
+    }
+
+    /// Feature names, in column order.
+    pub fn feature_names(&self) -> Vec<&str> {
+        self.meta.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Materialize one record as a dense row vector (used by row-oriented
+    /// learners like kNN and by real-time inference).
+    pub fn row(&self, index: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[index]).collect()
+    }
+
+    /// Copy out a row-major matrix. Row-oriented models (kNN, MLP batching)
+    /// convert once up front instead of striding the columnar store.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n_rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Dataset restricted to the given column indices (provenance preserved).
+    pub fn select_columns(&self, indices: &[usize]) -> Result<Dataset, DataError> {
+        let mut out = Dataset::with_rows(self.n_rows);
+        for &i in indices {
+            let col = self.column(i)?.to_vec();
+            out.push_column(self.meta_at(i)?.clone(), col)?;
+        }
+        out.labels = self.labels.clone();
+        Ok(out)
+    }
+
+    /// Dataset restricted to the given row indices.
+    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
+        let columns: Vec<Vec<f64>> = self
+            .columns
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i]).collect())
+            .collect();
+        let labels = self
+            .labels
+            .as_ref()
+            .map(|l| indices.iter().map(|&i| l[i]).collect());
+        Dataset {
+            n_rows: indices.len(),
+            columns,
+            meta: self.meta.clone(),
+            labels,
+        }
+    }
+
+    /// Horizontally concatenate another dataset's columns onto this one.
+    /// Duplicate feature names in `other` are skipped (idempotent union, used
+    /// when forming the candidate set X̂ = X ∪ X̃ in Algorithm 1).
+    pub fn hstack(&mut self, other: &Dataset) -> Result<usize, DataError> {
+        if other.n_rows != self.n_rows {
+            return Err(DataError::ColumnLengthMismatch {
+                name: "<hstack>".into(),
+                expected: self.n_rows,
+                actual: other.n_rows,
+            });
+        }
+        let mut added = 0;
+        for (meta, col) in other.meta.iter().zip(&other.columns) {
+            if self.meta.iter().any(|m| m.name == meta.name) {
+                continue;
+            }
+            self.push_column(meta.clone(), col.clone())?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Count of generated (non-original) features.
+    pub fn n_generated(&self) -> usize {
+        self.meta.iter().filter(|m| m.origin.is_generated()).count()
+    }
+
+    /// Fraction of positive labels; `None` when unlabeled or empty.
+    pub fn positive_rate(&self) -> Option<f64> {
+        let labels = self.labels.as_ref()?;
+        if labels.is_empty() {
+            return None;
+        }
+        let pos = labels.iter().filter(|&&l| l == 1).count();
+        Some(pos as f64 / labels.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            Some(vec![0, 1, 1]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let ds = small();
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.n_cols(), 2);
+        assert_eq!(ds.column(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.column_by_name("b").unwrap(), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.labels().unwrap(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_mismatched_column() {
+        let mut ds = small();
+        let err = ds
+            .push_column(FeatureMeta::original("c"), vec![1.0])
+            .unwrap_err();
+        assert!(matches!(err, DataError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_name() {
+        let mut ds = small();
+        let err = ds
+            .push_column(FeatureMeta::original("a"), vec![0.0; 3])
+            .unwrap_err();
+        assert_eq!(err, DataError::DuplicateFeature("a".into()));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let mut ds = small();
+        assert!(matches!(
+            ds.set_labels(vec![0, 1]).unwrap_err(),
+            DataError::LabelLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            ds.set_labels(vec![0, 1, 2]).unwrap_err(),
+            DataError::InvalidLabel { row: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn row_access_matches_columns() {
+        let ds = small();
+        assert_eq!(ds.row(1), vec![2.0, 5.0]);
+        assert_eq!(ds.to_rows(), vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]]);
+    }
+
+    #[test]
+    fn select_columns_preserves_meta_and_labels() {
+        let ds = small();
+        let sub = ds.select_columns(&[1]).unwrap();
+        assert_eq!(sub.n_cols(), 1);
+        assert_eq!(sub.feature_names(), vec!["b"]);
+        assert_eq!(sub.labels().unwrap(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn select_rows_subsets_everything() {
+        let ds = small();
+        let sub = ds.select_rows(&[2, 0]);
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.column(0).unwrap(), &[3.0, 1.0]);
+        assert_eq!(sub.labels().unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn hstack_skips_duplicates() {
+        let mut ds = small();
+        let mut other = Dataset::with_rows(3);
+        other
+            .push_column(FeatureMeta::original("a"), vec![9.0; 3])
+            .unwrap();
+        other
+            .push_column(
+                FeatureMeta::generated("a+b", "add", vec!["a".into(), "b".into()]),
+                vec![5.0, 7.0, 9.0],
+            )
+            .unwrap();
+        let added = ds.hstack(&other).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.column_by_name("a").unwrap(), &[1.0, 2.0, 3.0]); // untouched
+        assert_eq!(ds.n_generated(), 1);
+    }
+
+    #[test]
+    fn positive_rate() {
+        let ds = small();
+        assert!((ds.positive_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        let unlabeled = Dataset::with_rows(5);
+        assert_eq!(unlabeled.positive_rate(), None);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let ds = Dataset::from_rows(vec!["x".into(), "y".into()], &rows, None).unwrap();
+        assert_eq!(ds.to_rows(), rows);
+    }
+
+    #[test]
+    fn generated_origin_flags() {
+        let m = FeatureMeta::generated("div(a,b)", "div", vec!["a".into(), "b".into()]);
+        assert!(m.origin.is_generated());
+        assert!(!FeatureMeta::original("a").origin.is_generated());
+    }
+}

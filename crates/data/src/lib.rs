@@ -1,0 +1,30 @@
+//! # safe-data — columnar dataset substrate for the SAFE reproduction
+//!
+//! Every stage of the SAFE pipeline (feature generation, information-value
+//! filtering, redundancy removal, model training) operates column-wise, so the
+//! central [`Dataset`] type stores features **column-major**: one contiguous
+//! `Vec<f64>` per feature. Labels are binary (`0`/`1`) as in the paper's
+//! fraud-detection and benchmark tasks.
+//!
+//! The crate also provides:
+//! - deterministic shuffling and train/valid/test [`split`]ting (plain and
+//!   stratified),
+//! - a small dependency-free [`csv`] reader/writer,
+//! - equal-frequency / equal-width [`binning`] used by the Information Value
+//!   computation (Algorithm 3 of the paper) and by discretization operators.
+//!
+//! Missing values are represented as `f64::NAN` and handled explicitly by the
+//! binning and statistics layers.
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod split;
+
+pub use binning::{BinAssignments, BinEdges, BinStrategy};
+pub use dataset::{Dataset, FeatureMeta, FeatureOrigin};
+pub use error::DataError;
+pub use split::{train_test_split, train_valid_test_split, DatasetSplit};

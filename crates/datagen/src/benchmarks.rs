@@ -1,0 +1,176 @@
+//! The 12 benchmark datasets of Table IV, as seeded synthetic stand-ins
+//! with identical shapes.
+
+use safe_data::split::{train_valid_test_split, DatasetSplit};
+
+use crate::synth::{generate, SyntheticConfig};
+use crate::DatasetSpec;
+
+/// The 12 benchmark datasets, in Table IV order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// valley — 900/–/312, 100 dims.
+    Valley,
+    /// banknote — 1,000/–/372, 4 dims.
+    Banknote,
+    /// gina — 2,800/–/668, 970 dims.
+    Gina,
+    /// spambase — 3,800/–/801, 57 dims.
+    Spambase,
+    /// phoneme — 4,500/–/904, 5 dims.
+    Phoneme,
+    /// wind — 5,000/–/1,574, 14 dims.
+    Wind,
+    /// ailerons — 9,000/2,000/2,750, 40 dims.
+    Ailerons,
+    /// eeg-eye — 10,000/2,000/2,980, 14 dims.
+    EegEye,
+    /// magic — 13,000/3,000/3,020, 10 dims.
+    Magic,
+    /// nomao — 22,000/6,000/6,000, 118 dims.
+    Nomao,
+    /// bank — 35,211/4,000/6,000, 51 dims.
+    Bank,
+    /// vehicle — 60,000/18,528/20,000, 100 dims.
+    Vehicle,
+}
+
+impl BenchmarkId {
+    /// All benchmarks, in Table IV order.
+    pub const ALL: [BenchmarkId; 12] = [
+        BenchmarkId::Valley,
+        BenchmarkId::Banknote,
+        BenchmarkId::Gina,
+        BenchmarkId::Spambase,
+        BenchmarkId::Phoneme,
+        BenchmarkId::Wind,
+        BenchmarkId::Ailerons,
+        BenchmarkId::EegEye,
+        BenchmarkId::Magic,
+        BenchmarkId::Nomao,
+        BenchmarkId::Bank,
+        BenchmarkId::Vehicle,
+    ];
+
+    /// Shape spec exactly as printed in Table IV.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            BenchmarkId::Valley => DatasetSpec { name: "valley", n_train: 900, n_valid: 0, n_test: 312, dim: 100 },
+            BenchmarkId::Banknote => DatasetSpec { name: "banknote", n_train: 1_000, n_valid: 0, n_test: 372, dim: 4 },
+            BenchmarkId::Gina => DatasetSpec { name: "gina", n_train: 2_800, n_valid: 0, n_test: 668, dim: 970 },
+            BenchmarkId::Spambase => DatasetSpec { name: "spambase", n_train: 3_800, n_valid: 0, n_test: 801, dim: 57 },
+            BenchmarkId::Phoneme => DatasetSpec { name: "phoneme", n_train: 4_500, n_valid: 0, n_test: 904, dim: 5 },
+            BenchmarkId::Wind => DatasetSpec { name: "wind", n_train: 5_000, n_valid: 0, n_test: 1_574, dim: 14 },
+            BenchmarkId::Ailerons => DatasetSpec { name: "ailerons", n_train: 9_000, n_valid: 2_000, n_test: 2_750, dim: 40 },
+            BenchmarkId::EegEye => DatasetSpec { name: "eeg-eye", n_train: 10_000, n_valid: 2_000, n_test: 2_980, dim: 14 },
+            BenchmarkId::Magic => DatasetSpec { name: "magic", n_train: 13_000, n_valid: 3_000, n_test: 3_020, dim: 10 },
+            BenchmarkId::Nomao => DatasetSpec { name: "nomao", n_train: 22_000, n_valid: 6_000, n_test: 6_000, dim: 118 },
+            BenchmarkId::Bank => DatasetSpec { name: "bank", n_train: 35_211, n_valid: 4_000, n_test: 6_000, dim: 51 },
+            BenchmarkId::Vehicle => DatasetSpec { name: "vehicle", n_train: 60_000, n_valid: 18_528, n_test: 20_000, dim: 100 },
+        }
+    }
+
+    /// Stable per-dataset generator personality (interaction mix, noise).
+    fn generator_config(self, spec: &DatasetSpec, seed: u64) -> SyntheticConfig {
+        let idx = BenchmarkId::ALL.iter().position(|&b| b == self).unwrap() as u64;
+        let n_signal = (spec.dim / 8).clamp(3, 12).min(spec.dim);
+        let n_redundant = (spec.dim / 20).min(spec.dim.saturating_sub(n_signal));
+        SyntheticConfig {
+            n_rows: spec.total_rows(),
+            dim: spec.dim,
+            n_signal,
+            n_interactions: (n_signal / 2 + 1 + (idx as usize % 3)).max(2),
+            marginal_weight: 0.2 + 0.05 * (idx % 4) as f64,
+            noise: 0.25 + 0.1 * (idx % 3) as f64,
+            n_redundant,
+            missing_rate: if idx % 4 == 2 { 0.02 } else { 0.0 },
+            positive_rate: 0.5 - 0.05 * (idx % 5) as f64,
+            seed: seed ^ (0xB5E5_u64 << 16) ^ idx,
+        }
+    }
+
+    /// Generate the dataset at an arbitrary shape (used by `scaled` runs).
+    pub fn generate_with_spec(self, spec: &DatasetSpec, seed: u64) -> DatasetSplit {
+        let config = self.generator_config(spec, seed);
+        let full = generate(&config);
+        train_valid_test_split(&full, spec.n_train, spec.n_valid, spec.n_test, seed)
+            .expect("spec sizes sum to total rows")
+    }
+}
+
+/// Generate the benchmark at full Table IV size.
+pub fn generate_benchmark(id: BenchmarkId, seed: u64) -> DatasetSplit {
+    id.generate_with_spec(&id.spec(), seed)
+}
+
+/// Generate a fraction-scaled version (faster harness runs; shape ratios and
+/// dimensionality preserved).
+pub fn generate_benchmark_scaled(id: BenchmarkId, fraction: f64, seed: u64) -> DatasetSplit {
+    let spec = id.spec().scaled(fraction);
+    id.generate_with_spec(&spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table4() {
+        assert_eq!(BenchmarkId::Valley.spec().n_train, 900);
+        assert_eq!(BenchmarkId::Gina.spec().dim, 970);
+        assert_eq!(BenchmarkId::Vehicle.spec().total_rows(), 98_528);
+        assert_eq!(BenchmarkId::Bank.spec().n_valid, 4_000);
+        let small: Vec<&str> = BenchmarkId::ALL[..6].iter().map(|b| b.spec().name).collect();
+        assert_eq!(small, vec!["valley", "banknote", "gina", "spambase", "phoneme", "wind"]);
+        // Paper convention: datasets under 10k samples have no validation split.
+        for id in BenchmarkId::ALL {
+            let s = id.spec();
+            if s.n_train < 9_000 {
+                assert_eq!(s.n_valid, 0, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_split_matches_spec() {
+        let split = generate_benchmark(BenchmarkId::Banknote, 1);
+        let spec = BenchmarkId::Banknote.spec();
+        assert_eq!(split.train.n_rows(), spec.n_train);
+        assert!(split.valid.is_none());
+        assert_eq!(split.test.n_rows(), spec.n_test);
+        assert_eq!(split.train.n_cols(), spec.dim);
+    }
+
+    #[test]
+    fn validation_split_present_for_large_sets() {
+        let split = generate_benchmark_scaled(BenchmarkId::Magic, 0.05, 1);
+        assert!(split.valid.is_some());
+        assert_eq!(split.train.n_cols(), 10);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = generate_benchmark_scaled(BenchmarkId::Phoneme, 0.1, 3);
+        let b = generate_benchmark_scaled(BenchmarkId::Phoneme, 0.1, 3);
+        let c = generate_benchmark_scaled(BenchmarkId::Phoneme, 0.1, 4);
+        assert_eq!(a.train, b.train);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn datasets_have_both_classes() {
+        for id in [BenchmarkId::Banknote, BenchmarkId::Wind, BenchmarkId::Magic] {
+            let split = generate_benchmark_scaled(id, 0.1, 5);
+            let rate = split.train.positive_rate().unwrap();
+            assert!(rate > 0.1 && rate < 0.9, "{}: rate {rate}", id.spec().name);
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_dim_and_floors() {
+        let spec = BenchmarkId::Valley.spec().scaled(0.01);
+        assert_eq!(spec.dim, 100);
+        assert!(spec.n_train >= 50);
+        assert!(spec.n_test >= 20);
+    }
+}

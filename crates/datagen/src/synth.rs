@@ -1,0 +1,319 @@
+//! The core synthetic generator: interaction-planted binary classification.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use safe_data::dataset::Dataset;
+
+/// How one planted interaction combines its two parent features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionKind {
+    /// `x_i · x_j` — the signature multiplicative interaction.
+    Product,
+    /// `x_i / (|x_j| + 0.5)` — ratio-style signal (fraud amount / balance).
+    Ratio,
+    /// `x_i − x_j` — difference signal.
+    Difference,
+    /// `(x_i > 0) ⊕ (x_j > 0)` — hard XOR region, invisible to marginals.
+    Xor,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Total rows.
+    pub n_rows: usize,
+    /// Total feature columns.
+    pub dim: usize,
+    /// Number of informative base features (≤ dim).
+    pub n_signal: usize,
+    /// Number of planted pairwise interactions among the signal features.
+    pub n_interactions: usize,
+    /// Weight of weak marginal (single-feature linear) effects.
+    pub marginal_weight: f64,
+    /// Standard deviation of label noise added to the score.
+    pub noise: f64,
+    /// Number of redundant near-copies of signal features (exercises
+    /// Algorithm 4).
+    pub n_redundant: usize,
+    /// Fraction of cells set to NaN in every 7th column.
+    pub missing_rate: f64,
+    /// Target positive rate (label = score above the (1−rate) quantile).
+    pub positive_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_rows: 1000,
+            dim: 10,
+            n_signal: 4,
+            n_interactions: 3,
+            marginal_weight: 0.3,
+            noise: 0.3,
+            n_redundant: 1,
+            missing_rate: 0.0,
+            positive_rate: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 ships no Gaussian sampler).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generate a labeled dataset per the configuration.
+///
+/// Layout: columns `x0..x{n_signal-1}` are the informative bases,
+/// the next `n_redundant` columns are affine near-copies of signal features,
+/// and the remainder is standard-normal noise. The label score is
+///
+/// `Σ_k w_k · interaction_k + marginal_weight · Σ_s c_s x_s + noise · ε`,
+///
+/// thresholded at the empirical `(1 − positive_rate)` quantile so the class
+/// balance is exact.
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    assert!(config.n_signal >= 1, "need at least one signal feature");
+    assert!(config.n_signal <= config.dim, "n_signal exceeds dim");
+    assert!(
+        config.n_signal + config.n_redundant <= config.dim,
+        "signal + redundant features exceed dim"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.positive_rate),
+        "positive_rate must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n_rows;
+
+    // Base feature matrix.
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(config.dim);
+    for f in 0..config.dim {
+        let mut col = Vec::with_capacity(n);
+        // Alternate shapes so quantile-binning sees varied distributions.
+        match f % 3 {
+            0 => {
+                for _ in 0..n {
+                    col.push(gaussian(&mut rng));
+                }
+            }
+            1 => {
+                for _ in 0..n {
+                    col.push(rng.gen_range(-1.0f64..1.0));
+                }
+            }
+            _ => {
+                // Log-normal-ish heavy tail, centred.
+                for _ in 0..n {
+                    col.push((gaussian(&mut rng) * 0.5).exp() - 1.0);
+                }
+            }
+        }
+        columns.push(col);
+    }
+
+    // Redundant near-copies of signal features.
+    for r in 0..config.n_redundant {
+        let src = r % config.n_signal;
+        let slope: f64 = rng.gen_range(0.5..2.0);
+        let intercept: f64 = rng.gen_range(-1.0..1.0);
+        let dst = config.n_signal + r;
+        for i in 0..n {
+            let jitter = gaussian(&mut rng) * 0.01;
+            columns[dst][i] = slope * columns[src][i] + intercept + jitter;
+        }
+    }
+
+    // Planted interactions between signal features.
+    let kinds = [
+        InteractionKind::Product,
+        InteractionKind::Ratio,
+        InteractionKind::Difference,
+        InteractionKind::Xor,
+    ];
+    let mut interactions = Vec::with_capacity(config.n_interactions);
+    for k in 0..config.n_interactions {
+        let i = k % config.n_signal;
+        let j = (k + 1 + k / config.n_signal) % config.n_signal;
+        let j = if i == j { (j + 1) % config.n_signal } else { j };
+        let kind = kinds[k % kinds.len()];
+        let weight: f64 = rng.gen_range(0.8..1.6);
+        interactions.push((i, j, kind, weight));
+    }
+    let marginal_coefs: Vec<f64> = (0..config.n_signal)
+        .map(|_| rng.gen_range(-1.0f64..1.0))
+        .collect();
+
+    // Score and labels.
+    let mut scores = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut s = 0.0;
+        for &(i, j, kind, w) in &interactions {
+            let a = columns[i][row];
+            let b = columns[j][row];
+            let term = match kind {
+                InteractionKind::Product => a * b,
+                InteractionKind::Ratio => a / (b.abs() + 0.5),
+                InteractionKind::Difference => a - b,
+                InteractionKind::Xor => {
+                    if (a > 0.0) ^ (b > 0.0) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            };
+            s += w * term;
+        }
+        for (c, &coef) in marginal_coefs.iter().enumerate() {
+            s += config.marginal_weight * coef * columns[c][row];
+        }
+        s += config.noise * gaussian(&mut rng);
+        scores.push(s);
+    }
+    let mut sorted = scores.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let cut_idx = ((n as f64) * (1.0 - config.positive_rate)) as usize;
+    let threshold = sorted[cut_idx.min(n - 1)];
+    let labels: Vec<u8> = scores.iter().map(|&s| (s > threshold) as u8).collect();
+
+    // Missing values in every 7th column.
+    if config.missing_rate > 0.0 {
+        for (f, col) in columns.iter_mut().enumerate() {
+            if f % 7 == 3 {
+                for v in col.iter_mut() {
+                    if rng.gen_bool(config.missing_rate) {
+                        *v = f64::NAN;
+                    }
+                }
+            }
+        }
+    }
+
+    let names: Vec<String> = (0..config.dim).map(|f| format!("x{f}")).collect();
+    Dataset::from_columns(names, columns, Some(labels)).expect("shapes consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 500,
+            dim: 20,
+            ..Default::default()
+        });
+        assert_eq!(ds.n_rows(), 500);
+        assert_eq!(ds.n_cols(), 20);
+        assert!(ds.labels().is_some());
+    }
+
+    #[test]
+    fn positive_rate_is_respected() {
+        for rate in [0.5, 0.1, 0.03] {
+            let ds = generate(&SyntheticConfig {
+                n_rows: 10_000,
+                positive_rate: rate,
+                ..Default::default()
+            });
+            let actual = ds.positive_rate().unwrap();
+            assert!(
+                (actual - rate).abs() < 0.02,
+                "wanted {rate}, got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = SyntheticConfig { seed: 7, ..Default::default() };
+        assert_eq!(generate(&c), generate(&c));
+        let d = SyntheticConfig { seed: 8, ..Default::default() };
+        assert_ne!(generate(&c), generate(&d));
+    }
+
+    #[test]
+    fn interactions_carry_signal_marginals_are_weak() {
+        // The product of the first two signal features should predict the
+        // label far better than any noise feature does.
+        let ds = generate(&SyntheticConfig {
+            n_rows: 4000,
+            dim: 10,
+            n_signal: 4,
+            n_interactions: 1, // just x0·x1
+            marginal_weight: 0.0,
+            noise: 0.1,
+            n_redundant: 0,
+            ..Default::default()
+        });
+        let labels = ds.labels().unwrap();
+        let x0 = ds.column(0).unwrap();
+        let x1 = ds.column(1).unwrap();
+        let product: Vec<f64> = x0.iter().zip(x1).map(|(a, b)| a * b).collect();
+        let iv_product = safe_stats::iv::information_value(&product, labels, 10).unwrap();
+        let iv_noise =
+            safe_stats::iv::information_value(ds.column(9).unwrap(), labels, 10).unwrap();
+        assert!(
+            iv_product > 10.0 * iv_noise.max(0.01),
+            "product IV {iv_product} vs noise IV {iv_noise}"
+        );
+    }
+
+    #[test]
+    fn redundant_columns_are_highly_correlated() {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 2000,
+            dim: 10,
+            n_signal: 4,
+            n_redundant: 2,
+            ..Default::default()
+        });
+        // Column 4 is a near-copy of column 0.
+        let rho = safe_stats::pearson::pearson(ds.column(0).unwrap(), ds.column(4).unwrap());
+        assert!(rho.abs() > 0.95, "rho = {rho}");
+    }
+
+    #[test]
+    fn missing_rate_plants_nans() {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 1000,
+            dim: 14,
+            missing_rate: 0.2,
+            ..Default::default()
+        });
+        // Column 3 and 10 are the `% 7 == 3` columns.
+        let nan_count = ds.column(3).unwrap().iter().filter(|v| v.is_nan()).count();
+        assert!(nan_count > 100, "expected ~200 NaNs, got {nan_count}");
+        let clean = ds.column(0).unwrap().iter().filter(|v| v.is_nan()).count();
+        assert_eq!(clean, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_signal exceeds dim")]
+    fn oversized_signal_panics() {
+        generate(&SyntheticConfig {
+            dim: 3,
+            n_signal: 5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Feature quantization for histogram split finding.
+//!
+//! Each feature column is mapped once, up front, to small integer bin
+//! indices (`u16`) via equal-frequency quantile cuts — the "block" structure
+//! the XGBoost paper describes, which both bounds split-search cost per node
+//! and gives cache-friendly access. With `max_bins` at least the number of
+//! distinct values, the quantization is lossless and split finding is exact
+//! greedy.
+
+use safe_data::binning::{BinEdges, BinStrategy};
+use safe_data::dataset::Dataset;
+
+/// Per-feature mapping between raw values and bin indices.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    /// Interior cut points; bin `b` covers `(cuts[b-1], cuts[b]]`.
+    edges: BinEdges,
+    /// Number of bins for finite values.
+    n_value_bins: usize,
+}
+
+impl BinMapper {
+    /// Fit equal-frequency cuts on a raw column.
+    pub fn fit(values: &[f64], max_bins: usize) -> BinMapper {
+        // Reserve one index for the missing bin: quantize finite values into
+        // at most max_bins - 1 bins.
+        let edges = BinEdges::fit(values, max_bins.saturating_sub(1).max(1), BinStrategy::EqualFrequency)
+            .expect("max_bins validated > 0");
+        let n_value_bins = edges.n_value_bins();
+        BinMapper { edges, n_value_bins }
+    }
+
+    /// Number of bins for finite values; the missing bin is always
+    /// `n_value_bins()` (reserved even when the training column had no
+    /// missing values, so inference-time NaNs have somewhere to go).
+    pub fn n_value_bins(&self) -> usize {
+        self.n_value_bins
+    }
+
+    /// Total bins including the trailing missing bin.
+    pub fn n_bins(&self) -> usize {
+        self.n_value_bins + 1
+    }
+
+    /// Bin index of the missing value.
+    pub fn missing_bin(&self) -> u16 {
+        self.n_value_bins as u16
+    }
+
+    /// Quantize one value.
+    pub fn bin(&self, v: f64) -> u16 {
+        if v.is_finite() {
+            self.edges.bin_of(v) as u16
+        } else {
+            self.missing_bin()
+        }
+    }
+
+    /// Raw-value threshold of a split at bin `b` ("go left iff value ≤
+    /// threshold"). Only bins `0..n_value_bins-1` are valid split points.
+    pub fn threshold(&self, b: u16) -> f64 {
+        self.edges.cuts()[b as usize]
+    }
+
+    /// Number of usable split positions.
+    pub fn n_split_candidates(&self) -> usize {
+        self.edges.cuts().len()
+    }
+}
+
+/// A dataset quantized for training: column-major `u16` bin indices plus the
+/// per-feature mappers.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// `bins[f][row]` = bin index of feature `f` at `row`.
+    pub bins: Vec<Vec<u16>>,
+    /// Per-feature mappers (same order as `bins`).
+    pub mappers: Vec<BinMapper>,
+    /// Number of rows.
+    pub n_rows: usize,
+}
+
+impl BinnedMatrix {
+    /// Quantize every feature of a dataset. Mapper fitting and column
+    /// quantization run in parallel across features.
+    pub fn from_dataset(ds: &Dataset, max_bins: usize) -> BinnedMatrix {
+        let n_cols = ds.n_cols();
+        let per_feature: Vec<(BinMapper, Vec<u16>)> =
+            safe_stats::parallel::par_map_indexed(n_cols, |f| {
+                let col = ds.column(f).expect("index in range");
+                let mapper = BinMapper::fit(col, max_bins);
+                let binned = col.iter().map(|&v| mapper.bin(v)).collect();
+                (mapper, binned)
+            });
+        let mut mappers = Vec::with_capacity(n_cols);
+        let mut bins = Vec::with_capacity(n_cols);
+        for (m, b) in per_feature {
+            mappers.push(m);
+            bins.push(b);
+        }
+        BinnedMatrix {
+            bins,
+            mappers,
+            n_rows: ds.n_rows(),
+        }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safe_data::dataset::Dataset;
+
+    #[test]
+    fn lossless_when_bins_exceed_distinct_values() {
+        let values = vec![3.0, 1.0, 2.0, 1.0, 3.0, 2.0];
+        let m = BinMapper::fit(&values, 64);
+        assert_eq!(m.n_value_bins(), 3);
+        // Distinct values land in distinct bins, order preserved.
+        assert!(m.bin(1.0) < m.bin(2.0));
+        assert!(m.bin(2.0) < m.bin(3.0));
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let m = BinMapper::fit(&values, 16);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            assert!(m.bin(w[0]) <= m.bin(w[1]));
+        }
+    }
+
+    #[test]
+    fn caps_bin_count() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let m = BinMapper::fit(&values, 32);
+        assert!(m.n_value_bins() <= 31, "one index reserved for missing");
+        assert!(m.n_value_bins() >= 16);
+    }
+
+    #[test]
+    fn missing_goes_to_reserved_bin() {
+        let values = vec![1.0, f64::NAN, 2.0];
+        let m = BinMapper::fit(&values, 8);
+        assert_eq!(m.bin(f64::NAN), m.missing_bin());
+        assert!(m.bin(1.5) < m.missing_bin());
+    }
+
+    #[test]
+    fn threshold_separates_bins() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let m = BinMapper::fit(&values, 10);
+        for b in 0..m.n_split_candidates() as u16 {
+            let t = m.threshold(b);
+            // Everything binned <= b is <= t; everything binned > b is > t.
+            for &v in &values {
+                if m.bin(v) <= b {
+                    assert!(v <= t, "v={v} bin={} t={t}", m.bin(v));
+                } else {
+                    assert!(v > t, "v={v} bin={} t={t}", m.bin(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binned_matrix_shape() {
+        let ds = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![9.0, 8.0, 7.0]],
+            None,
+        )
+        .unwrap();
+        let bm = BinnedMatrix::from_dataset(&ds, 16);
+        assert_eq!(bm.n_features(), 2);
+        assert_eq!(bm.n_rows, 3);
+        assert_eq!(bm.bins[0].len(), 3);
+    }
+
+    #[test]
+    fn constant_column_has_no_split_candidates() {
+        let m = BinMapper::fit(&[5.0; 20], 8);
+        assert_eq!(m.n_split_candidates(), 0);
+        assert_eq!(m.n_value_bins(), 1);
+    }
+}

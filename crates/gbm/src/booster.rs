@@ -1,0 +1,397 @@
+//! The boosting loop: Gbm (trainer) and GbmModel (trained ensemble).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use safe_data::dataset::Dataset;
+
+use crate::binner::BinnedMatrix;
+use crate::config::{GbmConfig, Objective};
+use crate::grow::grow_tree;
+use crate::importance::{FeatureImportance, ImportanceKind};
+use crate::loss::{base_margin, grad_hess, transform};
+use crate::tree::{SplitPath, Tree};
+
+/// Gradient-boosting trainer.
+#[derive(Debug, Clone)]
+pub struct Gbm {
+    config: GbmConfig,
+}
+
+/// A trained ensemble.
+#[derive(Debug, Clone)]
+pub struct GbmModel {
+    trees: Vec<Tree>,
+    base: f64,
+    objective: Objective,
+    n_features: usize,
+    /// Validation AUC per round when a validation set was supplied.
+    pub eval_history: Vec<f64>,
+}
+
+impl Gbm {
+    /// Create a trainer; the configuration is validated at fit time.
+    pub fn new(config: GbmConfig) -> Gbm {
+        Gbm { config }
+    }
+
+    /// Trainer with default configuration.
+    pub fn default_trainer() -> Gbm {
+        Gbm::new(GbmConfig::default())
+    }
+
+    /// Train on a labeled dataset, optionally early-stopping on validation
+    /// AUC.
+    pub fn fit(&self, train: &Dataset, valid: Option<&Dataset>) -> Result<GbmModel, String> {
+        self.config.validate()?;
+        let labels = train
+            .labels()
+            .ok_or_else(|| "training dataset has no labels".to_string())?;
+        let n = train.n_rows();
+        if n == 0 || train.n_cols() == 0 {
+            return Err("training dataset is empty".into());
+        }
+
+        let binned = BinnedMatrix::from_dataset(train, self.config.max_bins);
+        let base = base_margin(self.config.objective, labels);
+        let mut margins = vec![base; n];
+        let train_cols: Vec<&[f64]> = train.columns().collect();
+
+        // (columns, labels, running margins) of the validation set.
+        type ValidState<'a> = (Vec<&'a [f64]>, &'a [u8], Vec<f64>);
+        let valid_cols: Option<ValidState> = match valid {
+            Some(v) => {
+                let vl = v
+                    .labels()
+                    .ok_or_else(|| "validation dataset has no labels".to_string())?;
+                if v.n_cols() != train.n_cols() {
+                    return Err(format!(
+                        "validation has {} features, train has {}",
+                        v.n_cols(),
+                        train.n_cols()
+                    ));
+                }
+                Some((v.columns().collect(), vl, vec![base; v.n_rows()]))
+            }
+            None => None,
+        };
+        let mut valid_state = valid_cols;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let all_rows: Vec<u32> = (0..n as u32).collect();
+        let all_features: Vec<usize> = (0..train.n_cols()).collect();
+
+        let mut trees: Vec<Tree> = Vec::with_capacity(self.config.n_rounds);
+        let mut eval_history: Vec<f64> = Vec::new();
+        let mut best_round = 0usize;
+        let mut best_auc = f64::NEG_INFINITY;
+
+        let mut grads = vec![0.0f64; n];
+        let mut hesss = vec![0.0f64; n];
+
+        for round in 0..self.config.n_rounds {
+            for i in 0..n {
+                let (g, h) = grad_hess(self.config.objective, margins[i], labels[i] as f64);
+                grads[i] = g;
+                hesss[i] = h;
+            }
+
+            let rows = sample(&all_rows, self.config.subsample, &mut rng);
+            let features = sample(&all_features, self.config.colsample, &mut rng);
+
+            let tree = grow_tree(&binned, &grads, &hesss, rows, &features, &self.config);
+            tree.predict_into(&train_cols, &mut margins);
+
+            if let Some((cols, vl, vmargins)) = valid_state.as_mut() {
+                tree.predict_into(cols, vmargins);
+                let probs: Vec<f64> = vmargins
+                    .iter()
+                    .map(|&m| transform(self.config.objective, m))
+                    .collect();
+                let auc = safe_stats::auc::auc(&probs, vl);
+                eval_history.push(auc);
+                if auc > best_auc {
+                    best_auc = auc;
+                    best_round = round;
+                }
+                if let Some(patience) = self.config.early_stopping_rounds {
+                    if round - best_round >= patience {
+                        trees.push(tree);
+                        break;
+                    }
+                }
+            }
+            trees.push(tree);
+        }
+
+        // Truncate to the best validation round when early stopping is on.
+        if self.config.early_stopping_rounds.is_some() && !eval_history.is_empty() {
+            trees.truncate(best_round + 1);
+        }
+
+        Ok(GbmModel {
+            trees,
+            base,
+            objective: self.config.objective,
+            n_features: train.n_cols(),
+            eval_history,
+        })
+    }
+}
+
+/// Sample a fraction of items without replacement (all items when
+/// `fraction == 1`), preserving index order for reproducibility.
+fn sample<T: Copy + Ord>(items: &[T], fraction: f64, rng: &mut StdRng) -> Vec<T> {
+    if fraction >= 1.0 {
+        return items.to_vec();
+    }
+    let k = ((items.len() as f64) * fraction).ceil().max(1.0) as usize;
+    let mut chosen: Vec<T> = items
+        .choose_multiple(rng, k.min(items.len()))
+        .copied()
+        .collect();
+    chosen.sort();
+    chosen
+}
+
+impl GbmModel {
+    /// Number of trees kept.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The trees themselves (read-only).
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Raw margin for one row.
+    pub fn predict_margin_row(&self, row: &[f64]) -> f64 {
+        let mut m = self.base;
+        for t in &self.trees {
+            m += t.predict_row(row);
+        }
+        m
+    }
+
+    /// Transformed prediction (probability for logistic) for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        transform(self.objective, self.predict_margin_row(row))
+    }
+
+    /// Raw margins for a whole dataset.
+    pub fn predict_margin(&self, ds: &Dataset) -> Vec<f64> {
+        let cols: Vec<&[f64]> = ds.columns().collect();
+        let mut out = vec![self.base; ds.n_rows()];
+        for t in &self.trees {
+            t.predict_into(&cols, &mut out);
+        }
+        out
+    }
+
+    /// Transformed predictions (probabilities for logistic) for a dataset.
+    pub fn predict(&self, ds: &Dataset) -> Vec<f64> {
+        self.predict_margin(ds)
+            .into_iter()
+            .map(|m| transform(self.objective, m))
+            .collect()
+    }
+
+    /// All root→leaf-parent paths across the ensemble (Section IV-B1's `P`).
+    pub fn paths(&self) -> Vec<SplitPath> {
+        self.trees.iter().flat_map(|t| t.paths()).collect()
+    }
+
+    /// Feature importance of the ensemble.
+    pub fn importance(&self, kind: ImportanceKind) -> FeatureImportance {
+        FeatureImportance::from_trees(&self.trees, self.n_features, kind)
+    }
+
+    /// Indices of features used in at least one split ("split features" in
+    /// the paper's assumption 1).
+    pub fn split_features(&self) -> Vec<usize> {
+        self.importance(ImportanceKind::SplitCount).used_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safe_stats::auc::auc;
+
+    /// Linearly separable two-feature data with noise features.
+    fn toy(n: usize, seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = move || rng.gen_range(-1.0f64..1.0);
+        let mut cols = vec![Vec::with_capacity(n); 3];
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = next();
+            let b = next();
+            let noise = next();
+            cols[0].push(a);
+            cols[1].push(b);
+            cols[2].push(noise);
+            labels.push((a + 0.5 * b > 0.0) as u8);
+        }
+        Dataset::from_columns(
+            vec!["a".into(), "b".into(), "noise".into()],
+            cols,
+            Some(labels),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let train = toy(600, 1);
+        let test = toy(300, 2);
+        let model = Gbm::new(GbmConfig {
+            n_rounds: 30,
+            ..GbmConfig::default()
+        })
+        .fit(&train, None)
+        .unwrap();
+        let preds = model.predict(&test);
+        let a = auc(&preds, test.labels().unwrap());
+        assert!(a > 0.95, "auc = {a}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let train = toy(200, 3);
+        let model = Gbm::default_trainer().fit(&train, None).unwrap();
+        for p in model.predict(&train) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn training_loss_is_monotone_without_subsampling() {
+        // Squared loss, lr small, full data: mean train loss must not rise.
+        let train = toy(300, 4);
+        let labels = train.labels().unwrap().to_vec();
+        let mut margins = vec![crate::loss::base_margin(Objective::Squared, &labels); 300];
+        let binned = BinnedMatrix::from_dataset(&train, 256);
+        let cols: Vec<&[f64]> = train.columns().collect();
+        let config = GbmConfig {
+            objective: Objective::Squared,
+            learning_rate: 0.5,
+            n_rounds: 10,
+            ..GbmConfig::default()
+        };
+        let mut last = f64::INFINITY;
+        let mut grads = vec![0.0; 300];
+        let mut hesss = vec![0.0; 300];
+        for _ in 0..10 {
+            for i in 0..300 {
+                let (g, h) = grad_hess(Objective::Squared, margins[i], labels[i] as f64);
+                grads[i] = g;
+                hesss[i] = h;
+            }
+            let tree = grow_tree(&binned, &grads, &hesss, (0..300).collect(), &[0, 1, 2], &config);
+            tree.predict_into(&cols, &mut margins);
+            let loss = crate::loss::mean_loss(Objective::Squared, &margins, &labels);
+            assert!(loss <= last + 1e-9, "loss rose: {last} -> {loss}");
+            last = loss;
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = toy(300, 5);
+        let config = GbmConfig {
+            subsample: 0.7,
+            colsample: 0.7,
+            seed: 42,
+            n_rounds: 10,
+            ..GbmConfig::default()
+        };
+        let m1 = Gbm::new(config.clone()).fit(&train, None).unwrap();
+        let m2 = Gbm::new(config).fit(&train, None).unwrap();
+        assert_eq!(m1.predict(&train), m2.predict(&train));
+    }
+
+    #[test]
+    fn early_stopping_truncates() {
+        let train = toy(400, 6);
+        let valid = toy(200, 7);
+        let model = Gbm::new(GbmConfig {
+            n_rounds: 200,
+            early_stopping_rounds: Some(5),
+            ..GbmConfig::default()
+        })
+        .fit(&train, Some(&valid))
+        .unwrap();
+        assert!(model.n_trees() < 200, "kept {} trees", model.n_trees());
+        assert!(!model.eval_history.is_empty());
+    }
+
+    #[test]
+    fn split_features_exclude_pure_noise_mostly() {
+        let train = toy(800, 8);
+        let model = Gbm::new(GbmConfig {
+            n_rounds: 10,
+            max_depth: 3,
+            ..GbmConfig::default()
+        })
+        .fit(&train, None)
+        .unwrap();
+        let used = model.split_features();
+        assert!(used.contains(&0), "informative feature a must be split on");
+        let imp = model.importance(ImportanceKind::TotalGain);
+        assert!(
+            imp.scores[0] > imp.scores[2],
+            "signal must outscore noise: {:?}",
+            imp.scores
+        );
+    }
+
+    #[test]
+    fn paths_reference_real_features() {
+        let train = toy(500, 9);
+        let model = Gbm::default_trainer().fit(&train, None).unwrap();
+        let paths = model.paths();
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(!p.features.is_empty());
+            for &f in &p.features {
+                assert!(f < train.n_cols());
+                assert!(!p.split_values[&f].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn unlabeled_train_is_rejected() {
+        let ds = Dataset::from_columns(vec!["x".into()], vec![vec![1.0, 2.0]], None).unwrap();
+        assert!(Gbm::default_trainer().fit(&ds, None).is_err());
+    }
+
+    #[test]
+    fn mismatched_valid_is_rejected() {
+        let train = toy(100, 10);
+        let bad_valid =
+            Dataset::from_columns(vec!["x".into()], vec![vec![1.0, 2.0]], Some(vec![0, 1]))
+                .unwrap();
+        assert!(Gbm::default_trainer().fit(&train, Some(&bad_valid)).is_err());
+    }
+
+    #[test]
+    fn row_and_batch_predictions_agree() {
+        let train = toy(250, 11);
+        let model = Gbm::default_trainer().fit(&train, None).unwrap();
+        let batch = model.predict(&train);
+        for i in 0..train.n_rows() {
+            let single = model.predict_row(&train.row(i));
+            assert!((batch[i] - single).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Booster hyper-parameters.
+//!
+//! Section IV-E1 of the paper (strong applicability): the only knobs SAFE
+//! exposes control complexity — tree count, depth — so the defaults here are
+//! deliberately ordinary XGBoost defaults that work across datasets.
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Binary logistic regression; predictions are probabilities.
+    Logistic,
+    /// Squared error; predictions are raw scores.
+    Squared,
+}
+
+/// Hyper-parameters of the gradient booster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbmConfig {
+    /// Number of boosting rounds (trees). Paper notation `K`.
+    pub n_rounds: usize,
+    /// Shrinkage η applied to every leaf value.
+    pub learning_rate: f64,
+    /// Maximum tree depth. Paper notation `D`; "trees in XGBoost are usually
+    /// not deep".
+    pub max_depth: usize,
+    /// Minimum sum of hessian in each child; blocks statistically tiny leaves.
+    pub min_child_weight: f64,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum loss reduction γ to accept a split.
+    pub gamma: f64,
+    /// Maximum histogram bins per feature (≥ distinct values → exact greedy).
+    pub max_bins: usize,
+    /// Row subsample fraction per tree, in (0, 1].
+    pub subsample: f64,
+    /// Column subsample fraction per tree, in (0, 1].
+    pub colsample: f64,
+    /// Training objective.
+    pub objective: Objective,
+    /// Stop when validation AUC hasn't improved for this many rounds.
+    pub early_stopping_rounds: Option<usize>,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbmConfig {
+    fn default() -> Self {
+        GbmConfig {
+            n_rounds: 50,
+            learning_rate: 0.3,
+            max_depth: 6,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+            max_bins: 256,
+            subsample: 1.0,
+            colsample: 1.0,
+            objective: Objective::Logistic,
+            early_stopping_rounds: None,
+            seed: 0,
+        }
+    }
+}
+
+impl GbmConfig {
+    /// Light configuration used by SAFE's *mining* stage: few, shallow trees
+    /// keep the candidate-combination count `2^D·K·A²_D` small (Eq. 13 shows
+    /// the end-to-end complexity is governed by these two knobs).
+    pub fn miner() -> Self {
+        GbmConfig {
+            n_rounds: 20,
+            max_depth: 4,
+            ..GbmConfig::default()
+        }
+    }
+
+    /// Configuration used when GBM acts as a downstream classifier.
+    pub fn classifier() -> Self {
+        GbmConfig {
+            n_rounds: 100,
+            learning_rate: 0.3,
+            max_depth: 6,
+            ..GbmConfig::default()
+        }
+    }
+
+    /// Validate ranges; called once at fit time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_rounds == 0 {
+            return Err("n_rounds must be positive".into());
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(format!("learning_rate {} not in (0, 1]", self.learning_rate));
+        }
+        if self.max_depth == 0 {
+            return Err("max_depth must be at least 1".into());
+        }
+        if self.max_bins < 2 {
+            return Err("max_bins must be at least 2".into());
+        }
+        if self.max_bins > u16::MAX as usize {
+            return Err(format!("max_bins {} exceeds u16 bin index", self.max_bins));
+        }
+        for (name, v) in [("subsample", self.subsample), ("colsample", self.colsample)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(format!("{name} {v} not in (0, 1]"));
+            }
+        }
+        if self.lambda < 0.0 || self.gamma < 0.0 || self.min_child_weight < 0.0 {
+            return Err("lambda, gamma, min_child_weight must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(GbmConfig::default().validate().is_ok());
+        assert!(GbmConfig::miner().validate().is_ok());
+        assert!(GbmConfig::classifier().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = GbmConfig::default();
+        c.n_rounds = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GbmConfig::default();
+        c.learning_rate = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GbmConfig::default();
+        c.subsample = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GbmConfig::default();
+        c.max_bins = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = GbmConfig::default();
+        c.lambda = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn miner_is_smaller_than_classifier() {
+        let m = GbmConfig::miner();
+        let c = GbmConfig::classifier();
+        assert!(m.n_rounds < c.n_rounds);
+        assert!(m.max_depth < c.max_depth);
+    }
+}

@@ -1,0 +1,281 @@
+//! Greedy tree construction over binned features.
+
+use crate::binner::BinnedMatrix;
+use crate::config::GbmConfig;
+use crate::histogram::{best_split_for_feature, build_histogram, leaf_weight, SplitInfo};
+use crate::tree::{Tree, TreeNode};
+
+/// Grow one regression tree on the given row/feature subsets.
+///
+/// `grads`/`hesss` are full-length per-row derivative vectors; `rows` selects
+/// the (possibly subsampled) training rows; `features` the (possibly
+/// column-subsampled) candidate split features. Leaf values are already
+/// multiplied by the learning rate.
+pub fn grow_tree(
+    binned: &BinnedMatrix,
+    grads: &[f64],
+    hesss: &[f64],
+    rows: Vec<u32>,
+    features: &[usize],
+    config: &GbmConfig,
+) -> Tree {
+    let mut tree = Tree::default();
+    tree.nodes.clear();
+    build_node(&mut tree, binned, grads, hesss, rows, features, config, 0);
+    tree
+}
+
+/// Recursively build the subtree rooted at the next free arena slot and
+/// return that slot's index.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    tree: &mut Tree,
+    binned: &BinnedMatrix,
+    grads: &[f64],
+    hesss: &[f64],
+    rows: Vec<u32>,
+    features: &[usize],
+    config: &GbmConfig,
+    depth: usize,
+) -> usize {
+    let (g, h) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
+        (g + grads[r as usize], h + hesss[r as usize])
+    });
+    let totals = (g, h, rows.len() as u32);
+
+    let split = if depth >= config.max_depth || rows.len() < 2 {
+        None
+    } else {
+        find_best_split(binned, grads, hesss, &rows, features, totals, config)
+    };
+
+    match split {
+        None => {
+            let value = leaf_weight(g, h, config.lambda) * config.learning_rate;
+            tree.nodes.push(TreeNode::Leaf { value });
+            tree.nodes.len() - 1
+        }
+        Some(split) => {
+            let (left_rows, right_rows) = partition_rows(binned, &rows, &split);
+            debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+            let threshold = binned.mappers[split.feature].threshold(split.split_bin);
+            // Reserve this node's slot before the children claim theirs.
+            let idx = tree.nodes.len();
+            tree.nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
+            let left = build_node(tree, binned, grads, hesss, left_rows, features, config, depth + 1);
+            let right = build_node(tree, binned, grads, hesss, right_rows, features, config, depth + 1);
+            tree.nodes[idx] = TreeNode::Internal {
+                feature: split.feature,
+                threshold,
+                default_left: split.default_left,
+                left,
+                right,
+                gain: split.gain,
+            };
+            idx
+        }
+    }
+}
+
+/// Best split across the candidate features, histograms built in parallel.
+fn find_best_split(
+    binned: &BinnedMatrix,
+    grads: &[f64],
+    hesss: &[f64],
+    rows: &[u32],
+    features: &[usize],
+    totals: (f64, f64, u32),
+    config: &GbmConfig,
+) -> Option<SplitInfo> {
+    let candidates: Vec<Option<SplitInfo>> =
+        safe_stats::parallel::par_map_slice(features, |&f| {
+            let mapper = &binned.mappers[f];
+            if mapper.n_split_candidates() == 0 {
+                return None;
+            }
+            let hist = build_histogram(&binned.bins[f], rows, grads, hesss, mapper.n_bins());
+            best_split_for_feature(
+                f,
+                &hist,
+                mapper.n_value_bins(),
+                totals,
+                config.lambda,
+                config.gamma,
+                config.min_child_weight,
+            )
+        });
+    candidates
+        .into_iter()
+        .flatten()
+        .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("gains are finite"))
+}
+
+/// Route each row left or right according to the chosen split.
+fn partition_rows(binned: &BinnedMatrix, rows: &[u32], split: &SplitInfo) -> (Vec<u32>, Vec<u32>) {
+    let bins = &binned.bins[split.feature];
+    let missing = binned.mappers[split.feature].missing_bin();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        let b = bins[r as usize];
+        let go_left = if b == missing {
+            split.default_left
+        } else {
+            b <= split.split_bin
+        };
+        if go_left {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Objective;
+    use safe_data::dataset::Dataset;
+
+    fn binned_of(cols: Vec<Vec<f64>>) -> BinnedMatrix {
+        let names = (0..cols.len()).map(|i| format!("f{i}")).collect();
+        let ds = Dataset::from_columns(names, cols, None).unwrap();
+        BinnedMatrix::from_dataset(&ds, 256)
+    }
+
+    fn grads_for(labels: &[u8]) -> (Vec<f64>, Vec<f64>) {
+        // Logistic derivatives at margin 0.
+        labels
+            .iter()
+            .map(|&y| crate::loss::grad_hess(Objective::Logistic, 0.0, y as f64))
+            .unzip()
+    }
+
+    #[test]
+    fn grows_a_single_split_for_a_step_function() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..100).map(|i| (i >= 50) as u8).collect();
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        let config = GbmConfig { max_depth: 3, ..GbmConfig::default() };
+        let tree = grow_tree(&binned, &g, &h, (0..100).collect(), &[0], &config);
+        assert!(tree.depth() >= 1);
+        // Predictions on both sides of the step must differ in sign.
+        let lo = tree.predict_row(&[10.0]);
+        let hi = tree.predict_row(&[90.0]);
+        assert!(lo < 0.0 && hi > 0.0, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..256).map(|i| ((i / 2) % 2) as u8).collect();
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        for depth in 1..=4 {
+            let config = GbmConfig { max_depth: depth, ..GbmConfig::default() };
+            let tree = grow_tree(&binned, &g, &h, (0..256).collect(), &[0], &config);
+            assert!(tree.depth() <= depth, "depth {} > cap {depth}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let labels = vec![1u8; 50];
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        let tree = grow_tree(&binned, &g, &h, (0..50).collect(), &[0], &GbmConfig::default());
+        assert_eq!(tree.n_leaves(), 1, "uniform gradients should not split");
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        // XOR of two binary features, with *asymmetric* corner counts: a
+        // perfectly balanced XOR gives every first split exactly zero gain
+        // (greedy boosters, including XGBoost, rightly refuse it), so the
+        // corners are weighted 60/50/50/40 to break the tie.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (x, y, count) in [(0.0, 0.0, 60), (0.0, 1.0, 50), (1.0, 0.0, 50), (1.0, 1.0, 40)] {
+            for _ in 0..count {
+                a.push(x);
+                b.push(y);
+            }
+        }
+        let n = a.len();
+        let labels: Vec<u8> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| ((x as i32) ^ (y as i32)) as u8)
+            .collect();
+        let binned = binned_of(vec![a.clone(), b.clone()]);
+        let (g, h) = grads_for(&labels);
+        let config = GbmConfig { max_depth: 2, ..GbmConfig::default() };
+        let tree = grow_tree(&binned, &g, &h, (0..n as u32).collect(), &[0, 1], &config);
+        // All four corners correctly signed.
+        for (x, y) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let pred = tree.predict_row(&[x, y]);
+            let want_positive = (x as i32 ^ y as i32) == 1;
+            assert_eq!(pred > 0.0, want_positive, "corner ({x},{y}) pred={pred}");
+        }
+    }
+
+    #[test]
+    fn feature_subset_is_honored() {
+        // Feature 0 is perfectly predictive, feature 1 is noise — but only
+        // feature 1 is offered.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let noise: Vec<f64> = (0..100).map(|i| ((i * 7919) % 100) as f64).collect();
+        let labels: Vec<u8> = (0..100).map(|i| (i >= 50) as u8).collect();
+        let binned = binned_of(vec![x, noise]);
+        let (g, h) = grads_for(&labels);
+        let tree = grow_tree(&binned, &g, &h, (0..100).collect(), &[1], &GbmConfig::default());
+        for (f, _) in tree.split_gains() {
+            assert_eq!(f, 1, "must only split on the offered feature");
+        }
+    }
+
+    #[test]
+    fn row_subset_is_honored() {
+        // Only rows < 50 participate; there the label is constant → leaf.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..100).map(|i| (i >= 50) as u8).collect();
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        let tree = grow_tree(&binned, &g, &h, (0..50).collect(), &[0], &GbmConfig::default());
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn missing_rows_are_routed_and_learned() {
+        // Feature is NaN exactly for positives: the split must exploit the
+        // missing bin via default direction.
+        let n = 100;
+        let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let x: Vec<f64> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if l == 1 { f64::NAN } else { i as f64 })
+            .collect();
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        let tree = grow_tree(&binned, &g, &h, (0..n as u32).collect(), &[0], &GbmConfig::default());
+        let on_missing = tree.predict_row(&[f64::NAN]);
+        let on_present = tree.predict_row(&[4.0]);
+        assert!(on_missing > 0.0, "missing → positive leaf, got {on_missing}");
+        assert!(on_present < 0.0, "present → negative leaf, got {on_present}");
+    }
+
+    #[test]
+    fn gamma_prunes_all_splits() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..100).map(|i| (i >= 50) as u8).collect();
+        let binned = binned_of(vec![x]);
+        let (g, h) = grads_for(&labels);
+        let config = GbmConfig { gamma: 1e9, ..GbmConfig::default() };
+        let tree = grow_tree(&binned, &g, &h, (0..100).collect(), &[0], &config);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+}

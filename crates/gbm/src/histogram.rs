@@ -1,0 +1,252 @@
+//! Gradient histograms and best-split search.
+
+/// Accumulated first/second-order statistics of one histogram bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistBin {
+    /// Sum of gradients of rows in this bin.
+    pub grad: f64,
+    /// Sum of hessians of rows in this bin.
+    pub hess: f64,
+    /// Row count.
+    pub count: u32,
+}
+
+/// Build the gradient histogram of one feature over the rows of a node.
+pub fn build_histogram(
+    feature_bins: &[u16],
+    rows: &[u32],
+    grads: &[f64],
+    hesss: &[f64],
+    n_bins: usize,
+) -> Vec<HistBin> {
+    let mut hist = vec![HistBin::default(); n_bins];
+    for &r in rows {
+        let r = r as usize;
+        let b = feature_bins[r] as usize;
+        let cell = &mut hist[b];
+        cell.grad += grads[r];
+        cell.hess += hesss[r];
+        cell.count += 1;
+    }
+    hist
+}
+
+/// Leaf objective term `G² / (H + λ)`.
+#[inline]
+fn score(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+/// Optimal leaf weight `−G / (H + λ)`.
+#[inline]
+pub fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
+    -g / (h + lambda)
+}
+
+/// A candidate split of one node on one feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitInfo {
+    /// Feature index.
+    pub feature: usize,
+    /// Split bin: rows with `bin ≤ split_bin` go left.
+    pub split_bin: u16,
+    /// Loss reduction (already γ-penalized).
+    pub gain: f64,
+    /// Whether the missing bin travels left.
+    pub default_left: bool,
+}
+
+/// Scan a feature histogram for its best split.
+///
+/// The last value bin carries the missing-value mass separately
+/// (`missing = hist[n_value_bins]`); each split position is evaluated with
+/// the missing mass on either side (sparsity-aware default direction) and
+/// the better direction kept.
+///
+/// `totals` are the node's (G, H, count). Returns `None` when no split
+/// clears `gamma`, `min_child_weight`, or non-empty-children constraints.
+pub fn best_split_for_feature(
+    feature: usize,
+    hist: &[HistBin],
+    n_value_bins: usize,
+    totals: (f64, f64, u32),
+    lambda: f64,
+    gamma: f64,
+    min_child_weight: f64,
+) -> Option<SplitInfo> {
+    let (g_total, h_total, n_total) = totals;
+    let parent_score = score(g_total, h_total, lambda);
+    let missing = hist
+        .get(n_value_bins)
+        .copied()
+        .unwrap_or_default();
+
+    let mut best: Option<SplitInfo> = None;
+    let mut g_left = 0.0;
+    let mut h_left = 0.0;
+    let mut n_left: u32 = 0;
+
+    // Split positions: after each value bin except the last.
+    for b in 0..n_value_bins.saturating_sub(1) {
+        let cell = hist[b];
+        g_left += cell.grad;
+        h_left += cell.hess;
+        n_left += cell.count;
+
+        for default_left in [false, true] {
+            let (gl, hl, nl) = if default_left {
+                (g_left + missing.grad, h_left + missing.hess, n_left + missing.count)
+            } else {
+                (g_left, h_left, n_left)
+            };
+            let gr = g_total - gl;
+            let hr = h_total - hl;
+            let nr = n_total - nl;
+            if nl == 0 || nr == 0 {
+                continue;
+            }
+            if hl < min_child_weight || hr < min_child_weight {
+                continue;
+            }
+            let gain = 0.5 * (score(gl, hl, lambda) + score(gr, hr, lambda) - parent_score) - gamma;
+            if gain <= 0.0 {
+                continue;
+            }
+            if best.map(|s| gain > s.gain).unwrap_or(true) {
+                best = Some(SplitInfo {
+                    feature,
+                    split_bin: b as u16,
+                    gain,
+                    default_left,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals_of(hist: &[HistBin]) -> (f64, f64, u32) {
+        hist.iter().fold((0.0, 0.0, 0), |(g, h, n), b| {
+            (g + b.grad, h + b.hess, n + b.count)
+        })
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let bins = vec![0u16, 1, 1, 2];
+        let rows = vec![0u32, 1, 2, 3];
+        let grads = vec![1.0, 2.0, 3.0, 4.0];
+        let hesss = vec![0.1, 0.2, 0.3, 0.4];
+        let h = build_histogram(&bins, &rows, &grads, &hesss, 4);
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[1].count, 2);
+        assert!((h[1].grad - 5.0).abs() < 1e-15);
+        assert!((h[1].hess - 0.5).abs() < 1e-15);
+        assert_eq!(h[3].count, 0);
+    }
+
+    #[test]
+    fn histogram_respects_row_subset() {
+        let bins = vec![0u16, 0, 1, 1];
+        let rows = vec![0u32, 2];
+        let grads = vec![1.0; 4];
+        let hesss = vec![1.0; 4];
+        let h = build_histogram(&bins, &rows, &grads, &hesss, 3);
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[1].count, 1);
+    }
+
+    #[test]
+    fn finds_obvious_split() {
+        // Bin 0 pure-negative gradient, bin 1 pure-positive.
+        let hist = vec![
+            HistBin { grad: -5.0, hess: 2.0, count: 10 },
+            HistBin { grad: 5.0, hess: 2.0, count: 10 },
+            HistBin::default(), // missing bin, empty
+        ];
+        let split =
+            best_split_for_feature(3, &hist, 2, totals_of(&hist), 1.0, 0.0, 0.0).unwrap();
+        assert_eq!(split.feature, 3);
+        assert_eq!(split.split_bin, 0);
+        assert!(split.gain > 0.0);
+    }
+
+    #[test]
+    fn no_split_on_uniform_gradient() {
+        // Same gradient density everywhere: zero gain.
+        let hist = vec![
+            HistBin { grad: 1.0, hess: 1.0, count: 5 },
+            HistBin { grad: 1.0, hess: 1.0, count: 5 },
+            HistBin { grad: 1.0, hess: 1.0, count: 5 },
+            HistBin::default(),
+        ];
+        assert!(
+            best_split_for_feature(0, &hist, 3, totals_of(&hist), 1.0, 0.0, 0.0).is_none()
+        );
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let hist = vec![
+            HistBin { grad: -1.0, hess: 1.0, count: 5 },
+            HistBin { grad: 1.0, hess: 1.0, count: 5 },
+            HistBin::default(),
+        ];
+        let t = totals_of(&hist);
+        let free = best_split_for_feature(0, &hist, 2, t, 1.0, 0.0, 0.0).unwrap();
+        assert!(best_split_for_feature(0, &hist, 2, t, 1.0, free.gain + 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn min_child_weight_blocks_thin_children() {
+        let hist = vec![
+            HistBin { grad: -1.0, hess: 0.1, count: 1 },
+            HistBin { grad: 5.0, hess: 10.0, count: 50 },
+            HistBin::default(),
+        ];
+        let t = totals_of(&hist);
+        assert!(best_split_for_feature(0, &hist, 2, t, 1.0, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn missing_mass_chooses_helpful_direction() {
+        // Missing rows have strongly positive gradients, matching bin 1:
+        // sending them right must win.
+        let hist = vec![
+            HistBin { grad: -5.0, hess: 2.0, count: 10 },
+            HistBin { grad: 5.0, hess: 2.0, count: 10 },
+            HistBin { grad: 4.0, hess: 1.0, count: 5 }, // missing bin
+        ];
+        let split =
+            best_split_for_feature(0, &hist, 2, totals_of(&hist), 1.0, 0.0, 0.0).unwrap();
+        assert!(!split.default_left);
+
+        // Flip: missing gradients look like the left child.
+        let hist2 = vec![
+            HistBin { grad: -5.0, hess: 2.0, count: 10 },
+            HistBin { grad: 5.0, hess: 2.0, count: 10 },
+            HistBin { grad: -4.0, hess: 1.0, count: 5 },
+        ];
+        let split2 =
+            best_split_for_feature(0, &hist2, 2, totals_of(&hist2), 1.0, 0.0, 0.0).unwrap();
+        assert!(split2.default_left);
+    }
+
+    #[test]
+    fn single_bin_feature_cannot_split() {
+        let hist = vec![HistBin { grad: 3.0, hess: 4.0, count: 9 }, HistBin::default()];
+        assert!(
+            best_split_for_feature(0, &hist, 1, totals_of(&hist), 1.0, 0.0, 0.0).is_none()
+        );
+    }
+
+    #[test]
+    fn leaf_weight_is_newton_step() {
+        assert!((leaf_weight(4.0, 3.0, 1.0) + 1.0).abs() < 1e-15);
+        assert_eq!(leaf_weight(0.0, 5.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Feature importance over a trained ensemble.
+//!
+//! SAFE ranks candidate features "by the average gain across all splits in
+//! which the feature is used" (Section IV-C3); total gain and split count
+//! are provided as well for diagnostics and the Fig. 3 experiment.
+
+use crate::tree::Tree;
+
+/// Which importance statistic to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportanceKind {
+    /// Sum of loss reductions over all splits on the feature.
+    TotalGain,
+    /// Mean loss reduction per split (the paper's ranking statistic).
+    AverageGain,
+    /// Number of splits on the feature.
+    SplitCount,
+}
+
+/// Per-feature importance scores, indexed by feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// `scores[f]` is the statistic for feature `f`; 0 when unused.
+    pub scores: Vec<f64>,
+}
+
+impl FeatureImportance {
+    /// Compute importance across an ensemble.
+    pub fn from_trees(trees: &[Tree], n_features: usize, kind: ImportanceKind) -> Self {
+        let mut gain = vec![0.0f64; n_features];
+        let mut count = vec![0usize; n_features];
+        for tree in trees {
+            for (f, g) in tree.split_gains() {
+                gain[f] += g;
+                count[f] += 1;
+            }
+        }
+        let scores = match kind {
+            ImportanceKind::TotalGain => gain,
+            ImportanceKind::SplitCount => count.iter().map(|&c| c as f64).collect(),
+            ImportanceKind::AverageGain => gain
+                .iter()
+                .zip(&count)
+                .map(|(&g, &c)| if c > 0 { g / c as f64 } else { 0.0 })
+                .collect(),
+        };
+        FeatureImportance { scores }
+    }
+
+    /// Feature indices sorted by descending score (stable for ties).
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Features that were used in at least one split.
+    pub fn used_features(&self) -> Vec<usize> {
+        (0..self.scores.len())
+            .filter(|&f| self.scores[f] > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeNode;
+
+    fn two_trees() -> Vec<Tree> {
+        // Tree A: splits on f0 (gain 10) then f1 (gain 2).
+        let a = Tree {
+            nodes: vec![
+                TreeNode::Internal { feature: 0, threshold: 0.5, default_left: true, left: 1, right: 2, gain: 10.0 },
+                TreeNode::Internal { feature: 1, threshold: 0.5, default_left: true, left: 3, right: 4, gain: 2.0 },
+                TreeNode::Leaf { value: 0.1 },
+                TreeNode::Leaf { value: 0.2 },
+                TreeNode::Leaf { value: 0.3 },
+            ],
+        };
+        // Tree B: splits on f0 (gain 4).
+        let b = Tree {
+            nodes: vec![
+                TreeNode::Internal { feature: 0, threshold: 0.7, default_left: true, left: 1, right: 2, gain: 4.0 },
+                TreeNode::Leaf { value: -0.1 },
+                TreeNode::Leaf { value: 0.1 },
+            ],
+        };
+        vec![a, b]
+    }
+
+    #[test]
+    fn total_gain_sums() {
+        let imp = FeatureImportance::from_trees(&two_trees(), 3, ImportanceKind::TotalGain);
+        assert_eq!(imp.scores, vec![14.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn average_gain_divides_by_count() {
+        let imp = FeatureImportance::from_trees(&two_trees(), 3, ImportanceKind::AverageGain);
+        assert_eq!(imp.scores, vec![7.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn split_count_counts() {
+        let imp = FeatureImportance::from_trees(&two_trees(), 3, ImportanceKind::SplitCount);
+        assert_eq!(imp.scores, vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn ranking_descends_with_stable_ties() {
+        let imp = FeatureImportance {
+            scores: vec![1.0, 5.0, 5.0, 0.0],
+        };
+        assert_eq!(imp.ranking(), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn used_features_excludes_unused() {
+        let imp = FeatureImportance::from_trees(&two_trees(), 3, ImportanceKind::TotalGain);
+        assert_eq!(imp.used_features(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_ensemble_is_all_zero() {
+        let imp = FeatureImportance::from_trees(&[], 2, ImportanceKind::AverageGain);
+        assert_eq!(imp.scores, vec![0.0, 0.0]);
+        assert!(imp.used_features().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # safe-gbm — gradient-boosted trees with path extraction
+//!
+//! A from-scratch reproduction of the XGBoost-style booster that SAFE uses
+//! three times per iteration:
+//!
+//! 1. **combination mining** — the split-feature *paths* of the trained trees
+//!    define the candidate feature combinations (Section IV-B1, Fig. 2),
+//! 2. **feature ranking** — surviving candidates are ordered by average split
+//!    gain (Section IV-C3),
+//! 3. **evaluation** — "XGB" is one of the nine downstream classifiers in
+//!    Tables III and VIII.
+//!
+//! The implementation is a second-order (Newton) booster:
+//!
+//! - logistic and squared-error objectives ([`loss`]),
+//! - histogram split finding over quantized feature bins ([`binner`],
+//!   [`histogram`]) — with `max_bins` ≥ the number of distinct values this
+//!   degenerates to exact greedy search,
+//! - L2 regularization `λ`, split penalty `γ`, `min_child_weight`, depth
+//!   limit, learning-rate shrinkage, row and column subsampling,
+//! - sparsity-aware missing-value handling (each split learns a default
+//!   direction for the missing bin),
+//! - optional early stopping on validation AUC,
+//! - per-feature gain/count importance ([`importance`]) and root→leaf-parent
+//!   path enumeration ([`tree::Tree::paths`]).
+//!
+//! Histogram construction is parallelized across features with the
+//! crossbeam-scoped helper from `safe-stats`, mirroring the paper's
+//! "distributed computing" requirement.
+
+#![warn(missing_docs)]
+
+pub mod binner;
+pub mod booster;
+pub mod dump;
+pub mod config;
+pub mod grow;
+pub mod histogram;
+pub mod importance;
+pub mod loss;
+pub mod tree;
+
+pub use binner::{BinMapper, BinnedMatrix};
+pub use booster::{Gbm, GbmModel};
+pub use dump::{dump_model, dump_tree};
+pub use config::{GbmConfig, Objective};
+pub use importance::{FeatureImportance, ImportanceKind};
+pub use tree::{SplitPath, Tree, TreeNode};

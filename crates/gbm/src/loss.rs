@@ -1,0 +1,149 @@
+//! Second-order loss functions: per-record gradient/hessian pairs.
+
+use crate::config::Objective;
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Gradient/hessian of one record at margin `pred` for label `y`.
+///
+/// Logistic: `g = p − y`, `h = p(1−p)` with `p = σ(pred)`.
+/// Squared:  `g = pred − y`, `h = 1`.
+pub fn grad_hess(objective: Objective, pred: f64, y: f64) -> (f64, f64) {
+    match objective {
+        Objective::Logistic => {
+            let p = sigmoid(pred);
+            (p - y, (p * (1.0 - p)).max(1e-16))
+        }
+        Objective::Squared => (pred - y, 1.0),
+    }
+}
+
+/// Initial margin (base score) from the label mean.
+///
+/// Logistic: log-odds of the positive rate. Squared: the mean itself.
+pub fn base_margin(objective: Objective, labels: &[u8]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mean = labels.iter().map(|&l| l as f64).sum::<f64>() / labels.len() as f64;
+    match objective {
+        Objective::Logistic => {
+            let p = mean.clamp(1e-6, 1.0 - 1e-6);
+            (p / (1.0 - p)).ln()
+        }
+        Objective::Squared => mean,
+    }
+}
+
+/// Map a raw margin to the output scale (probability for logistic).
+pub fn transform(objective: Objective, margin: f64) -> f64 {
+    match objective {
+        Objective::Logistic => sigmoid(margin),
+        Objective::Squared => margin,
+    }
+}
+
+/// Mean training loss at the given margins (for the monotonicity tests and
+/// verbose logging).
+pub fn mean_loss(objective: Objective, margins: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(margins.len(), labels.len());
+    if margins.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = margins
+        .iter()
+        .zip(labels)
+        .map(|(&m, &y)| {
+            let y = y as f64;
+            match objective {
+                Objective::Logistic => {
+                    // log(1 + e^{-m}) + (1-y) m, stable form.
+                    let p = sigmoid(m).clamp(1e-15, 1.0 - 1e-15);
+                    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+                }
+                Objective::Squared => {
+                    let d = m - y;
+                    0.5 * d * d
+                }
+            }
+        })
+        .sum();
+    total / margins.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_limits_and_center() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(40.0) > 1.0 - 1e-12);
+        assert!(sigmoid(-40.0) < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0, "no underflow panic");
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for x in [-3.0, -1.0, 0.5, 2.7] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_grad_signs() {
+        let (g_pos, h) = grad_hess(Objective::Logistic, 0.0, 1.0);
+        assert!(g_pos < 0.0, "positive label pulls margin up");
+        assert!(h > 0.0);
+        let (g_neg, _) = grad_hess(Objective::Logistic, 0.0, 0.0);
+        assert!(g_neg > 0.0, "negative label pushes margin down");
+    }
+
+    #[test]
+    fn logistic_hessian_peaks_at_center() {
+        let (_, h0) = grad_hess(Objective::Logistic, 0.0, 1.0);
+        let (_, h3) = grad_hess(Objective::Logistic, 3.0, 1.0);
+        assert!(h0 > h3);
+        assert!((h0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_loss_derivatives() {
+        let (g, h) = grad_hess(Objective::Squared, 2.0, 0.5);
+        assert!((g - 1.5).abs() < 1e-15);
+        assert_eq!(h, 1.0);
+    }
+
+    #[test]
+    fn base_margin_matches_log_odds() {
+        let labels = vec![1, 1, 1, 0]; // 75% positive
+        let m = base_margin(Objective::Logistic, &labels);
+        assert!((sigmoid(m) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_margin_extreme_rates_are_finite() {
+        assert!(base_margin(Objective::Logistic, &[1, 1, 1]).is_finite());
+        assert!(base_margin(Objective::Logistic, &[0, 0]).is_finite());
+        assert_eq!(base_margin(Objective::Logistic, &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_loss_decreases_toward_truth() {
+        let labels = vec![1, 0, 1, 0];
+        let bad = vec![0.0; 4];
+        let good = vec![2.0, -2.0, 2.0, -2.0];
+        assert!(
+            mean_loss(Objective::Logistic, &good, &labels)
+                < mean_loss(Objective::Logistic, &bad, &labels)
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Flat regression-tree structure, prediction, and path extraction.
+//!
+//! Path extraction implements the notation of Fig. 2: for every parent `l_j`
+//! of a leaf, the distinct split features on the chain root→`l_j` form the
+//! combination `p_j`, each feature carrying the (possibly multiple) split
+//! values `V_i` seen along the chain. SAFE's generation stage consumes
+//! exactly these.
+
+use std::collections::BTreeMap;
+
+/// One node of a flat tree arena; index 0 is the root.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Internal decision node: `value ≤ threshold` (or missing with
+    /// `default_left`) goes to `left`, otherwise `right`.
+    Internal {
+        /// Feature column index.
+        feature: usize,
+        /// Raw-value threshold.
+        threshold: f64,
+        /// Where missing values go.
+        default_left: bool,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+        /// Loss reduction achieved by this split.
+        gain: f64,
+    },
+    /// Terminal node carrying the (already shrunk) weight.
+    Leaf {
+        /// Leaf output added to the margin.
+        value: f64,
+    },
+}
+
+/// A single regression tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tree {
+    /// Node arena; entry 0 is the root. A freshly created tree is a single
+    /// zero leaf.
+    pub nodes: Vec<TreeNode>,
+}
+
+/// One root→leaf-parent path: the unit of SAFE's combination mining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPath {
+    /// Distinct split features, in order of first appearance on the path.
+    pub features: Vec<usize>,
+    /// All split values seen per feature along the path (the `V_i` sets of
+    /// Algorithm 2 — a feature can split more than once on one path).
+    pub split_values: BTreeMap<usize, Vec<f64>>,
+}
+
+impl Tree {
+    /// A stub tree predicting `value` everywhere.
+    pub fn leaf(value: f64) -> Tree {
+        Tree {
+            nodes: vec![TreeNode::Leaf { value }],
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(tree: &Tree, idx: usize) -> usize {
+            match &tree.nodes[idx] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Internal { left, right, .. } => {
+                    1 + walk(tree, *left).max(walk(tree, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(self, 0)
+        }
+    }
+
+    /// Margin contribution for one row of raw feature values.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Internal {
+                    feature,
+                    threshold,
+                    default_left,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let v = row[*feature];
+                    let go_left = if v.is_finite() {
+                        v <= *threshold
+                    } else {
+                        *default_left
+                    };
+                    idx = if go_left { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Margin contribution per row, reading from column slices (avoids
+    /// materializing row vectors when scoring a whole dataset).
+    pub fn predict_into(&self, columns: &[&[f64]], out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut idx = 0usize;
+            loop {
+                match &self.nodes[idx] {
+                    TreeNode::Leaf { value } => {
+                        *slot += *value;
+                        break;
+                    }
+                    TreeNode::Internal {
+                        feature,
+                        threshold,
+                        default_left,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        let v = columns[*feature][i];
+                        let go_left = if v.is_finite() {
+                            v <= *threshold
+                        } else {
+                            *default_left
+                        };
+                        idx = if go_left { *left } else { *right };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerate root→leaf-parent paths (Fig. 2 semantics). Each internal
+    /// node with at least one leaf child contributes one path consisting of
+    /// the split features from the root down to *and including* that node.
+    pub fn paths(&self) -> Vec<SplitPath> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() || matches!(self.nodes[0], TreeNode::Leaf { .. }) {
+            return out;
+        }
+        // DFS carrying the (feature, value) chain of ancestors + self.
+        let mut stack: Vec<(usize, Vec<(usize, f64)>)> = vec![(0, Vec::new())];
+        while let Some((idx, chain)) = stack.pop() {
+            let TreeNode::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            } = &self.nodes[idx]
+            else {
+                continue;
+            };
+            let mut chain_here = chain.clone();
+            chain_here.push((*feature, *threshold));
+            let left_is_leaf = matches!(self.nodes[*left], TreeNode::Leaf { .. });
+            let right_is_leaf = matches!(self.nodes[*right], TreeNode::Leaf { .. });
+            if left_is_leaf || right_is_leaf {
+                out.push(Self::chain_to_path(&chain_here));
+            }
+            if !left_is_leaf {
+                stack.push((*left, chain_here.clone()));
+            }
+            if !right_is_leaf {
+                stack.push((*right, chain_here));
+            }
+        }
+        out
+    }
+
+    fn chain_to_path(chain: &[(usize, f64)]) -> SplitPath {
+        let mut features = Vec::new();
+        let mut split_values: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for &(f, v) in chain {
+            if !features.contains(&f) {
+                features.push(f);
+            }
+            let values = split_values.entry(f).or_default();
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+        SplitPath {
+            features,
+            split_values,
+        }
+    }
+
+    /// Iterate `(feature, gain)` over all internal nodes — raw material for
+    /// gain importance.
+    pub fn split_gains(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.nodes.iter().filter_map(|n| match n {
+            TreeNode::Internal { feature, gain, .. } => Some((*feature, *gain)),
+            TreeNode::Leaf { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2-shaped tree:
+    ///
+    /// ```text
+    ///            x1 ≤ 5
+    ///           /       \
+    ///        x2 ≤ 3     leaf(9)
+    ///        /     \
+    ///    x3 ≤ 1   x4 ≤ 2
+    ///     /  \     /  \
+    ///   l(1) l(2) l(3) l(4)
+    /// ```
+    fn fig2_tree() -> Tree {
+        Tree {
+            nodes: vec![
+                TreeNode::Internal { feature: 1, threshold: 5.0, default_left: true, left: 1, right: 2, gain: 10.0 },
+                TreeNode::Internal { feature: 2, threshold: 3.0, default_left: true, left: 3, right: 4, gain: 6.0 },
+                TreeNode::Leaf { value: 9.0 },
+                TreeNode::Internal { feature: 3, threshold: 1.0, default_left: false, left: 5, right: 6, gain: 4.0 },
+                TreeNode::Internal { feature: 4, threshold: 2.0, default_left: true, left: 7, right: 8, gain: 3.0 },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 2.0 },
+                TreeNode::Leaf { value: 3.0 },
+                TreeNode::Leaf { value: 4.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn prediction_routes_correctly() {
+        let t = fig2_tree();
+        // x = [_, x1, x2, x3, x4] with feature indices 1..=4 used.
+        assert_eq!(t.predict_row(&[0.0, 9.0, 0.0, 0.0, 0.0]), 9.0);
+        assert_eq!(t.predict_row(&[0.0, 1.0, 1.0, 0.5, 0.0]), 1.0);
+        assert_eq!(t.predict_row(&[0.0, 1.0, 1.0, 2.0, 0.0]), 2.0);
+        assert_eq!(t.predict_row(&[0.0, 1.0, 7.0, 0.0, 1.0]), 3.0);
+        assert_eq!(t.predict_row(&[0.0, 1.0, 7.0, 0.0, 5.0]), 4.0);
+    }
+
+    #[test]
+    fn missing_values_follow_default_direction() {
+        let t = fig2_tree();
+        // Root default_left=true: NaN on x1 goes left; then NaN on x2 left;
+        // node 3 default_left=false: NaN on x3 goes right → leaf 2.
+        assert_eq!(t.predict_row(&[0.0, f64::NAN, f64::NAN, f64::NAN, 0.0]), 2.0);
+    }
+
+    #[test]
+    fn paths_match_fig2() {
+        let t = fig2_tree();
+        let mut paths = t.paths();
+        paths.sort_by_key(|p| p.features.clone());
+        // Three leaf parents: root (leaf(9) child), node 3, node 4.
+        assert_eq!(paths.len(), 3);
+        let feats: Vec<Vec<usize>> = paths.iter().map(|p| p.features.clone()).collect();
+        assert!(feats.contains(&vec![1]));          // root alone (right leaf)
+        assert!(feats.contains(&vec![1, 2, 3]));    // p1 in the paper
+        assert!(feats.contains(&vec![1, 2, 4]));    // p2 in the paper
+    }
+
+    #[test]
+    fn path_split_values_recorded() {
+        let t = fig2_tree();
+        let paths = t.paths();
+        let p = paths.iter().find(|p| p.features == vec![1, 2, 3]).unwrap();
+        assert_eq!(p.split_values[&1], vec![5.0]);
+        assert_eq!(p.split_values[&2], vec![3.0]);
+        assert_eq!(p.split_values[&3], vec![1.0]);
+    }
+
+    #[test]
+    fn repeated_feature_on_path_dedups_but_collects_values() {
+        // x0 ≤ 5 → x0 ≤ 2 → leaves.
+        let t = Tree {
+            nodes: vec![
+                TreeNode::Internal { feature: 0, threshold: 5.0, default_left: true, left: 1, right: 2, gain: 1.0 },
+                TreeNode::Internal { feature: 0, threshold: 2.0, default_left: true, left: 3, right: 4, gain: 1.0 },
+                TreeNode::Leaf { value: 0.0 },
+                TreeNode::Leaf { value: -1.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+        };
+        let paths = t.paths();
+        // Root has a leaf child (right) AND node 1 has leaf children.
+        assert_eq!(paths.len(), 2);
+        let deep = paths.iter().find(|p| p.split_values[&0].len() == 2).unwrap();
+        assert_eq!(deep.features, vec![0]);
+        assert_eq!(deep.split_values[&0], vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_no_paths() {
+        assert!(Tree::leaf(0.3).paths().is_empty());
+    }
+
+    #[test]
+    fn depth_and_leaves() {
+        let t = fig2_tree();
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.n_leaves(), 5);
+        assert_eq!(Tree::leaf(0.0).depth(), 0);
+        assert_eq!(Tree::leaf(0.0).n_leaves(), 1);
+    }
+
+    #[test]
+    fn predict_into_accumulates() {
+        let t = fig2_tree();
+        let c0 = vec![0.0, 0.0];
+        let c1 = vec![9.0, 1.0];
+        let c2 = vec![0.0, 1.0];
+        let c3 = vec![0.0, 0.5];
+        let c4 = vec![0.0, 0.0];
+        let cols: Vec<&[f64]> = vec![&c0, &c1, &c2, &c3, &c4];
+        let mut out = vec![100.0, 100.0];
+        t.predict_into(&cols, &mut out);
+        assert_eq!(out, vec![109.0, 101.0]);
+    }
+
+    #[test]
+    fn split_gains_lists_internal_nodes() {
+        let t = fig2_tree();
+        let gains: Vec<(usize, f64)> = t.split_gains().collect();
+        assert_eq!(gains.len(), 4);
+        assert!(gains.contains(&(1, 10.0)));
+        assert!(gains.contains(&(4, 3.0)));
+    }
+}

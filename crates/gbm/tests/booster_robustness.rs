@@ -1,0 +1,192 @@
+//! Robustness and failure-injection tests for the booster beyond the unit
+//! suite: degenerate data, extreme hyper-parameters, NaN-heavy columns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use safe_data::dataset::Dataset;
+use safe_gbm::booster::Gbm;
+use safe_gbm::config::{GbmConfig, Objective};
+use safe_stats::auc::auc;
+
+fn toy(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x1: f64 = rng.gen_range(-1.0..1.0);
+        let x2: f64 = rng.gen_range(-1.0..1.0);
+        a.push(x1);
+        b.push(x2);
+        y.push((x1 - x2 > 0.0) as u8);
+    }
+    Dataset::from_columns(vec!["a".into(), "b".into()], vec![a, b], Some(y)).unwrap()
+}
+
+#[test]
+fn single_class_training_is_total() {
+    let ds = Dataset::from_columns(
+        vec!["x".into()],
+        vec![(0..50).map(|i| i as f64).collect()],
+        Some(vec![1u8; 50]),
+    )
+    .unwrap();
+    let model = Gbm::default_trainer().fit(&ds, None).unwrap();
+    let preds = model.predict(&ds);
+    assert!(preds.iter().all(|p| p.is_finite() && *p > 0.5));
+}
+
+#[test]
+fn constant_features_yield_base_rate() {
+    let ds = Dataset::from_columns(
+        vec!["x".into()],
+        vec![vec![7.0; 100]],
+        Some((0..100).map(|i| (i % 4 == 0) as u8).collect()),
+    )
+    .unwrap();
+    let model = Gbm::default_trainer().fit(&ds, None).unwrap();
+    let preds = model.predict(&ds);
+    // No split possible → every prediction equals the base rate.
+    for p in &preds {
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+}
+
+#[test]
+fn mostly_missing_feature_still_trains() {
+    let n = 400;
+    let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    // 80% NaN; where present the value encodes the label. (Present rows
+    // must cover both parities, i.e. both classes.)
+    let x: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 10 < 2 {
+                labels[i] as f64 * 10.0
+            } else {
+                f64::NAN
+            }
+        })
+        .collect();
+    let noise: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64).collect();
+    let ds = Dataset::from_columns(
+        vec!["sparse".into(), "noise".into()],
+        vec![x, noise],
+        Some(labels.clone()),
+    )
+    .unwrap();
+    let model = Gbm::default_trainer().fit(&ds, None).unwrap();
+    let preds = model.predict(&ds);
+    assert!(preds.iter().all(|p| p.is_finite()));
+    // On the 10% of rows with data, the model should separate the classes.
+    let present: Vec<usize> = (0..n).filter(|i| i % 10 < 2).collect();
+    let sub_preds: Vec<f64> = present.iter().map(|&i| preds[i]).collect();
+    let sub_labels: Vec<u8> = present.iter().map(|&i| labels[i]).collect();
+    assert!(auc(&sub_preds, &sub_labels) > 0.95);
+}
+
+#[test]
+fn extreme_subsampling_still_learns() {
+    let train = toy(2_000, 1);
+    let test = toy(500, 2);
+    let model = Gbm::new(GbmConfig {
+        subsample: 0.1,
+        colsample: 0.5,
+        n_rounds: 60,
+        ..GbmConfig::default()
+    })
+    .fit(&train, None)
+    .unwrap();
+    let a = auc(&model.predict(&test), test.labels().unwrap());
+    assert!(a > 0.9, "auc = {a}");
+}
+
+#[test]
+fn tiny_max_bins_degrades_gracefully() {
+    let train = toy(1_000, 3);
+    let model = Gbm::new(GbmConfig {
+        max_bins: 4, // 3 value bins + missing
+        ..GbmConfig::default()
+    })
+    .fit(&train, None)
+    .unwrap();
+    let a = auc(&model.predict(&train), train.labels().unwrap());
+    assert!(a > 0.8, "coarse bins still capture the signal, auc = {a}");
+}
+
+#[test]
+fn depth_one_is_additive_stumps() {
+    let train = toy(1_000, 4);
+    let model = Gbm::new(GbmConfig {
+        max_depth: 1,
+        n_rounds: 80,
+        ..GbmConfig::default()
+    })
+    .fit(&train, None)
+    .unwrap();
+    for t in model.trees() {
+        assert!(t.depth() <= 1);
+    }
+    let a = auc(&model.predict(&train), train.labels().unwrap());
+    assert!(a > 0.9, "boosted stumps fit an additive boundary, auc = {a}");
+}
+
+#[test]
+fn squared_objective_regresses() {
+    let train = toy(800, 5);
+    let model = Gbm::new(GbmConfig {
+        objective: Objective::Squared,
+        n_rounds: 40,
+        ..GbmConfig::default()
+    })
+    .fit(&train, None)
+    .unwrap();
+    // Squared-loss scores still rank correctly even if uncalibrated.
+    let a = auc(&model.predict(&train), train.labels().unwrap());
+    assert!(a > 0.95, "auc = {a}");
+}
+
+#[test]
+fn eval_history_tracks_rounds() {
+    let train = toy(800, 6);
+    let valid = toy(300, 7);
+    let model = Gbm::new(GbmConfig {
+        n_rounds: 25,
+        ..GbmConfig::default()
+    })
+    .fit(&train, Some(&valid))
+    .unwrap();
+    assert_eq!(model.eval_history.len(), 25);
+    assert!(model.eval_history.iter().all(|a| (0.0..=1.0).contains(a)));
+    // Late AUC should beat round-0 AUC on this easy task.
+    assert!(model.eval_history.last().unwrap() >= &model.eval_history[0]);
+}
+
+#[test]
+fn importance_is_stable_across_identical_fits() {
+    let train = toy(600, 8);
+    let m1 = Gbm::default_trainer().fit(&train, None).unwrap();
+    let m2 = Gbm::default_trainer().fit(&train, None).unwrap();
+    assert_eq!(
+        m1.importance(safe_gbm::importance::ImportanceKind::TotalGain).scores,
+        m2.importance(safe_gbm::importance::ImportanceKind::TotalGain).scores
+    );
+}
+
+#[test]
+fn paths_respect_depth_bound() {
+    let train = toy(1_500, 9);
+    let model = Gbm::new(GbmConfig {
+        max_depth: 3,
+        ..GbmConfig::default()
+    })
+    .fit(&train, None)
+    .unwrap();
+    for p in model.paths() {
+        assert!(p.features.len() <= 3, "path features bounded by depth");
+        // Split values per feature bounded by repeats along one path.
+        for vals in p.split_values.values() {
+            assert!(vals.len() <= 3);
+        }
+    }
+}

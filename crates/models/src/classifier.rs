@@ -1,0 +1,187 @@
+//! The `Classifier` / `FittedClassifier` traits and the paper's roster.
+
+use safe_data::dataset::Dataset;
+use std::fmt;
+
+/// Errors from model training/prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Training data unusable (no labels, no rows, single class...).
+    BadTrainingData(String),
+    /// Prediction input incompatible with the fitted model.
+    ShapeMismatch {
+        /// Features the model was trained on.
+        expected: usize,
+        /// Features supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadTrainingData(msg) => write!(f, "bad training data: {msg}"),
+            ModelError::ShapeMismatch { expected, actual } => {
+                write!(f, "model expects {expected} features, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A trainable binary classifier.
+pub trait Classifier: Send + Sync {
+    /// Paper abbreviation, e.g. `"RF"`.
+    fn name(&self) -> &'static str;
+
+    /// Train on a labeled dataset.
+    fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError>;
+}
+
+/// A trained binary classifier.
+pub trait FittedClassifier: Send + Sync {
+    /// Positive-class scores in `[0, 1]`, one per row.
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, ModelError>;
+
+    /// Number of features the model expects.
+    fn n_features(&self) -> usize;
+
+    /// Shared input check.
+    fn check_shape(&self, ds: &Dataset) -> Result<(), ModelError> {
+        if ds.n_cols() != self.n_features() {
+            return Err(ModelError::ShapeMismatch {
+                expected: self.n_features(),
+                actual: ds.n_cols(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validate a training set and return its labels.
+pub(crate) fn training_labels(ds: &Dataset) -> Result<&[u8], ModelError> {
+    let labels = ds
+        .labels()
+        .ok_or_else(|| ModelError::BadTrainingData("no labels attached".into()))?;
+    if ds.n_rows() == 0 || ds.n_cols() == 0 {
+        return Err(ModelError::BadTrainingData("empty dataset".into()));
+    }
+    Ok(labels)
+}
+
+/// The nine classifiers of Tables III/VIII, by paper abbreviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// AdaBoost.
+    Ab,
+    /// Decision tree.
+    Dt,
+    /// Extremely randomized trees.
+    Et,
+    /// k nearest neighbors.
+    Knn,
+    /// Logistic regression.
+    Lr,
+    /// Multi-layer perceptron.
+    Mlp,
+    /// Random forest.
+    Rf,
+    /// Linear-kernel SVM.
+    Svm,
+    /// Gradient-boosted trees.
+    Xgb,
+}
+
+impl ClassifierKind {
+    /// Every classifier, in the row order of Table III.
+    pub const ALL: [ClassifierKind; 9] = [
+        ClassifierKind::Ab,
+        ClassifierKind::Dt,
+        ClassifierKind::Et,
+        ClassifierKind::Knn,
+        ClassifierKind::Lr,
+        ClassifierKind::Mlp,
+        ClassifierKind::Rf,
+        ClassifierKind::Svm,
+        ClassifierKind::Xgb,
+    ];
+
+    /// Paper abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ClassifierKind::Ab => "AB",
+            ClassifierKind::Dt => "DT",
+            ClassifierKind::Et => "ET",
+            ClassifierKind::Knn => "kNN",
+            ClassifierKind::Lr => "LR",
+            ClassifierKind::Mlp => "MLP",
+            ClassifierKind::Rf => "RF",
+            ClassifierKind::Svm => "SVM",
+            ClassifierKind::Xgb => "XGB",
+        }
+    }
+
+    /// Build the classifier with default (scikit-learn-like) settings.
+    pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::Ab => Box::new(crate::adaboost::AdaBoost::new(seed)),
+            ClassifierKind::Dt => Box::new(crate::tree::DecisionTree::new(seed)),
+            ClassifierKind::Et => Box::new(crate::forest::ExtraTrees::new(seed)),
+            ClassifierKind::Knn => Box::new(crate::knn::KNearestNeighbors::default_k()),
+            ClassifierKind::Lr => Box::new(crate::linear::LogisticRegression::new(seed)),
+            ClassifierKind::Mlp => Box::new(crate::mlp::MlpClassifier::new(seed)),
+            ClassifierKind::Rf => Box::new(crate::forest::RandomForest::new(seed)),
+            ClassifierKind::Svm => Box::new(crate::linear::LinearSvm::new(seed)),
+            ClassifierKind::Xgb => Box::new(crate::xgb::XgbClassifier::new(seed)),
+        }
+    }
+}
+
+/// Train on `train`, score `test`, return AUC — the evaluation step used by
+/// every experiment harness.
+pub fn evaluate_auc(
+    kind: ClassifierKind,
+    train: &Dataset,
+    test: &Dataset,
+    seed: u64,
+) -> Result<f64, ModelError> {
+    let model = kind.build(seed).fit(train)?;
+    let probs = model.predict_proba(test)?;
+    let labels = test
+        .labels()
+        .ok_or_else(|| ModelError::BadTrainingData("test set has no labels".into()))?;
+    Ok(safe_stats::auc::auc(&probs, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_roster_matches_paper() {
+        let abbrevs: Vec<&str> = ClassifierKind::ALL.iter().map(|k| k.abbrev()).collect();
+        assert_eq!(
+            abbrevs,
+            vec!["AB", "DT", "ET", "kNN", "LR", "MLP", "RF", "SVM", "XGB"]
+        );
+    }
+
+    #[test]
+    fn build_produces_named_models() {
+        for kind in ClassifierKind::ALL {
+            let model = kind.build(0);
+            assert_eq!(model.name(), kind.abbrev());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::ShapeMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,336 @@
+//! Linear models: logistic regression (mini-batch SGD, L2) and linear SVM
+//! (Pegasos hinge-loss SGD) — the paper's "LR" and "SVM" classifiers.
+//!
+//! Both standardize features internally and emit sigmoid-squashed decision
+//! values, which is all AUC needs (SVM scores are uncalibrated but correctly
+//! ordered).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use safe_data::dataset::Dataset;
+
+use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
+use crate::scaler::StandardScaler;
+
+/// Shared SGD settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConfig {
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Mini-batch size (logistic regression only; Pegasos is per-sample).
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig {
+            epochs: 40,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Fitted linear scorer `σ(w·x + b)` on standardized inputs.
+pub struct FittedLinear {
+    scaler: StandardScaler,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl FittedLinear {
+    fn margin(&self, row: &[f64]) -> f64 {
+        let mut m = self.bias;
+        for (w, x) in self.weights.iter().zip(row) {
+            m += w * x;
+        }
+        m
+    }
+}
+
+impl FittedClassifier for FittedLinear {
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, ModelError> {
+        self.check_shape(ds)?;
+        let rows = self.scaler.transform_rows(ds);
+        Ok(rows
+            .iter()
+            .map(|r| {
+                let m = self.margin(r);
+                if m >= 0.0 {
+                    1.0 / (1.0 + (-m).exp())
+                } else {
+                    let e = m.exp();
+                    e / (1.0 + e)
+                }
+            })
+            .collect())
+    }
+    fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+}
+
+/// The paper's "LR" classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LinearConfig,
+}
+
+impl LogisticRegression {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        LogisticRegression {
+            config: LinearConfig { seed, ..LinearConfig::default() },
+        }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: LinearConfig) -> Self {
+        LogisticRegression { config }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+    fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
+        let labels = training_labels(train)?.to_vec();
+        let scaler = StandardScaler::fit(train);
+        let rows = scaler.transform_rows(train);
+        let n = rows.len();
+        let d = train.n_cols();
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let cfg = &self.config;
+
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + 0.1 * epoch as f64);
+            for batch in order.chunks(cfg.batch_size) {
+                let mut gw = vec![0.0f64; d];
+                let mut gb = 0.0f64;
+                for &i in batch {
+                    let mut m = b;
+                    for (wj, xj) in w.iter().zip(&rows[i]) {
+                        m += wj * xj;
+                    }
+                    let p = if m >= 0.0 {
+                        1.0 / (1.0 + (-m).exp())
+                    } else {
+                        let e = m.exp();
+                        e / (1.0 + e)
+                    };
+                    let err = p - labels[i] as f64;
+                    for (g, xj) in gw.iter_mut().zip(&rows[i]) {
+                        *g += err * xj;
+                    }
+                    gb += err;
+                }
+                let k = batch.len() as f64;
+                for (wj, g) in w.iter_mut().zip(&gw) {
+                    *wj -= lr * (g / k + cfg.l2 * *wj);
+                }
+                b -= lr * gb / k;
+            }
+        }
+        Ok(Box::new(FittedLinear {
+            scaler,
+            weights: w,
+            bias: b,
+        }))
+    }
+}
+
+/// The paper's "SVM" classifier (linear kernel, Pegasos SGD).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    config: LinearConfig,
+}
+
+impl LinearSvm {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        LinearSvm {
+            config: LinearConfig {
+                seed,
+                l2: 1e-4,
+                epochs: 40,
+                ..LinearConfig::default()
+            },
+        }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: LinearConfig) -> Self {
+        LinearSvm { config }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+    fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
+        let labels = training_labels(train)?.to_vec();
+        let scaler = StandardScaler::fit(train);
+        let rows = scaler.transform_rows(train);
+        let n = rows.len();
+        let d = train.n_cols();
+        let lambda = self.config.l2.max(1e-8);
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        // Offset the Pegasos step counter so η = 1/(λ·t) starts near 1
+        // instead of 1/λ — the unregularized bias otherwise takes one huge
+        // first step that saturates every margin.
+        let mut t = (1.0 / lambda).ceil() as usize;
+
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (lambda * t as f64);
+                let y = if labels[i] == 1 { 1.0 } else { -1.0 };
+                let mut m = b;
+                for (wj, xj) in w.iter().zip(&rows[i]) {
+                    m += wj * xj;
+                }
+                // Pegasos step: always shrink, add the sample on margin
+                // violation.
+                let shrink = 1.0 - eta * lambda;
+                for wj in w.iter_mut() {
+                    *wj *= shrink;
+                }
+                if y * m < 1.0 {
+                    for (wj, xj) in w.iter_mut().zip(&rows[i]) {
+                        *wj += eta * y * xj;
+                    }
+                    b += eta * y;
+                }
+            }
+        }
+        Ok(Box::new(FittedLinear {
+            scaler,
+            weights: w,
+            bias: b,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use safe_stats::auc::auc;
+
+    fn linear_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            c0.push(a);
+            c1.push(b);
+            y.push((2.0 * a - b + rng.gen_range(-0.2..0.2) > 0.0) as u8);
+        }
+        Dataset::from_columns(vec!["a".into(), "b".into()], vec![c0, c1], Some(y)).unwrap()
+    }
+
+    #[test]
+    fn logistic_regression_fits_linear_boundary() {
+        let train = linear_data(600, 1);
+        let test = linear_data(300, 2);
+        let model = LogisticRegression::new(0).fit(&train).unwrap();
+        let a = auc(&model.predict_proba(&test).unwrap(), test.labels().unwrap());
+        assert!(a > 0.97, "auc = {a}");
+    }
+
+    #[test]
+    fn svm_fits_linear_boundary() {
+        let train = linear_data(600, 3);
+        let test = linear_data(300, 4);
+        let model = LinearSvm::new(0).fit(&train).unwrap();
+        let a = auc(&model.predict_proba(&test).unwrap(), test.labels().unwrap());
+        assert!(a > 0.97, "auc = {a}");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let train = linear_data(200, 5);
+        for model in [
+            LogisticRegression::new(0).fit(&train).unwrap(),
+            LinearSvm::new(0).fit(&train).unwrap(),
+        ] {
+            for p in model.predict_proba(&train).unwrap() {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_data_learns_the_minority_direction() {
+        // 10% positives along +x; ranking must still be right.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 500;
+        let x: Vec<f64> = (0..n).map(|i| if i % 10 == 0 { rng.gen_range(1.0..2.0) } else { rng.gen_range(-2.0..0.5) }).collect();
+        let y: Vec<u8> = (0..n).map(|i| (i % 10 == 0) as u8).collect();
+        let ds = Dataset::from_columns(vec!["x".into()], vec![x], Some(y)).unwrap();
+        let model = LogisticRegression::new(0).fit(&ds).unwrap();
+        let a = auc(&model.predict_proba(&ds).unwrap(), ds.labels().unwrap());
+        assert!(a > 0.9, "auc = {a}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = linear_data(200, 7);
+        let a = LogisticRegression::new(11).fit(&train).unwrap();
+        let b = LogisticRegression::new(11).fit(&train).unwrap();
+        assert_eq!(
+            a.predict_proba(&train).unwrap(),
+            b.predict_proba(&train).unwrap()
+        );
+        let s1 = LinearSvm::new(11).fit(&train).unwrap();
+        let s2 = LinearSvm::new(11).fit(&train).unwrap();
+        assert_eq!(
+            s1.predict_proba(&train).unwrap(),
+            s2.predict_proba(&train).unwrap()
+        );
+    }
+
+    #[test]
+    fn handles_missing_cells() {
+        let mut train = linear_data(200, 8);
+        // Punch NaNs into the first column.
+        let mut col = train.column(0).unwrap().to_vec();
+        for i in (0..col.len()).step_by(7) {
+            col[i] = f64::NAN;
+        }
+        let labels = train.labels().unwrap().to_vec();
+        let c1 = train.column(1).unwrap().to_vec();
+        train = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![col, c1],
+            Some(labels),
+        )
+        .unwrap();
+        let model = LogisticRegression::new(0).fit(&train).unwrap();
+        let probs = model.predict_proba(&train).unwrap();
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+}

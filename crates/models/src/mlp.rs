@@ -1,0 +1,299 @@
+//! Multi-layer perceptron — the paper's "MLP" classifier.
+//!
+//! One hidden ReLU layer, sigmoid output, log-loss, mini-batch SGD with
+//! momentum, He initialization. The scikit-learn default is a (100,) hidden
+//! layer; that width is kept but epochs are modest since the benchmark
+//! harness trains this model hundreds of times.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use safe_data::dataset::Dataset;
+
+use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
+use crate::scaler::StandardScaler;
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 100,
+            epochs: 30,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 64,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// The paper's "MLP" classifier.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    config: MlpConfig,
+}
+
+impl MlpClassifier {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        MlpClassifier {
+            config: MlpConfig { seed, ..MlpConfig::default() },
+        }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: MlpConfig) -> Self {
+        MlpClassifier { config }
+    }
+}
+
+/// Fitted network weights.
+pub struct FittedMlp {
+    scaler: StandardScaler,
+    /// `w1[h * d + j]`: input j → hidden h.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// hidden h → output.
+    w2: Vec<f64>,
+    b2: f64,
+    hidden: usize,
+}
+
+impl FittedMlp {
+    fn forward(&self, x: &[f64], hidden_buf: &mut [f64]) -> f64 {
+        let d = x.len();
+        for h in 0..self.hidden {
+            let mut a = self.b1[h];
+            let row = &self.w1[h * d..(h + 1) * d];
+            for (w, xi) in row.iter().zip(x) {
+                a += w * xi;
+            }
+            hidden_buf[h] = a.max(0.0);
+        }
+        let mut z = self.b2;
+        for (w, a) in self.w2.iter().zip(hidden_buf.iter()) {
+            z += w * a;
+        }
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+    fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
+        let labels = training_labels(train)?.to_vec();
+        let scaler = StandardScaler::fit(train);
+        let rows = scaler.transform_rows(train);
+        let n = rows.len();
+        let d = train.n_cols();
+        let hdim = self.config.hidden;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // He init for the ReLU layer, small uniform for the head.
+        let scale1 = (2.0 / d as f64).sqrt();
+        let mut w1: Vec<f64> = (0..hdim * d).map(|_| rng.gen_range(-scale1..scale1)).collect();
+        let mut b1 = vec![0.0f64; hdim];
+        let scale2 = (1.0 / hdim as f64).sqrt();
+        let mut w2: Vec<f64> = (0..hdim).map(|_| rng.gen_range(-scale2..scale2)).collect();
+        let mut b2 = 0.0f64;
+
+        // Momentum buffers.
+        let mut vw1 = vec![0.0f64; hdim * d];
+        let mut vb1 = vec![0.0f64; hdim];
+        let mut vw2 = vec![0.0f64; hdim];
+        let mut vb2 = 0.0f64;
+
+        let cfg = &self.config;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut hidden = vec![0.0f64; hdim];
+        let mut gw1 = vec![0.0f64; hdim * d];
+        let mut gb1 = vec![0.0f64; hdim];
+        let mut gw2 = vec![0.0f64; hdim];
+
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + 0.05 * epoch as f64);
+            for batch in order.chunks(cfg.batch_size) {
+                gw1.iter_mut().for_each(|g| *g = 0.0);
+                gb1.iter_mut().for_each(|g| *g = 0.0);
+                gw2.iter_mut().for_each(|g| *g = 0.0);
+                let mut gb2 = 0.0f64;
+
+                for &i in batch {
+                    let x = &rows[i];
+                    // Forward.
+                    for h in 0..hdim {
+                        let mut a = b1[h];
+                        let wrow = &w1[h * d..(h + 1) * d];
+                        for (w, xi) in wrow.iter().zip(x) {
+                            a += w * xi;
+                        }
+                        hidden[h] = a.max(0.0);
+                    }
+                    let mut z = b2;
+                    for (w, a) in w2.iter().zip(&hidden) {
+                        z += w * a;
+                    }
+                    let p = if z >= 0.0 {
+                        1.0 / (1.0 + (-z).exp())
+                    } else {
+                        let e = z.exp();
+                        e / (1.0 + e)
+                    };
+                    // Backward.
+                    let dz = p - labels[i] as f64;
+                    gb2 += dz;
+                    for h in 0..hdim {
+                        gw2[h] += dz * hidden[h];
+                        if hidden[h] > 0.0 {
+                            let dh = dz * w2[h];
+                            gb1[h] += dh;
+                            let grow = &mut gw1[h * d..(h + 1) * d];
+                            for (g, xi) in grow.iter_mut().zip(x) {
+                                *g += dh * xi;
+                            }
+                        }
+                    }
+                }
+
+                let k = batch.len() as f64;
+                for (idx, w) in w1.iter_mut().enumerate() {
+                    vw1[idx] = cfg.momentum * vw1[idx] - lr * (gw1[idx] / k + cfg.l2 * *w);
+                    *w += vw1[idx];
+                }
+                for h in 0..hdim {
+                    vb1[h] = cfg.momentum * vb1[h] - lr * gb1[h] / k;
+                    b1[h] += vb1[h];
+                    vw2[h] = cfg.momentum * vw2[h] - lr * (gw2[h] / k + cfg.l2 * w2[h]);
+                    w2[h] += vw2[h];
+                }
+                vb2 = cfg.momentum * vb2 - lr * gb2 / k;
+                b2 += vb2;
+            }
+        }
+
+        Ok(Box::new(FittedMlp {
+            scaler,
+            w1,
+            b1,
+            w2,
+            b2,
+            hidden: hdim,
+        }))
+    }
+}
+
+impl FittedClassifier for FittedMlp {
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, ModelError> {
+        self.check_shape(ds)?;
+        let rows = self.scaler.transform_rows(ds);
+        let mut buf = vec![0.0f64; self.hidden];
+        Ok(rows.iter().map(|r| self.forward(r, &mut buf)).collect())
+    }
+    fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use safe_stats::auc::auc;
+
+    fn rings(n: usize, seed: u64) -> Dataset {
+        // Nonlinear target: inside-vs-outside a circle, which a linear model
+        // cannot express but one hidden layer can.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.5..1.5);
+            let b: f64 = rng.gen_range(-1.5..1.5);
+            c0.push(a);
+            c1.push(b);
+            y.push(((a * a + b * b) < 1.0) as u8);
+        }
+        Dataset::from_columns(vec!["a".into(), "b".into()], vec![c0, c1], Some(y)).unwrap()
+    }
+
+    #[test]
+    fn learns_a_nonlinear_boundary() {
+        let train = rings(800, 1);
+        let test = rings(400, 2);
+        let model = MlpClassifier::with_config(MlpConfig {
+            hidden: 32,
+            epochs: 60,
+            ..MlpConfig::default()
+        })
+        .fit(&train)
+        .unwrap();
+        let a = auc(&model.predict_proba(&test).unwrap(), test.labels().unwrap());
+        assert!(a > 0.9, "auc = {a}");
+
+        // A linear model cannot do this.
+        let lin = crate::linear::LogisticRegression::new(0).fit(&train).unwrap();
+        let a_lin = auc(&lin.predict_proba(&test).unwrap(), test.labels().unwrap());
+        assert!(a > a_lin + 0.2, "mlp {a} vs linear {a_lin}");
+    }
+
+    #[test]
+    fn outputs_are_probabilities() {
+        let train = rings(200, 3);
+        let model = MlpClassifier::new(0).fit(&train).unwrap();
+        for p in model.predict_proba(&train).unwrap() {
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = rings(150, 4);
+        let a = MlpClassifier::new(9).fit(&train).unwrap();
+        let b = MlpClassifier::new(9).fit(&train).unwrap();
+        assert_eq!(
+            a.predict_proba(&train).unwrap(),
+            b.predict_proba(&train).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let train = rings(150, 5);
+        let a = MlpClassifier::new(1).fit(&train).unwrap();
+        let b = MlpClassifier::new(2).fit(&train).unwrap();
+        assert_ne!(
+            a.predict_proba(&train).unwrap(),
+            b.predict_proba(&train).unwrap()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Internal feature standardization shared by the distance/gradient models
+//! (kNN, LR, SVM, MLP). Tree models are scale-invariant and skip it.
+
+use safe_data::dataset::Dataset;
+use safe_stats::describe::describe;
+
+/// Frozen per-feature z-score parameters; NaN inputs become 0 after scaling
+/// (mean imputation), which keeps the linear models total on dirty data.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit means/stds per column of the training set.
+    pub fn fit(ds: &Dataset) -> StandardScaler {
+        let mut means = Vec::with_capacity(ds.n_cols());
+        let mut stds = Vec::with_capacity(ds.n_cols());
+        for col in ds.columns() {
+            let s = describe(col);
+            means.push(s.mean);
+            stds.push(if s.std > 0.0 { s.std } else { 1.0 });
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Scale a dataset to row-major form (the layout the iterative models
+    /// consume), imputing missing cells to the (scaled) mean, i.e. zero.
+    pub fn transform_rows(&self, ds: &Dataset) -> Vec<Vec<f64>> {
+        let cols: Vec<&[f64]> = ds.columns().collect();
+        (0..ds.n_rows())
+            .map(|i| {
+                cols.iter()
+                    .enumerate()
+                    .map(|(f, c)| self.scale_cell(f, c[i]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Scale one raw cell.
+    #[inline]
+    pub fn scale_cell(&self, feature: usize, v: f64) -> f64 {
+        if v.is_finite() {
+            (v - self.means[feature]) / self.stds[feature]
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![10.0, 10.0, 10.0]],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standardizes_columns() {
+        let s = StandardScaler::fit(&ds());
+        let rows = s.transform_rows(&ds());
+        // Column a: mean 2, std sqrt(2/3).
+        let std = (2.0f64 / 3.0).sqrt();
+        assert!((rows[0][0] - (1.0 - 2.0) / std).abs() < 1e-12);
+        assert!((rows[2][0] - (3.0 - 2.0) / std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let s = StandardScaler::fit(&ds());
+        let rows = s.transform_rows(&ds());
+        assert!(rows.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn missing_becomes_zero() {
+        let d = Dataset::from_columns(vec!["a".into()], vec![vec![1.0, f64::NAN, 3.0]], None)
+            .unwrap();
+        let s = StandardScaler::fit(&d);
+        let rows = s.transform_rows(&d);
+        assert_eq!(rows[1][0], 0.0);
+    }
+}

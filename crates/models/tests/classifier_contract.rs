@@ -1,0 +1,169 @@
+//! Contract tests applied uniformly to all nine classifiers: determinism,
+//! probability ranges, shape checking, imbalance handling, and
+//! better-than-chance learning on a shared easy task.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use safe_data::dataset::Dataset;
+use safe_models::classifier::{evaluate_auc, ClassifierKind, ModelError};
+use safe_stats::auc::auc;
+
+fn easy_task(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    let mut noise = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x1: f64 = rng.gen_range(-1.0..1.0);
+        let x2: f64 = rng.gen_range(-1.0..1.0);
+        a.push(x1);
+        b.push(x2);
+        noise.push(rng.gen_range(-1.0..1.0));
+        y.push((x1 + 0.7 * x2 + rng.gen_range(-0.15..0.15) > 0.0) as u8);
+    }
+    Dataset::from_columns(
+        vec!["a".into(), "b".into(), "noise".into()],
+        vec![a, b, noise],
+        Some(y),
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_classifiers_beat_chance_on_the_easy_task() {
+    let train = easy_task(600, 1);
+    let test = easy_task(300, 2);
+    for kind in ClassifierKind::ALL {
+        let a = evaluate_auc(kind, &train, &test, 0).unwrap();
+        assert!(
+            a > 0.80,
+            "{} should easily clear 0.80 on a linear task, got {a:.3}",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn all_probabilities_are_in_unit_interval() {
+    let train = easy_task(300, 3);
+    for kind in ClassifierKind::ALL {
+        let model = kind.build(0).fit(&train).unwrap();
+        for p in model.predict_proba(&train).unwrap() {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{}: p = {p}",
+                kind.abbrev()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_classifiers_are_deterministic_under_seed() {
+    let train = easy_task(250, 4);
+    for kind in ClassifierKind::ALL {
+        let a = kind.build(17).fit(&train).unwrap().predict_proba(&train).unwrap();
+        let b = kind.build(17).fit(&train).unwrap().predict_proba(&train).unwrap();
+        assert_eq!(a, b, "{} must be seed-deterministic", kind.abbrev());
+    }
+}
+
+#[test]
+fn all_classifiers_reject_schema_mismatch() {
+    let train = easy_task(150, 5);
+    let wrong = Dataset::from_columns(vec!["only".into()], vec![vec![1.0, 2.0]], None).unwrap();
+    for kind in ClassifierKind::ALL {
+        let model = kind.build(0).fit(&train).unwrap();
+        assert!(
+            matches!(
+                model.predict_proba(&wrong),
+                Err(ModelError::ShapeMismatch { .. })
+            ),
+            "{} must reject wrong feature counts",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn all_classifiers_reject_unlabeled_training_data() {
+    let unlabeled =
+        Dataset::from_columns(vec!["x".into()], vec![vec![1.0, 2.0, 3.0]], None).unwrap();
+    for kind in ClassifierKind::ALL {
+        assert!(
+            kind.build(0).fit(&unlabeled).is_err(),
+            "{} must require labels",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn classifiers_handle_class_imbalance() {
+    // 5% positives; every model must still rank clearly above chance.
+    let n = 1_000;
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let positive = i % 20 == 0;
+        x.push(if positive {
+            rng.gen_range(1.0..3.0)
+        } else {
+            rng.gen_range(-3.0..1.2)
+        });
+        y.push(positive as u8);
+    }
+    let ds = Dataset::from_columns(vec!["x".into()], vec![x], Some(y)).unwrap();
+    for kind in ClassifierKind::ALL {
+        let model = kind.build(0).fit(&ds).unwrap();
+        let probs = model.predict_proba(&ds).unwrap();
+        let a = auc(&probs, ds.labels().unwrap());
+        assert!(a > 0.85, "{} on imbalanced data: auc = {a:.3}", kind.abbrev());
+    }
+}
+
+#[test]
+fn classifiers_tolerate_missing_cells() {
+    let mut train = easy_task(300, 7);
+    // Punch NaNs into column 0.
+    let mut col0 = train.column(0).unwrap().to_vec();
+    for i in (0..col0.len()).step_by(9) {
+        col0[i] = f64::NAN;
+    }
+    let cols: Vec<Vec<f64>> = vec![
+        col0,
+        train.column(1).unwrap().to_vec(),
+        train.column(2).unwrap().to_vec(),
+    ];
+    let labels = train.labels().unwrap().to_vec();
+    train = Dataset::from_columns(
+        vec!["a".into(), "b".into(), "noise".into()],
+        cols,
+        Some(labels),
+    )
+    .unwrap();
+    for kind in ClassifierKind::ALL {
+        let model = kind.build(0).fit(&train).unwrap();
+        let probs = model.predict_proba(&train).unwrap();
+        assert!(
+            probs.iter().all(|p| p.is_finite()),
+            "{} must stay finite under NaN cells",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn tree_ensembles_beat_single_trees_on_noise() {
+    // A noisy task where variance reduction matters.
+    let train = easy_task(400, 8);
+    let test = easy_task(400, 9);
+    let dt = evaluate_auc(ClassifierKind::Dt, &train, &test, 0).unwrap();
+    let rf = evaluate_auc(ClassifierKind::Rf, &train, &test, 0).unwrap();
+    let et = evaluate_auc(ClassifierKind::Et, &train, &test, 0).unwrap();
+    assert!(rf > dt - 0.02, "RF {rf:.3} vs DT {dt:.3}");
+    assert!(et > dt - 0.02, "ET {et:.3} vs DT {dt:.3}");
+}

@@ -1,0 +1,129 @@
+//! Binary operators: the four basic arithmetic operations used throughout
+//! the paper's experiments, order statistics, and the logical family.
+//!
+//! Logical operators "act on two boolean features" (Section III); numeric
+//! inputs are coerced with `x != 0` truthiness, NaN operands yield NaN.
+
+use crate::stateless_op;
+
+// --- arithmetic -----------------------------------------------------------
+
+stateless_op!(Add, "add", 2, commutative: true, |v| v[0] + v[1]);
+stateless_op!(Sub, "sub", 2, commutative: false, |v| v[0] - v[1]);
+stateless_op!(Mul, "mul", 2, commutative: true, |v| v[0] * v[1]);
+stateless_op!(Div, "div", 2, commutative: false, |v| {
+    if v[1] == 0.0 { f64::NAN } else { v[0] / v[1] }
+});
+
+// --- order statistics -----------------------------------------------------
+
+stateless_op!(Min2, "min", 2, commutative: true, |v| v[0].min(v[1]));
+stateless_op!(Max2, "max", 2, commutative: true, |v| v[0].max(v[1]));
+stateless_op!(Mean2, "mean", 2, commutative: true, |v| 0.5 * (v[0] + v[1]));
+
+// --- logical --------------------------------------------------------------
+
+#[inline]
+fn logic(v: &[f64], f: impl Fn(bool, bool) -> bool) -> f64 {
+    if v[0].is_nan() || v[1].is_nan() {
+        return f64::NAN;
+    }
+    f(v[0] != 0.0, v[1] != 0.0) as u8 as f64
+}
+
+stateless_op!(And, "and", 2, commutative: true, |v| logic(v, |a, b| a && b));
+stateless_op!(Or, "or", 2, commutative: true, |v| logic(v, |a, b| a || b));
+stateless_op!(Nand, "nand", 2, commutative: true, |v| logic(v, |a, b| !(a && b)));
+stateless_op!(Nor, "nor", 2, commutative: true, |v| logic(v, |a, b| !(a || b)));
+stateless_op!(Implies, "implies", 2, commutative: false, |v| logic(v, |a, b| !a || b));
+stateless_op!(ConverseImplies, "converse_implies", 2, commutative: false, |v| logic(v, |a, b| a || !b));
+stateless_op!(Xnor, "xnor", 2, commutative: true, |v| logic(v, |a, b| a == b));
+stateless_op!(Xor, "xor", 2, commutative: true, |v| logic(v, |a, b| a != b));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operator;
+
+    fn apply2(op: &dyn Operator, a: f64, b: f64) -> f64 {
+        let ca = [a];
+        let cb = [b];
+        op.fit(&[&ca, &cb], None).unwrap().apply_row(&[a, b])
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(apply2(&Add, 2.0, 3.0), 5.0);
+        assert_eq!(apply2(&Sub, 2.0, 3.0), -1.0);
+        assert_eq!(apply2(&Mul, 2.0, 3.0), 6.0);
+        assert_eq!(apply2(&Div, 6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_missing() {
+        assert!(apply2(&Div, 1.0, 0.0).is_nan());
+        assert!(apply2(&Div, 0.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn commutativity_flags_match_math() {
+        assert!(Add.commutative());
+        assert!(Mul.commutative());
+        assert!(!Sub.commutative());
+        assert!(!Div.commutative());
+        assert!(!Implies.commutative());
+        assert!(Xor.commutative());
+    }
+
+    #[test]
+    fn order_stats() {
+        assert_eq!(apply2(&Min2, 2.0, -3.0), -3.0);
+        assert_eq!(apply2(&Max2, 2.0, -3.0), 2.0);
+        assert_eq!(apply2(&Mean2, 2.0, 4.0), 3.0);
+    }
+
+    #[test]
+    fn logical_truth_tables() {
+        // (a, b, and, or, nand, nor, implies, converse, xnor, xor)
+        let rows = [
+            (0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0),
+            (0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0),
+            (1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0),
+            (1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0),
+        ];
+        for (a, b, and, or, nand, nor, imp, conv, xnor, xor) in rows {
+            assert_eq!(apply2(&And, a, b), and);
+            assert_eq!(apply2(&Or, a, b), or);
+            assert_eq!(apply2(&Nand, a, b), nand);
+            assert_eq!(apply2(&Nor, a, b), nor);
+            assert_eq!(apply2(&Implies, a, b), imp);
+            assert_eq!(apply2(&ConverseImplies, a, b), conv);
+            assert_eq!(apply2(&Xnor, a, b), xnor);
+            assert_eq!(apply2(&Xor, a, b), xor);
+        }
+    }
+
+    #[test]
+    fn logical_coerces_nonzero_to_true() {
+        assert_eq!(apply2(&And, 5.0, -2.0), 1.0);
+        assert_eq!(apply2(&Or, 0.0, 0.01), 1.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(apply2(&Add, f64::NAN, 1.0).is_nan());
+        assert!(apply2(&And, f64::NAN, 1.0).is_nan());
+        assert!(apply2(&Xor, 1.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn batch_apply_matches_rowwise() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 0.0, -1.0];
+        let fitted = Div.fit(&[&a, &b], None).unwrap();
+        let batch = fitted.apply(&[&a, &b]);
+        assert_eq!(batch[0], 0.25);
+        assert!(batch[1].is_nan());
+        assert_eq!(batch[2], -3.0);
+    }
+}

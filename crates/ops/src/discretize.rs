@@ -1,0 +1,259 @@
+//! Unary discretization operators (Section III): equal-width binning,
+//! equal-frequency binning, and supervised ChiMerge.
+//!
+//! All three freeze a set of interior cut points at fit time; applying maps
+//! a value to its (f64-encoded) bin index. NaN inputs stay NaN so the
+//! missingness signal survives discretization.
+
+use crate::op::{FittedOperator, OpError, Operator};
+use safe_data::binning::{BinEdges, BinStrategy};
+use safe_stats::chi::chi_square_pair;
+
+/// Default bin budget for the discretizers.
+const DEFAULT_BINS: usize = 10;
+
+/// Frozen discretizer: value → bin index by stored cut points.
+#[derive(Debug, Clone)]
+pub struct FittedDiscretizer {
+    cuts: Vec<f64>,
+}
+
+impl FittedOperator for FittedDiscretizer {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        let x = inputs[0];
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        self.cuts.partition_point(|&c| c < x) as f64
+    }
+    fn params(&self) -> Vec<f64> {
+        self.cuts.clone()
+    }
+}
+
+fn rehydrate_cuts(params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+    if params.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(OpError::BadParams("cut points must be strictly increasing".into()));
+    }
+    Ok(Box::new(FittedDiscretizer {
+        cuts: params.to_vec(),
+    }))
+}
+
+macro_rules! unsupervised_discretizer {
+    ($ty:ident, $name:literal, $strategy:expr) => {
+        /// Unsupervised discretizer; see module docs.
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Operator for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn arity(&self) -> usize {
+                1
+            }
+            fn commutative(&self) -> bool {
+                false
+            }
+            fn fit(
+                &self,
+                inputs: &[&[f64]],
+                _labels: Option<&[u8]>,
+            ) -> Result<Box<dyn FittedOperator>, OpError> {
+                self.check_arity(inputs)?;
+                let edges = BinEdges::fit(inputs[0], DEFAULT_BINS, $strategy)
+                    .map_err(|e| OpError::BadParams(e.to_string()))?;
+                Ok(Box::new(FittedDiscretizer {
+                    cuts: edges.cuts().to_vec(),
+                }))
+            }
+            fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+                rehydrate_cuts(params)
+            }
+        }
+    };
+}
+
+unsupervised_discretizer!(EqualWidthDiscretize, "disc_width", BinStrategy::EqualWidth);
+unsupervised_discretizer!(EqualFreqDiscretize, "disc_freq", BinStrategy::EqualFrequency);
+
+/// Supervised ChiMerge discretization: start from fine equal-frequency
+/// intervals and repeatedly merge the adjacent pair with the lowest
+/// chi-square against the label until `DEFAULT_BINS` intervals remain or
+/// every remaining pair is significant at the 95% level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChiMergeDiscretize;
+
+impl Operator for ChiMergeDiscretize {
+    fn name(&self) -> &'static str {
+        "disc_chimerge"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn commutative(&self) -> bool {
+        false
+    }
+    fn fit(
+        &self,
+        inputs: &[&[f64]],
+        labels: Option<&[u8]>,
+    ) -> Result<Box<dyn FittedOperator>, OpError> {
+        self.check_arity(inputs)?;
+        let labels = labels.ok_or_else(|| OpError::NeedsLabels(self.name().to_string()))?;
+        if labels.len() != inputs[0].len() {
+            return Err(OpError::LengthMismatch);
+        }
+        // Initial fine partition: up to 64 equal-frequency intervals.
+        let edges = BinEdges::fit(inputs[0], 64, BinStrategy::EqualFrequency)
+            .map_err(|e| OpError::BadParams(e.to_string()))?;
+        let mut cuts: Vec<f64> = edges.cuts().to_vec();
+        // Class counts per interval.
+        let mut counts: Vec<(usize, usize)> = vec![(0, 0); cuts.len() + 1];
+        for (&v, &y) in inputs[0].iter().zip(labels) {
+            if !v.is_finite() {
+                continue;
+            }
+            let b = cuts.partition_point(|&c| c < v);
+            if y == 1 {
+                counts[b].0 += 1;
+            } else {
+                counts[b].1 += 1;
+            }
+        }
+        let threshold = safe_stats::chi::chi2_critical_1df(0.05);
+        while counts.len() > 2 {
+            // Find the least-significant adjacent pair.
+            let (best_i, best_chi) = counts
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| (i, chi_square_pair(w[0], w[1])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("chi is finite"))
+                .expect("at least one pair");
+            let at_budget = counts.len() <= DEFAULT_BINS;
+            if at_budget && best_chi > threshold {
+                break;
+            }
+            counts[best_i].0 += counts[best_i + 1].0;
+            counts[best_i].1 += counts[best_i + 1].1;
+            counts.remove(best_i + 1);
+            cuts.remove(best_i);
+        }
+        Ok(Box::new(FittedDiscretizer { cuts }))
+    }
+    fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+        rehydrate_cuts(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_bins_uniform_data() {
+        let col: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let f = EqualWidthDiscretize.fit(&[&col], None).unwrap();
+        let out = f.apply(&[&col]);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[99], (DEFAULT_BINS - 1) as f64);
+        // Bin index is monotone in the value.
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn equal_freq_balances_counts() {
+        let col: Vec<f64> = (0..100).map(|i| (i as f64).exp2().min(1e300)).collect();
+        let f = EqualFreqDiscretize.fit(&[&col], None).unwrap();
+        let out = f.apply(&[&col]);
+        let mut histogram = std::collections::HashMap::new();
+        for &b in &out {
+            *histogram.entry(b as usize).or_insert(0usize) += 1;
+        }
+        let max = histogram.values().max().unwrap();
+        let min = histogram.values().min().unwrap();
+        assert!(max - min <= 1, "equal frequency bins: {histogram:?}");
+    }
+
+    #[test]
+    fn chimerge_requires_labels() {
+        let col = [1.0, 2.0, 3.0];
+        assert!(matches!(
+            ChiMergeDiscretize.fit(&[&col], None).unwrap_err(),
+            OpError::NeedsLabels(_)
+        ));
+    }
+
+    #[test]
+    fn chimerge_finds_the_class_boundary() {
+        // Labels flip exactly at value 50: ChiMerge must keep a cut near 50.
+        let col: Vec<f64> = (0..200).map(|i| (i / 2) as f64).collect();
+        let labels: Vec<u8> = col.iter().map(|&v| (v >= 50.0) as u8).collect();
+        let f = ChiMergeDiscretize.fit(&[&col], Some(&labels)).unwrap();
+        let cuts = f.params();
+        assert!(!cuts.is_empty());
+        assert!(
+            cuts.iter().any(|&c| (45.0..55.0).contains(&c)),
+            "no cut near the boundary: {cuts:?}"
+        );
+        // The two sides of the boundary land in different bins.
+        assert_ne!(f.apply_row(&[40.0]), f.apply_row(&[60.0]));
+    }
+
+    #[test]
+    fn chimerge_merges_uninformative_intervals() {
+        // Labels independent of the value: ChiMerge should collapse to few bins.
+        let col: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..400).map(|i| (i % 2) as u8).collect();
+        let f = ChiMergeDiscretize.fit(&[&col], Some(&labels)).unwrap();
+        assert!(
+            f.params().len() < DEFAULT_BINS,
+            "uninformative feature kept {} cuts",
+            f.params().len()
+        );
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        let col = [1.0, 2.0, 3.0];
+        for op in [
+            &EqualWidthDiscretize as &dyn Operator,
+            &EqualFreqDiscretize,
+        ] {
+            let f = op.fit(&[&col], None).unwrap();
+            assert!(f.apply_row(&[f64::NAN]).is_nan(), "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let col: Vec<f64> = (0..50).map(|i| i as f64 * 0.7).collect();
+        let labels: Vec<u8> = (0..50).map(|i| (i >= 25) as u8).collect();
+        let ops: Vec<&dyn Operator> = vec![
+            &EqualWidthDiscretize,
+            &EqualFreqDiscretize,
+            &ChiMergeDiscretize,
+        ];
+        for op in ops {
+            let fitted = op.fit(&[&col], Some(&labels)).unwrap();
+            let rebuilt = op.rehydrate(&fitted.params()).unwrap();
+            for x in [-1.0, 0.0, 17.3, 49.0, 100.0] {
+                assert_eq!(
+                    fitted.apply_row(&[x]),
+                    rebuilt.apply_row(&[x]),
+                    "{} at {x}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_params_rejected() {
+        assert!(EqualWidthDiscretize.rehydrate(&[3.0, 1.0]).is_err());
+        assert!(ChiMergeDiscretize.rehydrate(&[1.0, 1.0]).is_err());
+    }
+}

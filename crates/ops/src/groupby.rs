@@ -1,0 +1,262 @@
+//! SQL-style binary operators (Section III): GroupByThenMax, GroupByThenMin,
+//! GroupByThenAvg, GroupByThenStdev, GroupByThenCount.
+//!
+//! `group_then_*(key, value)` groups training records by the (discretized)
+//! key feature, aggregates the value feature per group, and emits each
+//! record's group aggregate. The group table is frozen at fit time, making
+//! the operator a pure lookup at inference (real-time safe) and leak-free on
+//! test data.
+//!
+//! Keys are discretized to at most 32 equal-frequency groups (exact groups
+//! when the key has ≤ 32 distinct values); NaN keys form their own group.
+
+use crate::op::{FittedOperator, OpError, Operator};
+use safe_data::binning::{BinEdges, BinStrategy};
+
+/// Which aggregate a group-by operator computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Maximum of the value feature within the group.
+    Max,
+    /// Minimum of the value feature within the group.
+    Min,
+    /// Mean of the value feature within the group.
+    Avg,
+    /// Population standard deviation within the group.
+    Stdev,
+    /// Number of records in the group.
+    Count,
+}
+
+impl Aggregate {
+    fn compute(self, values: &[f64]) -> f64 {
+        if self == Aggregate::Count {
+            return values.len() as f64;
+        }
+        let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            return f64::NAN;
+        }
+        match self {
+            Aggregate::Max => clean.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Min => clean.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Avg => clean.iter().sum::<f64>() / clean.len() as f64,
+            Aggregate::Stdev => {
+                let mean = clean.iter().sum::<f64>() / clean.len() as f64;
+                let var =
+                    clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / clean.len() as f64;
+                var.sqrt()
+            }
+            Aggregate::Count => unreachable!(),
+        }
+    }
+}
+
+/// Maximum number of key groups.
+const MAX_GROUPS: usize = 32;
+
+/// A `GroupByThen<aggregate>` operator.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupByThen {
+    aggregate: Aggregate,
+    name: &'static str,
+}
+
+/// GroupByThenMax.
+pub const GROUP_THEN_MAX: GroupByThen = GroupByThen { aggregate: Aggregate::Max, name: "group_then_max" };
+/// GroupByThenMin.
+pub const GROUP_THEN_MIN: GroupByThen = GroupByThen { aggregate: Aggregate::Min, name: "group_then_min" };
+/// GroupByThenAvg.
+pub const GROUP_THEN_AVG: GroupByThen = GroupByThen { aggregate: Aggregate::Avg, name: "group_then_avg" };
+/// GroupByThenStdev.
+pub const GROUP_THEN_STDEV: GroupByThen = GroupByThen { aggregate: Aggregate::Stdev, name: "group_then_stdev" };
+/// GroupByThenCount.
+pub const GROUP_THEN_COUNT: GroupByThen = GroupByThen { aggregate: Aggregate::Count, name: "group_then_count" };
+
+/// Frozen group table.
+#[derive(Debug, Clone)]
+pub struct FittedGroupBy {
+    /// Interior cut points discretizing the key.
+    cuts: Vec<f64>,
+    /// Aggregate per key group (`cuts.len() + 1` entries).
+    table: Vec<f64>,
+    /// Aggregate of the NaN-key group.
+    missing: f64,
+}
+
+impl FittedGroupBy {
+    fn group_of(&self, key: f64) -> Option<usize> {
+        if key.is_nan() {
+            None
+        } else {
+            Some(self.cuts.partition_point(|&c| c < key))
+        }
+    }
+}
+
+impl FittedOperator for FittedGroupBy {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        match self.group_of(inputs[0]) {
+            Some(g) => self.table[g],
+            None => self.missing,
+        }
+    }
+    fn params(&self) -> Vec<f64> {
+        let mut p = Vec::with_capacity(2 + self.cuts.len() + self.table.len());
+        p.push(self.cuts.len() as f64);
+        p.extend_from_slice(&self.cuts);
+        p.extend_from_slice(&self.table);
+        p.push(self.missing);
+        p
+    }
+}
+
+impl Operator for GroupByThen {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn arity(&self) -> usize {
+        2
+    }
+    fn commutative(&self) -> bool {
+        false // key and value roles differ
+    }
+    fn fit(
+        &self,
+        inputs: &[&[f64]],
+        _labels: Option<&[u8]>,
+    ) -> Result<Box<dyn FittedOperator>, OpError> {
+        self.check_arity(inputs)?;
+        let (keys, values) = (inputs[0], inputs[1]);
+        let edges = BinEdges::fit(keys, MAX_GROUPS, BinStrategy::EqualFrequency)
+            .map_err(|e| OpError::BadParams(e.to_string()))?;
+        let cuts = edges.cuts().to_vec();
+        let n_groups = cuts.len() + 1;
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+        let mut missing_bucket: Vec<f64> = Vec::new();
+        for (&k, &v) in keys.iter().zip(values) {
+            if k.is_nan() {
+                missing_bucket.push(v);
+            } else {
+                buckets[cuts.partition_point(|&c| c < k)].push(v);
+            }
+        }
+        let table: Vec<f64> = buckets.iter().map(|b| self.aggregate.compute(b)).collect();
+        let missing = self.aggregate.compute(&missing_bucket);
+        Ok(Box::new(FittedGroupBy { cuts, table, missing }))
+    }
+    fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+        let bad = || OpError::BadParams(format!("{}: malformed params", self.name));
+        let n_cuts = *params.first().ok_or_else(bad)? as usize;
+        // layout: [n_cuts, cuts.., table (n_cuts+1).., missing]
+        if params.len() != 1 + n_cuts + (n_cuts + 1) + 1 {
+            return Err(bad());
+        }
+        let cuts = params[1..1 + n_cuts].to_vec();
+        if cuts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(OpError::BadParams("cuts must be increasing".into()));
+        }
+        let table = params[1 + n_cuts..1 + n_cuts + n_cuts + 1].to_vec();
+        let missing = params[params.len() - 1];
+        Ok(Box::new(FittedGroupBy { cuts, table, missing }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys in {0,1,2}, values chosen so the per-group stats are obvious.
+    fn fixture() -> (Vec<f64>, Vec<f64>) {
+        let keys = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let values = vec![1.0, 3.0, 10.0, 20.0, 5.0, 5.0];
+        (keys, values)
+    }
+
+    #[test]
+    fn avg_per_group() {
+        let (k, v) = fixture();
+        let f = GROUP_THEN_AVG.fit(&[&k, &v], None).unwrap();
+        assert_eq!(f.apply_row(&[0.0, 999.0]), 2.0);
+        assert_eq!(f.apply_row(&[1.0, 999.0]), 15.0);
+        assert_eq!(f.apply_row(&[2.0, 999.0]), 5.0);
+    }
+
+    #[test]
+    fn max_min_count_stdev() {
+        let (k, v) = fixture();
+        assert_eq!(GROUP_THEN_MAX.fit(&[&k, &v], None).unwrap().apply_row(&[1.0, 0.0]), 20.0);
+        assert_eq!(GROUP_THEN_MIN.fit(&[&k, &v], None).unwrap().apply_row(&[1.0, 0.0]), 10.0);
+        assert_eq!(GROUP_THEN_COUNT.fit(&[&k, &v], None).unwrap().apply_row(&[1.0, 0.0]), 2.0);
+        assert_eq!(GROUP_THEN_STDEV.fit(&[&k, &v], None).unwrap().apply_row(&[1.0, 0.0]), 5.0);
+        assert_eq!(GROUP_THEN_STDEV.fit(&[&k, &v], None).unwrap().apply_row(&[2.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn value_argument_is_ignored_at_apply_time() {
+        // The aggregate is frozen — the second operand only matters at fit.
+        let (k, v) = fixture();
+        let f = GROUP_THEN_AVG.fit(&[&k, &v], None).unwrap();
+        assert_eq!(f.apply_row(&[0.0, -1e9]), f.apply_row(&[0.0, 1e9]));
+    }
+
+    #[test]
+    fn nan_keys_get_their_own_group() {
+        let keys = vec![0.0, 0.0, f64::NAN, f64::NAN];
+        let values = vec![1.0, 1.0, 100.0, 200.0];
+        let f = GROUP_THEN_AVG.fit(&[&keys, &values], None).unwrap();
+        assert_eq!(f.apply_row(&[f64::NAN, 0.0]), 150.0);
+        assert_eq!(f.apply_row(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn missing_values_within_group_are_skipped() {
+        let keys = vec![0.0, 0.0, 0.0];
+        let values = vec![1.0, f64::NAN, 3.0];
+        let f = GROUP_THEN_AVG.fit(&[&keys, &values], None).unwrap();
+        assert_eq!(f.apply_row(&[0.0, 0.0]), 2.0);
+        // Count still counts the record with the missing value.
+        let c = GROUP_THEN_COUNT.fit(&[&keys, &values], None).unwrap();
+        assert_eq!(c.apply_row(&[0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn continuous_keys_are_bucketed() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let f = GROUP_THEN_AVG.fit(&[&keys, &values], None).unwrap();
+        // Close keys share a bucket; far keys do not share the aggregate.
+        assert_eq!(f.apply_row(&[3.0, 0.0]), f.apply_row(&[4.0, 0.0]));
+        assert!(f.apply_row(&[10.0, 0.0]) < f.apply_row(&[990.0, 0.0]));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let (k, v) = fixture();
+        for op in [
+            GROUP_THEN_MAX,
+            GROUP_THEN_MIN,
+            GROUP_THEN_AVG,
+            GROUP_THEN_STDEV,
+            GROUP_THEN_COUNT,
+        ] {
+            let fitted = op.fit(&[&k, &v], None).unwrap();
+            let rebuilt = op.rehydrate(&fitted.params()).unwrap();
+            for key in [0.0, 1.0, 2.0, 5.0, f64::NAN] {
+                let a = fitted.apply_row(&[key, 0.0]);
+                let b = rebuilt.apply_row(&[key, 0.0]);
+                assert!(a == b || (a.is_nan() && b.is_nan()), "{} key={key}", op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_params_rejected() {
+        assert!(GROUP_THEN_AVG.rehydrate(&[]).is_err());
+        assert!(GROUP_THEN_AVG.rehydrate(&[2.0, 1.0]).is_err());
+        // Decreasing cuts.
+        assert!(GROUP_THEN_AVG
+            .rehydrate(&[2.0, 5.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+            .is_err());
+    }
+}

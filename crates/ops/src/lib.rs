@@ -1,0 +1,50 @@
+//! # safe-ops — the operator set `O` of the paper (Section III)
+//!
+//! SAFE generates features by applying *operators* to combinations of parent
+//! features. The paper's framework requirement is explicit: "an applicable
+//! automatic feature engineering algorithm framework should not limit
+//! operators and new operators should be easily added" — so this crate is an
+//! open registry around two traits:
+//!
+//! - [`Operator`] — a named, fixed-arity feature constructor that can **fit**
+//!   state on training columns (normalization statistics, discretization
+//!   edges, group-by tables…),
+//! - [`FittedOperator`] — the frozen result, applying to whole columns
+//!   (batch generation) or single rows (the paper's *real-time inference*
+//!   requirement), and serializing its parameters so a feature plan can be
+//!   stored and replayed.
+//!
+//! Implemented operator families, mirroring Section III:
+//!
+//! | family | operators |
+//! |---|---|
+//! | unary math | log, sqrt, square, sigmoid, tanh, round, abs, reciprocal, negate |
+//! | unary normalization | min-max, z-score |
+//! | unary discretization | equal-width, equal-frequency, ChiMerge |
+//! | unary supervised encoding | WoE (Weight of Evidence) |
+//! | binary arithmetic | `+`, `−`, `×`, `÷` (the four used in all experiments) |
+//! | binary order stats | min, max, mean |
+//! | binary logical | ∧, ∨, ↑ (NAND), ↓ (NOR), → , ← , ↔ (XNOR), ⊕ (XOR) |
+//! | binary SQL | GroupByThenMax/Min/Avg/Stdev/Count |
+//! | binary regression | ridge_pred, ridge_res (AutoLearn-style, \[24\]) |
+//! | ternary | conditional `a ? b : c`, 3-ary max/min/mean |
+//!
+//! Missing values propagate: any NaN operand yields NaN (except the logical
+//! family, which treats NaN as false-with-NaN-output, and group-by, which
+//! routes NaN keys to a dedicated group).
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod discretize;
+pub mod groupby;
+pub mod normalize;
+pub mod op;
+pub mod regression;
+pub mod registry;
+pub mod ternary;
+pub mod unary;
+pub mod woe;
+
+pub use op::{FittedOperator, OpError, Operator, StatelessFitted};
+pub use registry::OperatorRegistry;

@@ -1,0 +1,217 @@
+//! Stateful unary normalization: min-max and z-score (Section III's
+//! "normalization" family). Statistics are fit on the *training* column and
+//! frozen, so applying the plan to validation/test/online data cannot leak.
+
+use crate::op::{FittedOperator, OpError, Operator};
+use safe_stats::describe::describe;
+
+/// Min-max normalization to `[0, 1]` using training min/max.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMaxNorm;
+
+/// Frozen min-max parameters.
+#[derive(Debug, Clone)]
+pub struct FittedMinMax {
+    min: f64,
+    range: f64,
+}
+
+impl Operator for MinMaxNorm {
+    fn name(&self) -> &'static str {
+        "minmax"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn commutative(&self) -> bool {
+        false
+    }
+    fn fit(
+        &self,
+        inputs: &[&[f64]],
+        _labels: Option<&[u8]>,
+    ) -> Result<Box<dyn FittedOperator>, OpError> {
+        self.check_arity(inputs)?;
+        let s = describe(inputs[0]);
+        let (min, range) = if s.n == 0 || s.max == s.min {
+            (0.0, 0.0)
+        } else {
+            (s.min, s.max - s.min)
+        };
+        Ok(Box::new(FittedMinMax { min, range }))
+    }
+    fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+        if params.len() != 2 {
+            return Err(OpError::BadParams(format!(
+                "minmax expects 2 params, got {}",
+                params.len()
+            )));
+        }
+        Ok(Box::new(FittedMinMax {
+            min: params[0],
+            range: params[1],
+        }))
+    }
+}
+
+impl FittedOperator for FittedMinMax {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        let x = inputs[0];
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if self.range == 0.0 {
+            // Degenerate training column: everything maps to the midpoint.
+            return 0.5;
+        }
+        (x - self.min) / self.range
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.min, self.range]
+    }
+}
+
+/// Z-score standardization using training mean/std.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZScore;
+
+/// Frozen z-score parameters.
+#[derive(Debug, Clone)]
+pub struct FittedZScore {
+    mean: f64,
+    std: f64,
+}
+
+impl Operator for ZScore {
+    fn name(&self) -> &'static str {
+        "zscore"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn commutative(&self) -> bool {
+        false
+    }
+    fn fit(
+        &self,
+        inputs: &[&[f64]],
+        _labels: Option<&[u8]>,
+    ) -> Result<Box<dyn FittedOperator>, OpError> {
+        self.check_arity(inputs)?;
+        let s = describe(inputs[0]);
+        Ok(Box::new(FittedZScore {
+            mean: s.mean,
+            std: s.std,
+        }))
+    }
+    fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+        if params.len() != 2 {
+            return Err(OpError::BadParams(format!(
+                "zscore expects 2 params, got {}",
+                params.len()
+            )));
+        }
+        Ok(Box::new(FittedZScore {
+            mean: params[0],
+            std: params[1],
+        }))
+    }
+}
+
+impl FittedOperator for FittedZScore {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        let x = inputs[0];
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if self.std == 0.0 {
+            return 0.0;
+        }
+        (x - self.mean) / self.std
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.mean, self.std]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_training_range_to_unit() {
+        let col = [2.0, 4.0, 6.0, 10.0];
+        let f = MinMaxNorm.fit(&[&col], None).unwrap();
+        let out = f.apply(&[&col]);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[3], 1.0);
+        assert!((out[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_extrapolates_outside_training_range() {
+        // Test data beyond the training range must extrapolate, not clamp —
+        // the frozen transform is affine.
+        let col = [0.0, 10.0];
+        let f = MinMaxNorm.fit(&[&col], None).unwrap();
+        assert_eq!(f.apply_row(&[20.0]), 2.0);
+        assert_eq!(f.apply_row(&[-10.0]), -1.0);
+    }
+
+    #[test]
+    fn minmax_constant_column_is_midpoint() {
+        let col = [7.0; 5];
+        let f = MinMaxNorm.fit(&[&col], None).unwrap();
+        assert_eq!(f.apply_row(&[7.0]), 0.5);
+        assert_eq!(f.apply_row(&[100.0]), 0.5);
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let col = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let f = ZScore.fit(&[&col], None).unwrap();
+        let out = f.apply(&[&col]);
+        let mean: f64 = out.iter().sum::<f64>() / 5.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((out[4] - (5.0 - 3.0) / (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zscore_constant_column_is_zero() {
+        let col = [3.0; 4];
+        let f = ZScore.fit(&[&col], None).unwrap();
+        assert_eq!(f.apply_row(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let col = [1.0, 5.0, 9.0];
+        for op in [&MinMaxNorm as &dyn Operator, &ZScore] {
+            let fitted = op.fit(&[&col], None).unwrap();
+            let rebuilt = op.rehydrate(&fitted.params()).unwrap();
+            for x in [-3.0, 0.0, 5.0, 42.0] {
+                assert_eq!(fitted.apply_row(&[x]), rebuilt.apply_row(&[x]), "{}", op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let col = [1.0, 2.0];
+        assert!(MinMaxNorm.fit(&[&col], None).unwrap().apply_row(&[f64::NAN]).is_nan());
+        assert!(ZScore.fit(&[&col], None).unwrap().apply_row(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn fit_ignores_missing_values() {
+        let col = [1.0, f64::NAN, 3.0];
+        let f = MinMaxNorm.fit(&[&col], None).unwrap();
+        assert_eq!(f.apply_row(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(MinMaxNorm.rehydrate(&[1.0]).is_err());
+        assert!(ZScore.rehydrate(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

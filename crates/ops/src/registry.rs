@@ -1,0 +1,235 @@
+//! The open operator registry.
+//!
+//! Presets:
+//! - [`OperatorRegistry::arithmetic`] — `+ − × ÷`, exactly the set used in
+//!   every experiment of Section V ("for simplicity and versatility, we only
+//!   select four basic binary operators"),
+//! - [`OperatorRegistry::standard`] — everything this crate implements,
+//! - [`OperatorRegistry::empty`] + [`register`](OperatorRegistry::register)
+//!   — bring your own (the paper's extensibility requirement, including
+//!   domain-specific operators such as time-series lags).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::op::Operator;
+use crate::{binary, discretize, groupby, normalize, regression, ternary, unary};
+
+/// A named collection of operators, queryable by name or arity.
+#[derive(Clone, Default)]
+pub struct OperatorRegistry {
+    ops: Vec<Arc<dyn Operator>>,
+    by_name: HashMap<&'static str, usize>,
+}
+
+impl std::fmt::Debug for OperatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorRegistry")
+            .field("operators", &self.names())
+            .finish()
+    }
+}
+
+impl OperatorRegistry {
+    /// Registry with no operators.
+    pub fn empty() -> Self {
+        OperatorRegistry::default()
+    }
+
+    /// The paper's experimental operator set: `+ − × ÷`.
+    pub fn arithmetic() -> Self {
+        let mut r = OperatorRegistry::empty();
+        r.register(Arc::new(binary::Add));
+        r.register(Arc::new(binary::Sub));
+        r.register(Arc::new(binary::Mul));
+        r.register(Arc::new(binary::Div));
+        r
+    }
+
+    /// Every operator implemented in this crate.
+    pub fn standard() -> Self {
+        let mut r = OperatorRegistry::arithmetic();
+        // unary math
+        r.register(Arc::new(unary::Log));
+        r.register(Arc::new(unary::Sqrt));
+        r.register(Arc::new(unary::Square));
+        r.register(Arc::new(unary::Sigmoid));
+        r.register(Arc::new(unary::Tanh));
+        r.register(Arc::new(unary::Round));
+        r.register(Arc::new(unary::Abs));
+        r.register(Arc::new(unary::Reciprocal));
+        r.register(Arc::new(unary::Negate));
+        // unary normalization & discretization
+        r.register(Arc::new(normalize::MinMaxNorm));
+        r.register(Arc::new(normalize::ZScore));
+        r.register(Arc::new(discretize::EqualWidthDiscretize));
+        r.register(Arc::new(discretize::EqualFreqDiscretize));
+        r.register(Arc::new(discretize::ChiMergeDiscretize));
+        r.register(Arc::new(crate::woe::WoeEncode));
+        // binary order stats
+        r.register(Arc::new(binary::Min2));
+        r.register(Arc::new(binary::Max2));
+        r.register(Arc::new(binary::Mean2));
+        // binary logical
+        r.register(Arc::new(binary::And));
+        r.register(Arc::new(binary::Or));
+        r.register(Arc::new(binary::Nand));
+        r.register(Arc::new(binary::Nor));
+        r.register(Arc::new(binary::Implies));
+        r.register(Arc::new(binary::ConverseImplies));
+        r.register(Arc::new(binary::Xnor));
+        r.register(Arc::new(binary::Xor));
+        // binary SQL
+        r.register(Arc::new(groupby::GROUP_THEN_MAX));
+        r.register(Arc::new(groupby::GROUP_THEN_MIN));
+        r.register(Arc::new(groupby::GROUP_THEN_AVG));
+        r.register(Arc::new(groupby::GROUP_THEN_STDEV));
+        r.register(Arc::new(groupby::GROUP_THEN_COUNT));
+        // binary regression (AutoLearn-style)
+        r.register(Arc::new(regression::RidgePrediction));
+        r.register(Arc::new(regression::RidgeResidual));
+        r.register(Arc::new(regression::QuadRidgePrediction));
+        r.register(Arc::new(regression::QuadRidgeResidual));
+        // ternary
+        r.register(Arc::new(ternary::Conditional));
+        r.register(Arc::new(ternary::Max3));
+        r.register(Arc::new(ternary::Min3));
+        r.register(Arc::new(ternary::Mean3));
+        r
+    }
+
+    /// Add an operator. Re-registering a name replaces the previous entry
+    /// (last one wins), so callers can override built-ins.
+    pub fn register(&mut self, op: Arc<dyn Operator>) {
+        let name = op.name();
+        match self.by_name.get(name) {
+            Some(&i) => self.ops[i] = op,
+            None => {
+                self.by_name.insert(name, self.ops.len());
+                self.ops.push(op);
+            }
+        }
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Operator>> {
+        self.by_name.get(name).map(|&i| &self.ops[i])
+    }
+
+    /// All operators of the given arity, in registration order.
+    pub fn by_arity(&self, arity: usize) -> Vec<&Arc<dyn Operator>> {
+        self.ops.iter().filter(|o| o.arity() == arity).collect()
+    }
+
+    /// All operators.
+    pub fn all(&self) -> &[Arc<dyn Operator>] {
+        &self.ops
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.ops.iter().map(|o| o.name()).collect()
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Highest arity present (0 when empty) — bounds combination size during
+    /// generation.
+    pub fn max_arity(&self) -> usize {
+        self.ops.iter().map(|o| o.arity()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{FittedOperator, OpError};
+
+    #[test]
+    fn arithmetic_preset_matches_paper() {
+        let r = OperatorRegistry::arithmetic();
+        assert_eq!(r.names(), vec!["add", "sub", "mul", "div"]);
+        assert_eq!(r.by_arity(2).len(), 4);
+        assert!(r.by_arity(1).is_empty());
+    }
+
+    #[test]
+    fn standard_preset_spans_arities() {
+        let r = OperatorRegistry::standard();
+        assert!(r.by_arity(1).len() >= 14, "unary family");
+        assert!(r.by_arity(2).len() >= 20, "binary family");
+        assert!(r.by_arity(3).len() >= 4, "ternary family");
+        assert_eq!(r.max_arity(), 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = OperatorRegistry::standard();
+        assert!(r.get("group_then_avg").is_some());
+        assert!(r.get("no_such_op").is_none());
+        assert_eq!(r.get("div").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let r = OperatorRegistry::standard();
+        let mut names = r.names();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn custom_operator_can_be_registered_and_overridden() {
+        struct Triple;
+        impl Operator for Triple {
+            fn name(&self) -> &'static str {
+                "triple"
+            }
+            fn arity(&self) -> usize {
+                1
+            }
+            fn commutative(&self) -> bool {
+                false
+            }
+            fn fit(
+                &self,
+                inputs: &[&[f64]],
+                _labels: Option<&[u8]>,
+            ) -> Result<Box<dyn FittedOperator>, OpError> {
+                self.check_arity(inputs)?;
+                Ok(Box::new(crate::op::StatelessFitted::new(|v| 3.0 * v[0])))
+            }
+            fn rehydrate(&self, _params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+                Ok(Box::new(crate::op::StatelessFitted::new(|v| 3.0 * v[0])))
+            }
+        }
+        let mut r = OperatorRegistry::arithmetic();
+        let before = r.len();
+        r.register(Arc::new(Triple));
+        assert_eq!(r.len(), before + 1);
+        let col = [2.0];
+        let f = r.get("triple").unwrap().fit(&[&col], None).unwrap();
+        assert_eq!(f.apply_row(&[2.0]), 6.0);
+
+        // Overriding keeps the count stable.
+        r.register(Arc::new(Triple));
+        assert_eq!(r.len(), before + 1);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = OperatorRegistry::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.max_arity(), 0);
+    }
+}

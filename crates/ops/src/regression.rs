@@ -1,0 +1,378 @@
+//! Regression-based binary operators (Section III): "Ridge regression …
+//! in \[24\] can also be considered as binary operators".
+//!
+//! Following AutoLearn (Kaul et al., ICDM 2017): for a feature pair `(a, b)`
+//! fit a 1-D ridge regression `b ≈ w·a + c` on the training data and emit
+//! either the **prediction** (the part of `b` explained by `a`) or the
+//! **residual** (the part of `b` that `a` cannot explain — often the more
+//! informative signal). The closed forms are
+//!
+//! `w = cov(a, b) / (var(a) + λ)`, `c = mean(b) − w · mean(a)`,
+//!
+//! with λ = 0.1. Rows with a missing operand are skipped at fit time and
+//! yield NaN at apply time.
+
+use crate::op::{FittedOperator, OpError, Operator};
+
+/// Ridge regularization strength.
+const LAMBDA: f64 = 0.1;
+
+/// Which output a ridge operator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RidgeOutput {
+    Prediction,
+    Residual,
+}
+
+/// `ridge_pred(a, b) = w·a + c` — the explained component of `b`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RidgePrediction;
+
+/// `ridge_res(a, b) = b − (w·a + c)` — the unexplained component of `b`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RidgeResidual;
+
+/// Frozen 1-D ridge fit.
+#[derive(Debug, Clone)]
+pub struct FittedRidge {
+    slope: f64,
+    intercept: f64,
+    output: RidgeOutput,
+}
+
+fn fit_ridge(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let mut n = 0usize;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            n += 1;
+            sa += x;
+            sb += y;
+        }
+    }
+    if n < 2 {
+        return (0.0, 0.0);
+    }
+    let ma = sa / n as f64;
+    let mb = sb / n as f64;
+    let (mut cov, mut var) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            cov += (x - ma) * (y - mb);
+            var += (x - ma) * (x - ma);
+        }
+    }
+    let slope = cov / (var + LAMBDA);
+    (slope, mb - slope * ma)
+}
+
+impl FittedOperator for FittedRidge {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        let (a, b) = (inputs[0], inputs[1]);
+        if a.is_nan() || (self.output == RidgeOutput::Residual && b.is_nan()) {
+            return f64::NAN;
+        }
+        let pred = self.slope * a + self.intercept;
+        match self.output {
+            RidgeOutput::Prediction => pred,
+            RidgeOutput::Residual => b - pred,
+        }
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.slope, self.intercept]
+    }
+}
+
+macro_rules! ridge_operator {
+    ($ty:ident, $name:literal, $output:expr) => {
+        impl Operator for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn arity(&self) -> usize {
+                2
+            }
+            fn commutative(&self) -> bool {
+                false // regressing b on a differs from a on b
+            }
+            fn fit(
+                &self,
+                inputs: &[&[f64]],
+                _labels: Option<&[u8]>,
+            ) -> Result<Box<dyn FittedOperator>, OpError> {
+                self.check_arity(inputs)?;
+                let (slope, intercept) = fit_ridge(inputs[0], inputs[1]);
+                Ok(Box::new(FittedRidge {
+                    slope,
+                    intercept,
+                    output: $output,
+                }))
+            }
+            fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+                if params.len() != 2 {
+                    return Err(OpError::BadParams(format!(
+                        "{} expects 2 params, got {}",
+                        $name,
+                        params.len()
+                    )));
+                }
+                Ok(Box::new(FittedRidge {
+                    slope: params[0],
+                    intercept: params[1],
+                    output: $output,
+                }))
+            }
+        }
+    };
+}
+
+ridge_operator!(RidgePrediction, "ridge_pred", RidgeOutput::Prediction);
+ridge_operator!(RidgeResidual, "ridge_res", RidgeOutput::Residual);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_linear_relationship() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 7.0).collect();
+        let f = RidgePrediction.fit(&[&a, &b], None).unwrap();
+        let p = f.params();
+        assert!((p[0] - 3.0).abs() < 0.01, "slope {}", p[0]);
+        assert!((p[1] - 7.0).abs() < 0.5, "intercept {}", p[1]);
+        // Prediction tracks b closely.
+        assert!((f.apply_row(&[50.0, 0.0]) - 157.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn residual_removes_the_linear_component() {
+        // b = 2a + sine wiggle: the residual should isolate the wiggle.
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + (x * 3.0).sin()).collect();
+        let f = RidgeResidual.fit(&[&a, &b], None).unwrap();
+        let residuals: Vec<f64> = f.apply(&[&a, &b]);
+        let max_abs = residuals.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        assert!(max_abs < 1.5, "residual bounded by the wiggle, got {max_abs}");
+        // The residual retains structure (not constant).
+        assert!(residuals.iter().any(|&r| r.abs() > 0.3));
+    }
+
+    #[test]
+    fn regularization_shrinks_degenerate_fits() {
+        // Constant a → var = 0 → slope = 0 via the ridge term, no NaN.
+        let a = vec![5.0; 10];
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let f = RidgePrediction.fit(&[&a, &b], None).unwrap();
+        assert_eq!(f.params()[0], 0.0);
+        assert!((f.apply_row(&[5.0, 0.0]) - 4.5).abs() < 1e-9, "predicts mean(b)");
+    }
+
+    #[test]
+    fn missing_values_skipped_at_fit_and_propagated_at_apply() {
+        let a = vec![1.0, 2.0, f64::NAN, 4.0];
+        let b = vec![2.0, 4.0, 100.0, 8.0];
+        let f = RidgePrediction.fit(&[&a, &b], None).unwrap();
+        assert!((f.params()[0] - 2.0).abs() < 0.2, "NaN row excluded from fit");
+        assert!(f.apply_row(&[f64::NAN, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn prediction_ignores_b_at_apply_time() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let f = RidgePrediction.fit(&[&a, &b], None).unwrap();
+        assert_eq!(f.apply_row(&[10.0, -999.0]), f.apply_row(&[10.0, 999.0]));
+        // Residual does depend on b.
+        let r = RidgeResidual.fit(&[&a, &b], None).unwrap();
+        assert_ne!(r.apply_row(&[10.0, 0.0]), r.apply_row(&[10.0, 5.0]));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| -0.5 * x + 2.0).collect();
+        for op in [&RidgePrediction as &dyn Operator, &RidgeResidual] {
+            let fitted = op.fit(&[&a, &b], None).unwrap();
+            let rebuilt = op.rehydrate(&fitted.params()).unwrap();
+            for probe in [[0.0, 1.0], [7.5, -2.0], [100.0, 0.0]] {
+                assert_eq!(fitted.apply_row(&probe), rebuilt.apply_row(&probe));
+            }
+        }
+        assert!(RidgePrediction.rehydrate(&[1.0]).is_err());
+    }
+}
+
+// --- quadratic (kernel-ridge stand-in) -------------------------------------
+
+/// `ridge2_pred(a, b)` — prediction of `b` from the quadratic basis
+/// `[a, a²]`, a closed-form stand-in for AutoLearn's kernel ridge
+/// regression (captures the monotone-nonlinear pair relationships kernel
+/// ridge is used for, without an O(N³) solve).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadRidgePrediction;
+
+/// `ridge2_res(a, b) = b − ridge2_pred(a, b)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadRidgeResidual;
+
+/// Frozen quadratic ridge fit: `b ≈ w1·a + w2·a² + c`.
+#[derive(Debug, Clone)]
+pub struct FittedQuadRidge {
+    w1: f64,
+    w2: f64,
+    intercept: f64,
+    output: RidgeOutput,
+}
+
+fn fit_quad_ridge(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
+    // Ridge-regularized normal equations on the centred design [a, a²].
+    let mut n = 0usize;
+    let (mut sa, mut sq, mut sb) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            n += 1;
+            sa += x;
+            sq += x * x;
+            sb += y;
+        }
+    }
+    if n < 3 {
+        return (0.0, 0.0, if n > 0 { sb / n as f64 } else { 0.0 });
+    }
+    let (ma, mq, mb) = (sa / n as f64, sq / n as f64, sb / n as f64);
+    // Centred second-moment matrix entries.
+    let (mut s11, mut s12, mut s22, mut s1y, mut s2y) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            let u = x - ma;
+            let v = x * x - mq;
+            let w = y - mb;
+            s11 += u * u;
+            s12 += u * v;
+            s22 += v * v;
+            s1y += u * w;
+            s2y += v * w;
+        }
+    }
+    s11 += LAMBDA;
+    s22 += LAMBDA;
+    let det = s11 * s22 - s12 * s12;
+    if det.abs() < 1e-12 {
+        return (0.0, 0.0, mb);
+    }
+    let w1 = (s22 * s1y - s12 * s2y) / det;
+    let w2 = (s11 * s2y - s12 * s1y) / det;
+    (w1, w2, mb - w1 * ma - w2 * mq)
+}
+
+impl FittedOperator for FittedQuadRidge {
+    fn apply_row(&self, inputs: &[f64]) -> f64 {
+        let (a, b) = (inputs[0], inputs[1]);
+        if a.is_nan() || (self.output == RidgeOutput::Residual && b.is_nan()) {
+            return f64::NAN;
+        }
+        let pred = self.w1 * a + self.w2 * a * a + self.intercept;
+        match self.output {
+            RidgeOutput::Prediction => pred,
+            RidgeOutput::Residual => b - pred,
+        }
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.w1, self.w2, self.intercept]
+    }
+}
+
+macro_rules! quad_ridge_operator {
+    ($ty:ident, $name:literal, $output:expr) => {
+        impl Operator for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn arity(&self) -> usize {
+                2
+            }
+            fn commutative(&self) -> bool {
+                false
+            }
+            fn fit(
+                &self,
+                inputs: &[&[f64]],
+                _labels: Option<&[u8]>,
+            ) -> Result<Box<dyn FittedOperator>, OpError> {
+                self.check_arity(inputs)?;
+                let (w1, w2, intercept) = fit_quad_ridge(inputs[0], inputs[1]);
+                Ok(Box::new(FittedQuadRidge { w1, w2, intercept, output: $output }))
+            }
+            fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError> {
+                if params.len() != 3 {
+                    return Err(OpError::BadParams(format!(
+                        "{} expects 3 params, got {}",
+                        $name,
+                        params.len()
+                    )));
+                }
+                Ok(Box::new(FittedQuadRidge {
+                    w1: params[0],
+                    w2: params[1],
+                    intercept: params[2],
+                    output: $output,
+                }))
+            }
+        }
+    };
+}
+
+quad_ridge_operator!(QuadRidgePrediction, "ridge2_pred", RidgeOutput::Prediction);
+quad_ridge_operator!(QuadRidgeResidual, "ridge2_res", RidgeOutput::Residual);
+
+#[cfg(test)]
+mod quad_tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_quadratic_relationship() {
+        let a: Vec<f64> = (-50..50).map(|i| i as f64 / 10.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x * x - x + 3.0).collect();
+        let f = QuadRidgePrediction.fit(&[&a, &b], None).unwrap();
+        let p = f.params();
+        assert!((p[0] + 1.0).abs() < 0.05, "w1 = {}", p[0]);
+        assert!((p[1] - 2.0).abs() < 0.05, "w2 = {}", p[1]);
+        // Residual vanishes on exact quadratic data.
+        let r = QuadRidgeResidual.fit(&[&a, &b], None).unwrap();
+        let residuals = r.apply(&[&a, &b]);
+        assert!(residuals.iter().all(|v| v.abs() < 0.5), "{residuals:?}");
+    }
+
+    #[test]
+    fn beats_linear_ridge_on_curved_data() {
+        let a: Vec<f64> = (-40..40).map(|i| i as f64 / 8.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect();
+        let lin = RidgeResidual.fit(&[&a, &b], None).unwrap();
+        let quad = QuadRidgeResidual.fit(&[&a, &b], None).unwrap();
+        let rms = |v: Vec<f64>| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        let rms_lin = rms(lin.apply(&[&a, &b]));
+        let rms_quad = rms(quad.apply(&[&a, &b]));
+        assert!(rms_quad < rms_lin / 5.0, "quad {rms_quad} vs lin {rms_lin}");
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_mean() {
+        let a = vec![2.0; 10];
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let f = QuadRidgePrediction.fit(&[&a, &b], None).unwrap();
+        assert!((f.apply_row(&[2.0, 0.0]) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quad_params_round_trip() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64 / 3.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x + 1.0).collect();
+        for op in [&QuadRidgePrediction as &dyn Operator, &QuadRidgeResidual] {
+            let fitted = op.fit(&[&a, &b], None).unwrap();
+            let rebuilt = op.rehydrate(&fitted.params()).unwrap();
+            assert_eq!(fitted.apply_row(&[3.0, 4.0]), rebuilt.apply_row(&[3.0, 4.0]));
+        }
+        assert!(QuadRidgePrediction.rehydrate(&[1.0]).is_err());
+    }
+}

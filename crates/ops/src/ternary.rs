@@ -1,0 +1,68 @@
+//! Ternary and 3-ary operators (Section III): the conditional `a ? b : c`
+//! and the multi-input MAX / MIN / MEAN reductions at arity 3.
+
+use crate::stateless_op;
+
+stateless_op!(Conditional, "cond", 3, commutative: false, |v| {
+    if v[0].is_nan() {
+        f64::NAN
+    } else if v[0] != 0.0 {
+        v[1]
+    } else {
+        v[2]
+    }
+});
+
+stateless_op!(Max3, "max3", 3, commutative: true, |v| {
+    if v.iter().any(|x| x.is_nan()) { f64::NAN } else { v[0].max(v[1]).max(v[2]) }
+});
+stateless_op!(Min3, "min3", 3, commutative: true, |v| {
+    if v.iter().any(|x| x.is_nan()) { f64::NAN } else { v[0].min(v[1]).min(v[2]) }
+});
+stateless_op!(Mean3, "mean3", 3, commutative: true, |v| (v[0] + v[1] + v[2]) / 3.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operator;
+
+    fn apply3(op: &dyn Operator, a: f64, b: f64, c: f64) -> f64 {
+        let (ca, cb, cc) = ([a], [b], [c]);
+        op.fit(&[&ca, &cb, &cc], None).unwrap().apply_row(&[a, b, c])
+    }
+
+    #[test]
+    fn conditional_selects_branch() {
+        assert_eq!(apply3(&Conditional, 1.0, 10.0, 20.0), 10.0);
+        assert_eq!(apply3(&Conditional, 0.0, 10.0, 20.0), 20.0);
+        assert_eq!(apply3(&Conditional, -3.0, 10.0, 20.0), 10.0, "nonzero is truthy");
+    }
+
+    #[test]
+    fn conditional_nan_condition_is_missing() {
+        assert!(apply3(&Conditional, f64::NAN, 1.0, 2.0).is_nan());
+        // NaN in the *taken* branch flows through; untaken branch irrelevant.
+        assert!(apply3(&Conditional, 1.0, f64::NAN, 2.0).is_nan());
+        assert_eq!(apply3(&Conditional, 0.0, f64::NAN, 2.0), 2.0);
+    }
+
+    #[test]
+    fn three_way_reductions() {
+        assert_eq!(apply3(&Max3, 1.0, 5.0, 3.0), 5.0);
+        assert_eq!(apply3(&Min3, 1.0, 5.0, 3.0), 1.0);
+        assert_eq!(apply3(&Mean3, 1.0, 5.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn reductions_propagate_nan() {
+        assert!(apply3(&Max3, 1.0, f64::NAN, 3.0).is_nan());
+        assert!(apply3(&Min3, f64::NAN, 2.0, 3.0).is_nan());
+        assert!(apply3(&Mean3, 1.0, 2.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn arity_is_three() {
+        assert_eq!(Conditional.arity(), 3);
+        assert_eq!(Max3.arity(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Unary mathematical transformations (Section III): log, sigmoid, square,
+//! square root, tanh, round, plus abs / reciprocal / negate.
+//!
+//! Domain conventions (industrial data is signed and dirty, so every
+//! operator must be total over finite inputs):
+//! - `log` and `sqrt` are applied sign-symmetrically: `sign(x)·ln(1+|x|)` and
+//!   `sign(x)·√|x|`. This preserves ordering on negatives instead of
+//!   emitting NaN for half the column.
+//! - `reciprocal` maps 0 to NaN (missing), matching `÷`'s division-by-zero
+//!   convention.
+//! - NaN inputs propagate to NaN outputs.
+
+use crate::stateless_op;
+
+#[inline]
+fn signed(x: f64, f: impl Fn(f64) -> f64) -> f64 {
+    if x.is_nan() {
+        f64::NAN
+    } else {
+        x.signum() * f(x.abs())
+    }
+}
+
+stateless_op!(Log, "log", 1, commutative: false, |v| signed(v[0], |a| (1.0 + a).ln()));
+stateless_op!(Sqrt, "sqrt", 1, commutative: false, |v| signed(v[0], |a| a.sqrt()));
+stateless_op!(Square, "square", 1, commutative: false, |v| v[0] * v[0]);
+stateless_op!(Sigmoid, "sigmoid", 1, commutative: false, |v| {
+    let x = v[0];
+    if x >= 0.0 { 1.0 / (1.0 + (-x).exp()) } else { let e = x.exp(); e / (1.0 + e) }
+});
+stateless_op!(Tanh, "tanh", 1, commutative: false, |v| v[0].tanh());
+stateless_op!(Round, "round", 1, commutative: false, |v| v[0].round());
+stateless_op!(Abs, "abs", 1, commutative: false, |v| v[0].abs());
+stateless_op!(Reciprocal, "reciprocal", 1, commutative: false, |v| {
+    if v[0] == 0.0 { f64::NAN } else { 1.0 / v[0] }
+});
+stateless_op!(Negate, "negate", 1, commutative: false, |v| -v[0]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operator;
+
+    fn apply_one(op: &dyn Operator, x: f64) -> f64 {
+        let col = [x];
+        op.fit(&[&col], None).unwrap().apply_row(&[x])
+    }
+
+    #[test]
+    fn log_is_sign_symmetric_and_monotone() {
+        assert_eq!(apply_one(&Log, 0.0), 0.0);
+        let pos = apply_one(&Log, std::f64::consts::E - 1.0);
+        assert!((pos - 1.0).abs() < 1e-12);
+        assert!((apply_one(&Log, -5.0) + apply_one(&Log, 5.0)).abs() < 1e-12);
+        assert!(apply_one(&Log, 10.0) < apply_one(&Log, 100.0));
+    }
+
+    #[test]
+    fn sqrt_handles_negatives() {
+        assert_eq!(apply_one(&Sqrt, 9.0), 3.0);
+        assert_eq!(apply_one(&Sqrt, -9.0), -3.0);
+        assert_eq!(apply_one(&Sqrt, 0.0), 0.0);
+    }
+
+    #[test]
+    fn square_and_round() {
+        assert_eq!(apply_one(&Square, -3.0), 9.0);
+        assert_eq!(apply_one(&Round, 2.5), 3.0);
+        assert_eq!(apply_one(&Round, -1.2), -1.0);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!((apply_one(&Sigmoid, 0.0) - 0.5).abs() < 1e-15);
+        assert!(apply_one(&Sigmoid, 100.0) <= 1.0);
+        assert!(apply_one(&Sigmoid, -100.0) >= 0.0);
+    }
+
+    #[test]
+    fn tanh_abs_negate() {
+        assert!((apply_one(&Tanh, 0.0)).abs() < 1e-15);
+        assert_eq!(apply_one(&Abs, -4.0), 4.0);
+        assert_eq!(apply_one(&Negate, 4.0), -4.0);
+    }
+
+    #[test]
+    fn reciprocal_zero_is_missing() {
+        assert!(apply_one(&Reciprocal, 0.0).is_nan());
+        assert_eq!(apply_one(&Reciprocal, 4.0), 0.25);
+    }
+
+    #[test]
+    fn nan_propagates_through_all() {
+        let ops: Vec<Box<dyn Operator>> = vec![
+            Box::new(Log),
+            Box::new(Sqrt),
+            Box::new(Square),
+            Box::new(Sigmoid),
+            Box::new(Tanh),
+            Box::new(Round),
+            Box::new(Abs),
+            Box::new(Reciprocal),
+            Box::new(Negate),
+        ];
+        for op in &ops {
+            assert!(apply_one(op.as_ref(), f64::NAN).is_nan(), "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn all_unary_have_arity_one() {
+        assert_eq!(Log.arity(), 1);
+        assert_eq!(Reciprocal.arity(), 1);
+    }
+}

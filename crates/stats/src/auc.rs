@@ -1,0 +1,166 @@
+//! Area Under the ROC Curve — the evaluation metric of every experiment in
+//! the paper (Tables III and VIII report 100×AUC).
+//!
+//! Computed via the Mann–Whitney U statistic with midrank tie handling:
+//! `AUC = (Σ ranks of positives − n_p(n_p+1)/2) / (n_p · n_n)`.
+
+/// Rank-based AUC of `scores` against binary `labels`.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+/// Ties receive midranks, so permuting equal-scored records never changes
+/// the result. `O(n log n)`.
+pub fn auc(scores: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Midranks over tied groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] == 1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Log-loss (binary cross entropy) of probability predictions — used by the
+/// models crate for training diagnostics. Probabilities are clipped to
+/// `[1e-12, 1 − 1e-12]`.
+pub fn log_loss(probs: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+/// Classification accuracy at a 0.5 threshold — secondary diagnostic.
+pub fn accuracy(probs: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let correct = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= 0.5) == (y == 1))
+        .count();
+    correct as f64 / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        let labels = vec![0, 0, 1, 1];
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![0, 0, 1, 1];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = vec![0.5; 6];
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1, 1]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn matches_pair_counting_definition() {
+        // AUC = P(score_pos > score_neg) + 0.5 P(tie), brute force check.
+        let scores = vec![0.3, 0.7, 0.7, 0.1, 0.9, 0.5, 0.3];
+        let labels = vec![0, 1, 0, 0, 1, 1, 1];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &yi) in labels.iter().enumerate() {
+            for (j, &yj) in labels.iter().enumerate() {
+                if yi == 1 && yj == 0 {
+                    den += 1.0;
+                    if scores[i] > scores[j] {
+                        num += 1.0;
+                    } else if scores[i] == scores[j] {
+                        num += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((auc(&scores, &labels) - num / den).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let scores = vec![0.1, 0.4, 0.35, 0.8, 0.65];
+        let labels = vec![0, 0, 1, 1, 1];
+        let squashed: Vec<f64> = scores.iter().map(|&s| s * s * s * 100.0).collect();
+        assert!((auc(&scores, &labels) - auc(&squashed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_of_perfect_predictions_is_tiny() {
+        let probs = vec![0.0001, 0.9999];
+        let labels = vec![0, 1];
+        assert!(log_loss(&probs, &labels) < 0.001);
+    }
+
+    #[test]
+    fn log_loss_handles_exact_zero_one() {
+        let probs = vec![0.0, 1.0];
+        let labels = vec![1, 0]; // maximally wrong, must stay finite
+        assert!(log_loss(&probs, &labels).is_finite());
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_hits() {
+        let probs = vec![0.9, 0.2, 0.6, 0.4];
+        let labels = vec![1, 0, 0, 1];
+        assert!((accuracy(&probs, &labels) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Chi-square statistic over adjacent-interval class tables.
+//!
+//! The paper lists ChiMerge among the typical discretization methods; the
+//! `safe-ops` ChiMerge operator merges the adjacent interval pair with the
+//! lowest chi-square until a threshold or interval budget is met.
+
+/// Chi-square statistic of a 2×k contingency table given as per-interval
+/// `(pos, neg)` counts. Expected counts use the standard
+/// `E_ij = row_i · col_j / n` with zero-expected cells skipped.
+pub fn chi_square(cells: &[(usize, usize)]) -> f64 {
+    let total_pos: usize = cells.iter().map(|c| c.0).sum();
+    let total_neg: usize = cells.iter().map(|c| c.1).sum();
+    let n = (total_pos + total_neg) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut chi = 0.0;
+    for &(pos, neg) in cells {
+        let row = (pos + neg) as f64;
+        for (observed, col_total) in [(pos as f64, total_pos as f64), (neg as f64, total_neg as f64)]
+        {
+            let expected = row * col_total / n;
+            if expected > 0.0 {
+                let d = observed - expected;
+                chi += d * d / expected;
+            }
+        }
+    }
+    chi
+}
+
+/// Chi-square of two adjacent intervals — the merge criterion of ChiMerge.
+pub fn chi_square_pair(a: (usize, usize), b: (usize, usize)) -> f64 {
+    chi_square(&[a, b])
+}
+
+/// Critical value of the chi-square distribution with 1 degree of freedom at
+/// common significance levels, for threshold-based ChiMerge stopping.
+pub fn chi2_critical_1df(significance: f64) -> f64 {
+    // Tabulated: ChiMerge operates on 2 classes → df = k-1 = 1 per merge test.
+    match significance {
+        s if s <= 0.01 => 6.635,
+        s if s <= 0.05 => 3.841,
+        s if s <= 0.10 => 2.706,
+        _ => 1.323, // p = 0.25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_chi() {
+        // Same class ratio in both intervals → no evidence to keep them apart.
+        assert!(chi_square_pair((10, 20), (5, 10)) < 1e-12);
+    }
+
+    #[test]
+    fn opposite_distributions_have_large_chi() {
+        let chi = chi_square_pair((30, 0), (0, 30));
+        assert!(chi > 50.0, "chi = {chi}");
+    }
+
+    #[test]
+    fn chi_grows_with_contrast() {
+        let weak = chi_square_pair((12, 10), (10, 12));
+        let strong = chi_square_pair((20, 2), (2, 20));
+        assert!(weak < strong);
+    }
+
+    #[test]
+    fn empty_table_is_zero() {
+        assert_eq!(chi_square(&[]), 0.0);
+        assert_eq!(chi_square_pair((0, 0), (0, 0)), 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // Table: interval A (pos 10, neg 10), interval B (pos 20, neg 0).
+        // n = 40, col totals: pos 30, neg 10. Row A = 20, Row B = 20.
+        // E(A,pos)=15, E(A,neg)=5, E(B,pos)=15, E(B,neg)=5.
+        // chi = (10-15)^2/15 + (10-5)^2/5 + (20-15)^2/15 + (0-5)^2/5
+        //     = 25/15 + 25/5 + 25/15 + 25/5 = 13.333...
+        let chi = chi_square_pair((10, 10), (20, 0));
+        assert!((chi - (25.0 / 15.0 + 5.0 + 25.0 / 15.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_values_are_monotone() {
+        assert!(chi2_critical_1df(0.01) > chi2_critical_1df(0.05));
+        assert!(chi2_critical_1df(0.05) > chi2_critical_1df(0.10));
+    }
+}

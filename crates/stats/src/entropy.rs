@@ -1,0 +1,218 @@
+//! Shannon entropy, information gain and information gain ratio.
+//!
+//! Algorithm 2 of the paper scores each candidate feature combination by
+//! partitioning all records according to the combination's split values and
+//! computing the **information gain ratio** of that partition against the
+//! binary label.
+
+/// Shannon entropy (nats) of a discrete distribution given raw counts.
+/// Zero-count cells contribute nothing. Returns 0 for an empty histogram.
+pub fn entropy_from_counts(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Entropy of a binary label vector.
+pub fn label_entropy(labels: &[u8]) -> f64 {
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    entropy_from_counts(&[pos, labels.len() - pos])
+}
+
+/// Per-cell label histogram of a partition: `cells[i] = (pos, neg)` counts of
+/// the records assigned to cell `i`.
+fn cell_histograms(cells: &[usize], labels: &[u8], n_cells: usize) -> Vec<(usize, usize)> {
+    let mut hist = vec![(0usize, 0usize); n_cells];
+    for (&cell, &label) in cells.iter().zip(labels) {
+        if label == 1 {
+            hist[cell].0 += 1;
+        } else {
+            hist[cell].1 += 1;
+        }
+    }
+    hist
+}
+
+/// Information gain of partitioning `labels` by `cells` (cell index per
+/// record, values in `0..n_cells`).
+///
+/// `IG = H(Y) − Σ_i (n_i/n) · H(Y | cell = i)`.
+pub fn information_gain(cells: &[usize], labels: &[u8], n_cells: usize) -> f64 {
+    assert_eq!(cells.len(), labels.len(), "cells/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let base = label_entropy(labels);
+    let n = labels.len() as f64;
+    let mut conditional = 0.0;
+    for (pos, neg) in cell_histograms(cells, labels, n_cells) {
+        let cell_n = pos + neg;
+        if cell_n == 0 {
+            continue;
+        }
+        conditional += (cell_n as f64 / n) * entropy_from_counts(&[pos, neg]);
+    }
+    (base - conditional).max(0.0)
+}
+
+/// Information gain ratio: gain normalized by the partition's *intrinsic*
+/// entropy (split information). This is C4.5's correction that keeps
+/// many-celled partitions from being favoured automatically — essential
+/// here because a combination of q features yields up to ∏(|Vi|+1) cells.
+///
+/// Returns 0 when the split information is 0 (single non-empty cell).
+pub fn gain_ratio(cells: &[usize], labels: &[u8], n_cells: usize) -> f64 {
+    let gain = information_gain(cells, labels, n_cells);
+    let mut counts = vec![0usize; n_cells];
+    for &c in cells {
+        counts[c] += 1;
+    }
+    let split_info = entropy_from_counts(&counts);
+    if split_info <= f64::EPSILON {
+        0.0
+    } else {
+        gain / split_info
+    }
+}
+
+/// Combine per-feature bin assignments into a joint cell index:
+/// the mixed-radix product partition used by Algorithm 2 (a combination of q
+/// features with `b_1 … b_q` bins each yields `∏ b_i` cells).
+///
+/// `assignments[j]` is the (bins, n_bins) pair of feature j.
+pub fn joint_cells(assignments: &[(&[usize], usize)]) -> (Vec<usize>, usize) {
+    assert!(!assignments.is_empty(), "need at least one feature");
+    let n_rows = assignments[0].0.len();
+    let mut total_cells = 1usize;
+    for (bins, n_bins) in assignments {
+        assert_eq!(bins.len(), n_rows, "all assignments must cover all rows");
+        total_cells = total_cells.saturating_mul(*n_bins);
+    }
+    let mut cells = vec![0usize; n_rows];
+    for (bins, n_bins) in assignments {
+        for (row, &b) in bins.iter().enumerate() {
+            cells[row] = cells[row] * n_bins + b;
+        }
+    }
+    (cells, total_cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn entropy_of_uniform_binary_is_ln2() {
+        assert!((entropy_from_counts(&[5, 5]) - LN2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_pure_is_zero() {
+        assert_eq!(entropy_from_counts(&[10, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_maximal_at_uniform() {
+        let u = entropy_from_counts(&[25, 25, 25, 25]);
+        let skewed = entropy_from_counts(&[70, 10, 10, 10]);
+        assert!(u > skewed);
+        assert!((u - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_recovers_full_entropy() {
+        // Cell 0 = all negatives, cell 1 = all positives.
+        let cells = vec![0, 0, 1, 1];
+        let labels = vec![0, 0, 1, 1];
+        let ig = information_gain(&cells, &labels, 2);
+        assert!((ig - LN2).abs() < 1e-12);
+        // Gain ratio of this perfect balanced split is 1.
+        assert!((gain_ratio(&cells, &labels, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_has_zero_gain() {
+        let cells = vec![0, 1, 0, 1];
+        let labels = vec![0, 0, 1, 1];
+        let ig = information_gain(&cells, &labels, 2);
+        assert!(ig.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratio_penalizes_fragmentation() {
+        // Both partitions separate classes perfectly, but the second one
+        // shatters the data into singleton cells.
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let coarse = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let fine = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        let g_coarse = gain_ratio(&coarse, &labels, 2);
+        let g_fine = gain_ratio(&fine, &labels, 8);
+        assert!(g_coarse > g_fine);
+        // Plain information gain cannot tell them apart:
+        let ig_c = information_gain(&coarse, &labels, 2);
+        let ig_f = information_gain(&fine, &labels, 8);
+        assert!((ig_c - ig_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cell_gain_ratio_is_zero() {
+        let labels = vec![0, 1, 0, 1];
+        let cells = vec![0, 0, 0, 0];
+        assert_eq!(gain_ratio(&cells, &labels, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(information_gain(&[], &[], 1), 0.0);
+    }
+
+    #[test]
+    fn joint_cells_mixed_radix() {
+        // Feature A with 2 bins, feature B with 3 bins → 6 joint cells.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 2, 1, 2];
+        let (cells, n) = joint_cells(&[(&a, 2), (&b, 3)]);
+        assert_eq!(n, 6);
+        assert_eq!(cells, vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn joint_cells_distinct_pairs_distinct_cells() {
+        let a = vec![0, 1, 0, 1];
+        let b = vec![0, 0, 1, 1];
+        let (cells, n) = joint_cells(&[(&a, 2), (&b, 2)]);
+        assert_eq!(n, 4);
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "all four (a,b) pairs map to distinct cells");
+    }
+
+    #[test]
+    fn joint_combination_beats_marginals_on_xor() {
+        // XOR labels: neither feature alone has gain, the pair is perfect —
+        // exactly the situation SAFE's combination mining exists to exploit.
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let labels: Vec<u8> = a.iter().zip(&b).map(|(&x, &y)| (x ^ y) as u8).collect();
+        let ga = gain_ratio(&a, &labels, 2);
+        let gb = gain_ratio(&b, &labels, 2);
+        let (joint, n) = joint_cells(&[(&a, 2), (&b, 2)]);
+        let gj = gain_ratio(&joint, &labels, n);
+        assert!(ga < 1e-9 && gb < 1e-9);
+        assert!(gj > 0.49, "joint gain ratio should be large, got {gj}");
+    }
+}

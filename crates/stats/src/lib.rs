@@ -1,0 +1,36 @@
+//! # safe-stats — statistical primitives for the SAFE pipeline
+//!
+//! Everything statistical that the paper's algorithms rely on, from scratch:
+//!
+//! - [`entropy`] — Shannon entropy, information gain and **information gain
+//!   ratio** over record partitions (Algorithm 2's combination ranking),
+//! - [`iv`] — **Information Value** with Weight-of-Evidence (Eq. 6, Algorithm
+//!   3) and the Table I predictive-power bands,
+//! - [`pearson`](mod@pearson) — **Pearson correlation** (Eq. 7, Algorithm 4) and the Table
+//!   II strength bands,
+//! - [`auc`](mod@auc) — rank-based AUC, the paper's evaluation metric,
+//! - [`divergence`] — KLD / JSD (Eqs. 14–15) and the feature-stability score
+//!   of Table VI,
+//! - [`chi`] — chi-square statistic backing the ChiMerge discretizer,
+//! - [`describe`] — means, variances, quantiles,
+//! - [`parallel`] — a crossbeam scoped-thread map used to parallelize
+//!   per-column IV and per-pair Pearson work (the paper's "distributed
+//!   computing" requirement, realized as thread parallelism).
+
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod chi;
+pub mod describe;
+pub mod divergence;
+pub mod entropy;
+pub mod iv;
+pub mod parallel;
+pub mod pearson;
+
+pub use auc::auc;
+
+pub use divergence::{jensen_shannon, kullback_leibler, stability_score};
+pub use entropy::{entropy_from_counts, gain_ratio, information_gain, label_entropy};
+pub use iv::{information_value, woe_bins, IvBand};
+pub use pearson::{pearson, CorrBand};

@@ -1,0 +1,115 @@
+//! Scoped-thread parallel map over index ranges.
+//!
+//! Section IV-E of the paper requires that per-feature IV and per-pair
+//! Pearson computations be parallelizable ("distributed computing"). This
+//! helper chunks an index range across up to `available_parallelism()`
+//! crossbeam scoped threads and preserves output order. No work stealing —
+//! the workloads here (IV per column, Pearson per pair, histogram per
+//! feature) are uniform enough that static chunking wins on simplicity.
+
+/// Parallel map `f` over `0..n`, returning results in index order.
+///
+/// Falls back to a sequential loop for small `n` where thread spawn overhead
+/// dominates, or when only one CPU is available.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    const MIN_PER_THREAD: usize = 8;
+    if threads <= 1 || n < 2 * MIN_PER_THREAD {
+        return (0..n).map(f).collect();
+    }
+    let n_chunks = threads.min(n / MIN_PER_THREAD).max(1);
+    let chunk = n.div_ceil(n_chunks);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut start = 0usize;
+        let mut handles = Vec::new();
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let begin = start;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(begin + offset));
+                }
+            }));
+            start += len;
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+/// Parallel map over an explicit slice of items (convenience wrapper).
+pub fn par_map_slice<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_small() {
+        let out = par_map_indexed(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn preserves_order_large() {
+        let out = par_map_indexed(10_000, |i| i as u64 * 3 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn calls_each_index_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map_indexed(1_000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+        assert_eq!(out.len(), 1_000);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = par_map_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn slice_wrapper() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = par_map_slice(&items, |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_copy_results() {
+        let out = par_map_indexed(100, |i| vec![i; 3]);
+        assert_eq!(out[42], vec![42, 42, 42]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pearson correlation (Eq. 7) and Table II strength bands.
+//!
+//! Algorithm 4 removes the lower-IV member of every feature pair whose
+//! absolute correlation exceeds θ = 0.8.
+
+/// Table II of the paper: rule-of-thumb correlation-strength bands for |ρ|.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrBand {
+    /// |ρ| in \[0, 0.2\): very weak or no correlation.
+    VeryWeak,
+    /// |ρ| in \[0.2, 0.4\): weak correlation.
+    Weak,
+    /// |ρ| in \[0.4, 0.6\): moderate correlation.
+    Moderate,
+    /// |ρ| in \[0.6, 0.8\): strong correlation.
+    Strong,
+    /// |ρ| in \[0.8, 1\]: extremely strong correlation.
+    ExtremelyStrong,
+}
+
+impl CorrBand {
+    /// Classify an absolute correlation into its Table II band.
+    pub fn of(rho: f64) -> CorrBand {
+        let a = rho.abs();
+        if a < 0.2 {
+            CorrBand::VeryWeak
+        } else if a < 0.4 {
+            CorrBand::Weak
+        } else if a < 0.6 {
+            CorrBand::Moderate
+        } else if a < 0.8 {
+            CorrBand::Strong
+        } else {
+            CorrBand::ExtremelyStrong
+        }
+    }
+
+    /// Human description as printed in Table II.
+    pub fn description(self) -> &'static str {
+        match self {
+            CorrBand::VeryWeak => "Very weak or no correlation",
+            CorrBand::Weak => "Weak correlation",
+            CorrBand::Moderate => "Moderate correlation",
+            CorrBand::Strong => "Strong correlation",
+            CorrBand::ExtremelyStrong => "Extremely strong correlation",
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length columns (Eq. 7).
+///
+/// Rows where either value is non-finite are skipped pairwise (industrial
+/// data has missing cells; correlating present pairs is standard). Returns
+/// 0.0 when either column is constant over the shared support or fewer than
+/// two shared rows exist — a constant feature is uncorrelated with anything
+/// for the purposes of redundancy removal.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must be equal length");
+    let mut n = 0usize;
+    let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    for (&a, &b) in x.iter().zip(y) {
+        if a.is_finite() && b.is_finite() {
+            n += 1;
+            sx += a;
+            sy += b;
+        }
+    }
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
+    let (mut num, mut dx, mut dy) = (0.0f64, 0.0f64, 0.0f64);
+    for (&a, &b) in x.iter().zip(y) {
+        if a.is_finite() && b.is_finite() {
+            let ca = a - mx;
+            let cb = b - my;
+            num += ca * cb;
+            dx += ca * ca;
+            dy += cb * cb;
+        }
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return 0.0;
+    }
+    (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// All-pairs absolute correlation matrix (upper triangle), returned as a flat
+/// vector indexed by [`pair_index`]. Kept allocation-light for Algorithm 4's
+/// O(M²) sweep.
+pub fn abs_correlation_upper(columns: &[&[f64]]) -> Vec<f64> {
+    let m = columns.len();
+    let mut out = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            out.push(pearson(columns[i], columns[j]).abs());
+        }
+    }
+    out
+}
+
+/// Index of pair (i, j), i < j, within the flattened upper triangle of an
+/// m×m matrix.
+pub fn pair_index(i: usize, j: usize, m: usize) -> usize {
+    debug_assert!(i < j && j < m);
+    i * m - i * (i + 1) / 2 + (j - i - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_positive_is_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_negative_is_minus_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let x = vec![1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = vec![2.0, 1.0, 7.0, 3.0, 9.0];
+        assert!((pearson(&x, &y) - pearson(&y, &x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn orthogonal_pattern_is_zero() {
+        let x = vec![1.0, -1.0, 1.0, -1.0];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_yields_zero() {
+        let x = vec![5.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn nan_rows_are_skipped_pairwise() {
+        let x = vec![1.0, 2.0, f64::NAN, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 100.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_shared_rows_is_zero() {
+        let x = vec![1.0, f64::NAN];
+        let y = vec![f64::NAN, 2.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn result_is_bounded() {
+        // Near-degenerate values can push naive formulas past 1; ensure clamping.
+        let x = vec![1.0, 1.0 + 1e-15, 1.0 + 2e-15];
+        let y = vec![1.0, 1.0 + 1e-15, 1.0 + 2e-15];
+        let r = pearson(&x, &y);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn band_boundaries_match_table2() {
+        assert_eq!(CorrBand::of(0.0), CorrBand::VeryWeak);
+        assert_eq!(CorrBand::of(-0.19), CorrBand::VeryWeak);
+        assert_eq!(CorrBand::of(0.2), CorrBand::Weak);
+        assert_eq!(CorrBand::of(0.4), CorrBand::Moderate);
+        assert_eq!(CorrBand::of(-0.7), CorrBand::Strong);
+        assert_eq!(CorrBand::of(0.8), CorrBand::ExtremelyStrong);
+        assert_eq!(CorrBand::of(1.0), CorrBand::ExtremelyStrong);
+    }
+
+    #[test]
+    fn upper_triangle_layout() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        let c: Vec<f64> = a.iter().map(|v| v * v).collect();
+        let cols: Vec<&[f64]> = vec![&a, &b, &c];
+        let tri = abs_correlation_upper(&cols);
+        assert_eq!(tri.len(), 3);
+        assert!((tri[pair_index(0, 1, 3)] - 1.0).abs() < 1e-12);
+        assert!((tri[pair_index(0, 2, 3)] - pearson(&a, &c).abs()).abs() < 1e-12);
+        assert!((tri[pair_index(1, 2, 3)] - pearson(&b, &c).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let m = 7;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                assert!(seen.insert(pair_index(i, j, m)));
+            }
+        }
+        assert_eq!(seen.len(), m * (m - 1) / 2);
+        assert_eq!(*seen.iter().max().unwrap(), m * (m - 1) / 2 - 1);
+    }
+}

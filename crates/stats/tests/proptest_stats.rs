@@ -1,0 +1,83 @@
+//! Property tests local to safe-stats: describe/quantile/chi/parallel.
+
+use proptest::prelude::*;
+
+use safe_stats::chi::{chi_square, chi_square_pair};
+use safe_stats::describe::{describe, quantile};
+use safe_stats::parallel::par_map_indexed;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn describe_bounds_hold(values in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let s = describe(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.mean + 1e-6);
+        prop_assert!(s.mean <= s.max + 1e-6);
+        prop_assert!(s.std >= 0.0);
+        // Chebyshev-esque sanity: std bounded by range.
+        prop_assert!(s.std <= (s.max - s.min).abs() + 1e-9);
+    }
+
+    #[test]
+    fn describe_counts_missing(
+        values in prop::collection::vec(-100f64..100.0, 1..100),
+        missing_every in 2usize..5,
+    ) {
+        let mut v = values.clone();
+        let mut expected_missing = 0;
+        for (i, x) in v.iter_mut().enumerate() {
+            if i % missing_every == 0 {
+                *x = f64::NAN;
+                expected_missing += 1;
+            }
+        }
+        let s = describe(&v);
+        prop_assert_eq!(s.n_missing, expected_missing);
+        prop_assert_eq!(s.n + s.n_missing, v.len());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let q25 = quantile(&values, 0.25).unwrap();
+        let q50 = quantile(&values, 0.5).unwrap();
+        let q75 = quantile(&values, 0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-9);
+        prop_assert!(q50 <= q75 + 1e-9);
+        // Extremes equal min/max.
+        let s = describe(&values);
+        prop_assert!((quantile(&values, 0.0).unwrap() - s.min).abs() < 1e-9);
+        prop_assert!((quantile(&values, 1.0).unwrap() - s.max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_nonnegative_and_zero_on_proportional_tables(
+        base in prop::collection::vec((1usize..40, 1usize..40), 2..8),
+        scale in 2usize..5,
+    ) {
+        let cells: Vec<(usize, usize)> = base.clone();
+        prop_assert!(chi_square(&cells) >= 0.0);
+        // Two intervals with identical class ratios → chi == 0.
+        let a = (7 * scale, 3 * scale);
+        let b = (7, 3);
+        prop_assert!(chi_square_pair(a, b) < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_pair_is_symmetric(
+        a in (0usize..50, 0usize..50),
+        b in (0usize..50, 0usize..50),
+    ) {
+        let x = chi_square_pair(a, b);
+        let y = chi_square_pair(b, a);
+        prop_assert!((x - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_map_matches_sequential(n in 0usize..2000) {
+        let parallel = par_map_indexed(n, |i| i * i + 1);
+        let sequential: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+        prop_assert_eq!(parallel, sequential);
+    }
+}

@@ -1,0 +1,68 @@
+//! Head-to-head: every feature-engineering method in the workspace on one
+//! dataset — ORIG, FCTree, TFC, AutoLearn, RAND, IMP, SAFE — reporting fit
+//! time, feature counts, and XGB/LR test AUC.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use std::time::Instant;
+
+use safe::baselines::{AutoLearn, FcTree, Tfc};
+use safe::core::engineer::{FeatureEngineer, Identity};
+use safe::core::{Safe, SafeConfig};
+use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+
+fn main() {
+    let split = generate_benchmark_scaled(BenchmarkId::Spambase, 0.25, 9);
+    println!(
+        "dataset: spambase stand-in, {} train rows, {} features\n",
+        split.train.n_rows(),
+        split.train.n_cols()
+    );
+
+    let engineers: Vec<Box<dyn FeatureEngineer>> = vec![
+        Box::new(Identity),
+        Box::new(FcTree { seed: 9, ..FcTree::default() }),
+        Box::new(Tfc::default()),
+        Box::new(AutoLearn { seed: 9, ..AutoLearn::default() }),
+        Box::new(Safe::new(SafeConfig::rand_baseline(9))),
+        Box::new(Safe::new(SafeConfig::imp_baseline(9))),
+        Box::new(Safe::new(SafeConfig { seed: 9, ..SafeConfig::paper() })),
+    ];
+
+    println!(
+        "{:<10} {:>8} {:>9} {:>10} {:>8} {:>8}",
+        "method", "fit (s)", "features", "generated", "XGB", "LR"
+    );
+    println!("{}", "-".repeat(60));
+    for engineer in engineers {
+        let start = Instant::now();
+        let plan = match engineer.engineer(&split.train, split.valid.as_ref()) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<10} failed: {e}", engineer.method_name());
+                continue;
+            }
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let train_new = plan.apply(&split.train).expect("applies");
+        let test_new = plan.apply(&split.test).expect("applies");
+        let xgb = evaluate_auc(ClassifierKind::Xgb, &train_new, &test_new, 9)
+            .map(|a| format!("{:.2}", a * 100.0))
+            .unwrap_or_else(|_| "-".into());
+        let lr = evaluate_auc(ClassifierKind::Lr, &train_new, &test_new, 9)
+            .map(|a| format!("{:.2}", a * 100.0))
+            .unwrap_or_else(|_| "-".into());
+        println!(
+            "{:<10} {:>8.2} {:>9} {:>10} {:>8} {:>8}",
+            engineer.method_name(),
+            secs,
+            plan.outputs.len(),
+            plan.n_generated_outputs(),
+            xgb,
+            lr
+        );
+    }
+}

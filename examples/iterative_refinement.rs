@@ -1,0 +1,57 @@
+//! Iterative refinement: run SAFE for several iterations (Algorithm 1's
+//! outer loop, Fig. 4 of the paper) and watch the feature funnel per round.
+//!
+//! ```sh
+//! cargo run --release --example iterative_refinement
+//! ```
+
+use safe::core::{Safe, SafeConfig};
+use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+
+fn main() {
+    let split = generate_benchmark_scaled(BenchmarkId::EegEye, 0.1, 3);
+    println!(
+        "dataset: {} train rows, {} features\n",
+        split.train.n_rows(),
+        split.train.n_cols()
+    );
+
+    let config = SafeConfig {
+        n_iterations: 5,
+        seed: 3,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config)
+        .fit(&split.train, split.valid.as_ref())
+        .expect("SAFE fits");
+
+    println!("iteration funnel:");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>9} {:>7} {:>9} {:>9}",
+        "iter", "combos", "kept", "generated", "candid.", "IV-ok", "non-red", "selected"
+    );
+    for r in &outcome.history {
+        println!(
+            "{:>4} {:>8} {:>8} {:>10} {:>9} {:>7} {:>9} {:>9}",
+            r.iteration,
+            r.n_combinations,
+            r.n_combinations_kept,
+            r.n_generated,
+            r.n_candidates,
+            r.n_after_iv,
+            r.n_after_redundancy,
+            r.n_selected
+        );
+    }
+
+    println!("\nXGB test AUC after each iteration (Fig. 4 style):");
+    let base = evaluate_auc(ClassifierKind::Xgb, &split.train, &split.test, 0).unwrap();
+    println!("  iter 0 (original): {:.4}", base);
+    for (i, plan) in outcome.plans_per_iteration.iter().enumerate() {
+        let train_new = plan.apply(&split.train).unwrap();
+        let test_new = plan.apply(&split.test).unwrap();
+        let a = evaluate_auc(ClassifierKind::Xgb, &train_new, &test_new, 0).unwrap();
+        println!("  iter {}: {:.4}  ({} features)", i + 1, a, plan.outputs.len());
+    }
+}

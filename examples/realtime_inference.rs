@@ -1,0 +1,71 @@
+//! Real-time inference: serialize the learned plan, ship it to a "serving
+//! process" (here: a fresh parse), and score single records — the paper's
+//! third industrial requirement ("once an instance is inputted, the feature
+//! should be produced instantly").
+//!
+//! ```sh
+//! cargo run --release --example realtime_inference
+//! ```
+
+use std::time::Instant;
+
+use safe::core::plan::FeaturePlan;
+use safe::core::{Safe, SafeConfig};
+use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+use safe::ops::registry::OperatorRegistry;
+
+fn main() {
+    // --- offline: learn Ψ and persist it ---------------------------------
+    let split = generate_benchmark_scaled(BenchmarkId::Wind, 0.2, 5);
+    let outcome = Safe::new(SafeConfig { seed: 5, ..SafeConfig::paper() })
+        .fit(&split.train, split.valid.as_ref())
+        .expect("SAFE fits");
+    let text = outcome.plan.to_text();
+    println!(
+        "serialized plan: {} bytes, {} steps, {} outputs",
+        text.len(),
+        outcome.plan.steps.len(),
+        outcome.plan.outputs.len()
+    );
+    println!("--- plan (first 6 lines) ---");
+    for line in text.lines().take(6) {
+        println!("{line}");
+    }
+    println!("----------------------------\n");
+
+    // --- online: a serving process parses and compiles once --------------
+    let served = FeaturePlan::from_text(&text).expect("plan parses");
+    let compiled = served
+        .compile(&OperatorRegistry::standard())
+        .expect("plan compiles");
+
+    // Verify online row scoring agrees with offline batch transformation.
+    let batch = compiled.apply(&split.test).expect("batch applies");
+    let mut max_diff = 0.0f64;
+    for i in 0..split.test.n_rows().min(200) {
+        let online = compiled.apply_row(&split.test.row(i)).expect("row scores");
+        for (c, &v) in online.iter().enumerate() {
+            let b = batch.column(c).unwrap()[i];
+            if v.is_finite() && b.is_finite() {
+                max_diff = max_diff.max((v - b).abs());
+            }
+        }
+    }
+    println!("online vs batch max |diff| over 200 rows: {max_diff:e}");
+
+    // Latency: generate features for one event.
+    let probe = split.test.row(0);
+    let n = 100_000;
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..n {
+        sink += compiled.apply_row(&probe).expect("row scores")[0];
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "feature generation latency: {:.2} ns/event ({} events in {:.3}s, checksum {sink:.1})",
+        elapsed.as_nanos() as f64 / n as f64,
+        n,
+        elapsed.as_secs_f64()
+    );
+}

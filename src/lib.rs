@@ -1,0 +1,34 @@
+//! # safe — Scalable Automatic Feature Engineering (ICDE 2020), in Rust
+//!
+//! Facade crate re-exporting the full SAFE workspace:
+//!
+//! - [`data`] — columnar datasets, CSV I/O, splits, binning
+//! - [`stats`] — IV, Pearson, gain ratio, AUC, JSD, parallel helpers
+//! - [`gbm`] — XGBoost-style gradient boosting with path extraction
+//! - [`models`] — the nine downstream classifiers from the paper's evaluation
+//! - [`ops`] — extensible unary/binary/ternary operator registry
+//! - [`core`] — the SAFE pipeline (generation + selection + iteration)
+//! - [`baselines`] — TFC and FCTree comparison methods
+//! - [`datagen`] — synthetic benchmark and business dataset generators
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use safe::core::{Safe, SafeConfig};
+//! use safe::datagen::benchmarks::{generate_benchmark, BenchmarkId};
+//!
+//! let split = generate_benchmark(BenchmarkId::Magic, 42);
+//! let safe = Safe::new(SafeConfig::default());
+//! let outcome = safe.fit(&split.train, split.valid.as_ref()).unwrap();
+//! let train_new = outcome.plan.apply(&split.train).unwrap();
+//! println!("engineered {} features", train_new.n_cols());
+//! ```
+
+pub use safe_baselines as baselines;
+pub use safe_core as core;
+pub use safe_data as data;
+pub use safe_datagen as datagen;
+pub use safe_gbm as gbm;
+pub use safe_models as models;
+pub use safe_ops as ops;
+pub use safe_stats as stats;

@@ -1,0 +1,226 @@
+//! Small-scale checks that the paper's *result shapes* reproduce: who wins,
+//! in which direction, at what relative cost. The full-size versions are the
+//! `safe-bench` binaries; these run in seconds under `cargo test --release`.
+
+use std::time::Instant;
+
+use safe::baselines::Tfc;
+use safe::core::engineer::FeatureEngineer;
+use safe::core::{Safe, SafeConfig};
+use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+
+fn interaction_dataset(seed: u64) -> safe::data::Dataset {
+    generate(&SyntheticConfig {
+        n_rows: 2_500,
+        dim: 10,
+        n_signal: 4,
+        n_interactions: 3,
+        marginal_weight: 0.1,
+        noise: 0.25,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Table III shape: SAFE lifts AUC over ORIG on interaction data, averaged
+/// over classifiers and seeds.
+#[test]
+fn safe_beats_orig_on_average() {
+    let mut lift = 0.0;
+    let mut cells = 0;
+    for seed in [1u64, 2] {
+        let full = interaction_dataset(seed);
+        let (train, test) = safe::data::split::train_test_split(&full, 0.3, seed).unwrap();
+        let outcome = Safe::new(SafeConfig { seed, ..SafeConfig::paper() })
+            .fit(&train, None)
+            .unwrap();
+        let train_new = outcome.plan.apply(&train).unwrap();
+        let test_new = outcome.plan.apply(&test).unwrap();
+        for clf in [ClassifierKind::Lr, ClassifierKind::Dt, ClassifierKind::Xgb] {
+            let before = evaluate_auc(clf, &train, &test, seed).unwrap();
+            let after = evaluate_auc(clf, &train_new, &test_new, seed).unwrap();
+            lift += after - before;
+            cells += 1;
+        }
+    }
+    let mean_lift = lift / cells as f64;
+    assert!(
+        mean_lift > 0.0,
+        "mean AUC lift should be positive, got {mean_lift:.4}"
+    );
+}
+
+/// Table V shape: SAFE is much cheaper than TFC's exhaustive generation on
+/// a wide dataset.
+#[test]
+fn safe_is_faster_than_tfc_on_wide_data() {
+    // 60 features → TFC scores 60 originals + 2·C(60,2)·2 + ... ≈ 7k
+    // candidates; SAFE's path mining touches a few dozen.
+    let ds = generate(&SyntheticConfig {
+        n_rows: 1_500,
+        dim: 60,
+        n_signal: 6,
+        n_interactions: 4,
+        seed: 3,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    Safe::new(SafeConfig { seed: 3, ..SafeConfig::paper() })
+        .fit(&ds, None)
+        .unwrap();
+    let safe_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    Tfc::default().engineer(&ds, None).unwrap();
+    let tfc_time = t1.elapsed();
+
+    assert!(
+        safe_time < tfc_time,
+        "SAFE ({safe_time:?}) should beat exhaustive TFC ({tfc_time:?})"
+    );
+}
+
+/// Table VI shape: SAFE's selected feature set is more stable across
+/// resamples than RAND's.
+#[test]
+fn safe_is_more_stable_than_rand() {
+    use std::collections::HashMap;
+    let t_runs = 5;
+    let mut occ_safe: HashMap<String, usize> = HashMap::new();
+    let mut occ_rand: HashMap<String, usize> = HashMap::new();
+    let mut per_run_safe = 0;
+    let mut per_run_rand = 0;
+    for r in 0..t_runs {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.3, 100 + r);
+        let s = Safe::new(SafeConfig { seed: r, ..SafeConfig::paper() })
+            .fit(&split.train, None)
+            .unwrap();
+        per_run_safe = per_run_safe.max(s.plan.outputs.len());
+        for n in &s.plan.outputs {
+            *occ_safe.entry(n.clone()).or_insert(0) += 1;
+        }
+        let rnd = Safe::new(SafeConfig::rand_baseline(r))
+            .fit(&split.train, None)
+            .unwrap();
+        per_run_rand = per_run_rand.max(rnd.plan.outputs.len());
+        for n in &rnd.plan.outputs {
+            *occ_rand.entry(n.clone()).or_insert(0) += 1;
+        }
+    }
+    let jsd_safe = safe::stats::divergence::stability_score(
+        &occ_safe.values().copied().collect::<Vec<_>>(),
+        per_run_safe,
+        t_runs as usize,
+    );
+    let jsd_rand = safe::stats::divergence::stability_score(
+        &occ_rand.values().copied().collect::<Vec<_>>(),
+        per_run_rand,
+        t_runs as usize,
+    );
+    assert!(
+        jsd_safe <= jsd_rand + 0.05,
+        "SAFE stability {jsd_safe:.4} should not be meaningfully worse than RAND {jsd_rand:.4}"
+    );
+}
+
+/// §IV-D shape: SAFE runtime grows roughly linearly with N (within a
+/// generous factor — constant overheads favour larger N).
+#[test]
+fn safe_runtime_is_subquadratic_in_n() {
+    let time_for = |n: usize| {
+        let ds = generate(&SyntheticConfig {
+            n_rows: n,
+            dim: 12,
+            n_signal: 4,
+            seed: 9,
+            ..Default::default()
+        });
+        let t = Instant::now();
+        Safe::new(SafeConfig { seed: 9, ..SafeConfig::paper() })
+            .fit(&ds, None)
+            .unwrap();
+        t.elapsed().as_secs_f64()
+    };
+    // Warm up allocators/threads.
+    let _ = time_for(1_000);
+    let t1 = time_for(2_000);
+    let t4 = time_for(8_000);
+    let growth = t4 / t1.max(1e-6);
+    assert!(
+        growth < 16.0,
+        "4x rows should not cost ~quadratic 16x: growth {growth:.1} (t1={t1:.3}s, t4={t4:.3}s)"
+    );
+}
+
+/// Fig. 4 shape: more iterations never destroy the engineered set (AUC at
+/// iteration k stays within tolerance of iteration 1, typically above).
+#[test]
+fn iterations_do_not_degrade() {
+    let full = interaction_dataset(13);
+    let (train, test) = safe::data::split::train_test_split(&full, 0.3, 13).unwrap();
+    let outcome = Safe::new(SafeConfig {
+        n_iterations: 3,
+        seed: 13,
+        ..SafeConfig::paper()
+    })
+    .fit(&train, None)
+    .unwrap();
+    let mut aucs = Vec::new();
+    for plan in &outcome.plans_per_iteration {
+        let tr = plan.apply(&train).unwrap();
+        let te = plan.apply(&test).unwrap();
+        aucs.push(evaluate_auc(ClassifierKind::Xgb, &tr, &te, 0).unwrap());
+    }
+    let first = aucs[0];
+    let last = *aucs.last().unwrap();
+    assert!(
+        last > first - 0.03,
+        "later iterations should not collapse AUC: {aucs:?}"
+    );
+}
+
+/// The two assumptions of Section IV-B1, as the paper tests them: mined
+/// same-path combinations (SAFE) find the planted interaction more reliably
+/// than random combinations over all features (RAND).
+#[test]
+fn mined_combinations_find_the_planted_interaction() {
+    let mut safe_hits = 0usize;
+    let mut rand_hits = 0usize;
+    let runs = 4usize;
+    for seed in 0..runs as u64 {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 2_000,
+            dim: 16,
+            n_signal: 2,
+            n_interactions: 1, // exactly x0·x1 carries the signal
+            marginal_weight: 0.0,
+            noise: 0.2,
+            n_redundant: 0,
+            seed: 40 + seed,
+            ..Default::default()
+        });
+        let hit = |plan: &safe::core::plan::FeaturePlan| {
+            plan.steps.iter().any(|s| {
+                s.parents.contains(&"x0".to_string()) && s.parents.contains(&"x1".to_string())
+            })
+        };
+        let s = Safe::new(SafeConfig { seed, gamma: 8, ..SafeConfig::paper() })
+            .fit(&ds, None)
+            .unwrap();
+        let r = Safe::new(SafeConfig { gamma: 8, ..SafeConfig::rand_baseline(seed) })
+            .fit(&ds, None)
+            .unwrap();
+        safe_hits += hit(&s.plan) as usize;
+        rand_hits += hit(&r.plan) as usize;
+    }
+    assert!(
+        safe_hits >= rand_hits,
+        "mining should find the planted pair at least as often: SAFE {safe_hits}/{runs} vs RAND {rand_hits}/{runs}"
+    );
+    assert!(
+        safe_hits >= runs - 1,
+        "SAFE should find the planted pair almost always: {safe_hits}/{runs}"
+    );
+}

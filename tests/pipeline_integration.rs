@@ -1,0 +1,137 @@
+//! Cross-crate integration: datagen → SAFE/baselines → plan → models.
+
+use safe::baselines::{FcTree, Tfc};
+use safe::core::engineer::{FeatureEngineer, Identity};
+use safe::core::plan::FeaturePlan;
+use safe::core::{Safe, SafeConfig};
+use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+use safe::ops::registry::OperatorRegistry;
+
+fn interaction_split() -> (safe::data::Dataset, safe::data::Dataset) {
+    let config = SyntheticConfig {
+        n_rows: 2_000,
+        dim: 8,
+        n_signal: 4,
+        n_interactions: 3,
+        marginal_weight: 0.1,
+        noise: 0.2,
+        seed: 99,
+        ..Default::default()
+    };
+    let full = generate(&config);
+    let (train, test) = safe::data::split::train_test_split(&full, 0.3, 1).unwrap();
+    (train, test)
+}
+
+#[test]
+fn every_engineer_produces_portable_plans() {
+    let (train, test) = interaction_split();
+    let engineers: Vec<Box<dyn FeatureEngineer>> = vec![
+        Box::new(Identity),
+        Box::new(Safe::new(SafeConfig { seed: 1, ..SafeConfig::paper() })),
+        Box::new(Safe::new(SafeConfig::rand_baseline(1))),
+        Box::new(Safe::new(SafeConfig::imp_baseline(1))),
+        Box::new(Tfc::default()),
+        Box::new(FcTree::default()),
+    ];
+    for engineer in engineers {
+        let plan = engineer.engineer(&train, None).unwrap();
+        // Serialize, reparse, apply to unseen data.
+        let text = plan.to_text();
+        let back = FeaturePlan::from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: plan codec failed: {e}", engineer.method_name()));
+        assert_eq!(plan, back, "{}", engineer.method_name());
+        let transformed = back.apply(&test).unwrap();
+        assert_eq!(transformed.n_rows(), test.n_rows());
+        assert_eq!(transformed.n_cols(), plan.outputs.len());
+        assert!(transformed.labels().is_some());
+    }
+}
+
+#[test]
+fn safe_features_help_a_linear_model_on_interaction_data() {
+    // The signature result: interactions are invisible to LR on raw
+    // features but become linear once SAFE materializes the products.
+    let (train, test) = interaction_split();
+    let outcome = Safe::new(SafeConfig { seed: 5, ..SafeConfig::paper() })
+        .fit(&train, None)
+        .unwrap();
+    let train_new = outcome.plan.apply(&train).unwrap();
+    let test_new = outcome.plan.apply(&test).unwrap();
+    let before = evaluate_auc(ClassifierKind::Lr, &train, &test, 0).unwrap();
+    let after = evaluate_auc(ClassifierKind::Lr, &train_new, &test_new, 0).unwrap();
+    assert!(
+        after > before + 0.02,
+        "LR should gain from materialized interactions: {before:.4} -> {after:.4}"
+    );
+}
+
+#[test]
+fn all_nine_classifiers_run_on_engineered_features() {
+    let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.3, 7);
+    let outcome = Safe::new(SafeConfig { seed: 7, ..SafeConfig::paper() })
+        .fit(&split.train, None)
+        .unwrap();
+    let train_new = outcome.plan.apply(&split.train).unwrap();
+    let test_new = outcome.plan.apply(&split.test).unwrap();
+    for kind in ClassifierKind::ALL {
+        let a = evaluate_auc(kind, &train_new, &test_new, 0)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.abbrev()));
+        assert!(
+            a > 0.5,
+            "{} should beat chance on planted-signal data, got {a}",
+            kind.abbrev()
+        );
+    }
+}
+
+#[test]
+fn plans_survive_custom_registries() {
+    // A plan learned with the standard registry compiles against any
+    // registry containing its operators — and fails loudly otherwise.
+    let (train, _) = interaction_split();
+    let outcome = Safe::new(SafeConfig { seed: 2, ..SafeConfig::paper() })
+        .fit(&train, None)
+        .unwrap();
+    assert!(outcome.plan.compile(&OperatorRegistry::standard()).is_ok());
+    assert!(outcome.plan.compile(&OperatorRegistry::arithmetic()).is_ok());
+    if !outcome.plan.steps.is_empty() {
+        assert!(outcome.plan.compile(&OperatorRegistry::empty()).is_err());
+    }
+}
+
+#[test]
+fn engineered_validation_sets_stay_aligned() {
+    let split = generate_benchmark_scaled(BenchmarkId::Magic, 0.03, 11);
+    assert!(split.valid.is_some());
+    let outcome = Safe::new(SafeConfig { seed: 11, ..SafeConfig::paper() })
+        .fit(&split.train, split.valid.as_ref())
+        .unwrap();
+    let v = split.valid.as_ref().unwrap();
+    let v_new = outcome.plan.apply(v).unwrap();
+    assert_eq!(v_new.n_rows(), v.n_rows());
+    assert_eq!(v_new.labels(), v.labels());
+    assert_eq!(v_new.feature_names(), outcome.plan.outputs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+}
+
+#[test]
+fn safe_is_idempotent_on_its_own_output_names() {
+    // Applying the plan twice (plan of plan output) is not meaningful, but
+    // the candidate-set union in a second iteration must not duplicate
+    // column names — covered by running 2 iterations.
+    let (train, _) = interaction_split();
+    let outcome = Safe::new(SafeConfig {
+        n_iterations: 2,
+        seed: 3,
+        ..SafeConfig::paper()
+    })
+    .fit(&train, None)
+    .unwrap();
+    let mut names = outcome.plan.outputs.clone();
+    names.sort();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "no duplicate output names");
+}
