@@ -4,11 +4,13 @@ use std::time::Instant;
 
 use safe_core::explain::{explain_plan, explanation_report};
 use safe_core::plan::FeaturePlan;
+use safe_core::safe::IterationStatus;
 use safe_core::{Safe, SafeConfig};
 use safe_data::csv::{read_csv, write_csv};
 use safe_ops::registry::OperatorRegistry;
 
 use crate::args::Args;
+use crate::error::CliError;
 
 const USAGE: &str = "\
 safe-cli — SAFE automatic feature engineering (ICDE 2020 reproduction)
@@ -17,15 +19,20 @@ USAGE:
   safe-cli fit     --input train.csv [--valid valid.csv] --plan out.safeplan
                    [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
                    [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
+                   [--audit warn|repair|reject]
   safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
                    [--label label]
   safe-cli explain --plan plan.safeplan [--input data.csv] [--label label]
   safe-cli score   --input data.csv [--label label]
+
+EXIT CODES:
+  0 success   2 usage   3 file i/o   4 bad input data
+  5 bad plan  6 pipeline rejected the run
 ";
 
 /// Dispatch the parsed command line.
-pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv).map_err(CliError::Usage)?;
     match args.command.as_deref() {
         Some("fit") => fit(&args),
         Some("apply") => apply(&args),
@@ -35,7 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
 
@@ -47,28 +54,46 @@ fn registry(args: &Args) -> OperatorRegistry {
     }
 }
 
-fn fit(args: &Args) -> Result<(), String> {
+fn audit_config(args: &Args) -> Result<safe_data::AuditConfig, CliError> {
+    let policy = match args.get("audit") {
+        None | Some("warn") => safe_data::AuditPolicy::Warn,
+        Some("repair") => safe_data::AuditPolicy::Repair,
+        Some("reject") => safe_data::AuditPolicy::Reject,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "flag --audit: expected warn|repair|reject, got '{other}'"
+            )))
+        }
+    };
+    Ok(safe_data::AuditConfig { policy, ..safe_data::AuditConfig::default() })
+}
+
+fn fit(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "valid", "plan", "label", "gamma", "alpha", "theta",
-        "iterations", "multiplier", "seed", "full-ops",
-    ])?;
-    let input = args.require("input")?;
-    let plan_path = args.require("plan")?;
+        "iterations", "multiplier", "seed", "full-ops", "audit",
+    ])
+    .map_err(CliError::Usage)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let plan_path = args.require("plan").map_err(CliError::Usage)?;
     let label = args.get("label").unwrap_or("label");
 
-    let train = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let train = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
     let valid = match args.get("valid") {
-        Some(path) => Some(read_csv(path, Some(label)).map_err(|e| e.to_string())?),
+        Some(path) => {
+            Some(read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string()))?)
+        }
         None => None,
     };
     let config = SafeConfig {
-        gamma: args.get_or("gamma", 30usize)?,
-        alpha: args.get_or("alpha", 0.1f64)?,
-        theta: args.get_or("theta", 0.8f64)?,
-        n_iterations: args.get_or("iterations", 1usize)?,
-        output_multiplier: args.get_or("multiplier", 2usize)?,
-        seed: args.get_or("seed", 0u64)?,
+        gamma: args.get_or("gamma", 30usize).map_err(CliError::Usage)?,
+        alpha: args.get_or("alpha", 0.1f64).map_err(CliError::Usage)?,
+        theta: args.get_or("theta", 0.8f64).map_err(CliError::Usage)?,
+        n_iterations: args.get_or("iterations", 1usize).map_err(CliError::Usage)?,
+        output_multiplier: args.get_or("multiplier", 2usize).map_err(CliError::Usage)?,
+        seed: args.get_or("seed", 0u64).map_err(CliError::Usage)?,
         operators: registry(args),
+        audit: audit_config(args)?,
         ..SafeConfig::paper()
     };
 
@@ -79,9 +104,13 @@ fn fit(args: &Args) -> Result<(), String> {
         train.n_cols()
     );
     let start = Instant::now();
-    let outcome = Safe::new(config)
-        .fit(&train, valid.as_ref())
-        .map_err(|e| e.to_string())?;
+    let outcome = Safe::new(config).fit(&train, valid.as_ref())?;
+    for f in &outcome.audit.findings {
+        eprintln!("  audit: {f}");
+    }
+    for a in &outcome.audit.actions {
+        eprintln!("  audit repair: {a}");
+    }
     eprintln!(
         "done in {:.2}s: {} features selected ({} generated)",
         start.elapsed().as_secs_f64(),
@@ -89,38 +118,50 @@ fn fit(args: &Args) -> Result<(), String> {
         outcome.plan.n_generated_outputs()
     );
     for r in &outcome.history {
-        eprintln!(
-            "  iter {}: {} combos -> {} generated -> {} after IV -> {} after redundancy -> {} selected",
-            r.iteration, r.n_combinations_kept, r.n_generated, r.n_after_iv,
-            r.n_after_redundancy, r.n_selected
-        );
+        match &r.status {
+            IterationStatus::Completed => eprintln!(
+                "  iter {}: {} combos -> {} generated -> {} after IV -> {} after redundancy -> {} selected",
+                r.iteration, r.n_combinations_kept, r.n_generated, r.n_after_iv,
+                r.n_after_redundancy, r.n_selected
+            ),
+            IterationStatus::Degraded { stage, reason } => eprintln!(
+                "  iter {}: DEGRADED at {stage} ({reason}); kept {} features",
+                r.iteration, r.n_selected
+            ),
+            IterationStatus::Skipped { reason } => {
+                eprintln!("  iter {}: skipped ({reason})", r.iteration)
+            }
+        }
     }
-    std::fs::write(plan_path, outcome.plan.to_text()).map_err(|e| e.to_string())?;
+    std::fs::write(plan_path, outcome.plan.to_text())
+        .map_err(|e| CliError::Io(format!("{plan_path}: {e}")))?;
     eprintln!("plan written to {plan_path}");
     Ok(())
 }
 
-fn load_plan(path: &str) -> Result<FeaturePlan, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    FeaturePlan::from_text(&text).map_err(|e| e.to_string())
+fn load_plan(path: &str) -> Result<FeaturePlan, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    FeaturePlan::from_text(&text).map_err(|e| CliError::Plan(format!("{path}: {e}")))
 }
 
-fn apply(args: &Args) -> Result<(), String> {
-    args.ensure_known(&["plan", "input", "output", "label", "full-ops"])?;
-    let plan = load_plan(args.require("plan")?)?;
-    let input = args.require("input")?;
-    let output = args.require("output")?;
+fn apply(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&["plan", "input", "output", "label", "full-ops"])
+        .map_err(CliError::Usage)?;
+    let plan = load_plan(args.require("plan").map_err(CliError::Usage)?)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let output = args.require("output").map_err(CliError::Usage)?;
     let label = args.get("label").unwrap_or("label");
 
     // Label column optional at apply time (inference data is unlabeled).
     let ds = read_csv(input, Some(label))
         .or_else(|_| read_csv(input, None))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Data(e.to_string()))?;
     let compiled = plan
         .compile(&OperatorRegistry::standard())
-        .map_err(|e| e.to_string())?;
-    let out = compiled.apply(&ds).map_err(|e| e.to_string())?;
-    write_csv(&out, output).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Plan(e.to_string()))?;
+    let out = compiled.apply(&ds).map_err(|e| CliError::Plan(e.to_string()))?;
+    write_csv(&out, output).map_err(|e| CliError::Io(format!("{output}: {e}")))?;
     eprintln!(
         "{}: {} rows x {} engineered features -> {}",
         input,
@@ -131,13 +172,13 @@ fn apply(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn explain(args: &Args) -> Result<(), String> {
-    args.ensure_known(&["plan", "input", "label"])?;
-    let plan = load_plan(args.require("plan")?)?;
+fn explain(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&["plan", "input", "label"]).map_err(CliError::Usage)?;
+    let plan = load_plan(args.require("plan").map_err(CliError::Usage)?)?;
     let reference = match args.get("input") {
         Some(path) => {
             let label = args.get("label").unwrap_or("label");
-            Some(read_csv(path, Some(label)).map_err(|e| e.to_string())?)
+            Some(read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string()))?)
         }
         None => None,
     };
@@ -146,23 +187,21 @@ fn explain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn score(args: &Args) -> Result<(), String> {
-    args.ensure_known(&["input", "label"])?;
-    let input = args.require("input")?;
+fn score(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&["input", "label"]).map_err(CliError::Usage)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
     let label = args.get("label").unwrap_or("label");
-    let ds = read_csv(input, Some(label)).map_err(|e| e.to_string())?;
+    let ds = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
     let labels = ds
         .labels()
-        .ok_or_else(|| "score requires a label column".to_string())?;
-    let mut rows: Vec<(String, f64)> = (0..ds.n_cols())
-        .map(|f| {
-            let iv = safe_stats::iv::information_value(
-                ds.column(f).expect("in range"),
-                labels,
-                10,
-            )
-            .unwrap_or(0.0);
-            (ds.meta()[f].name.clone(), iv)
+        .ok_or_else(|| CliError::Data("score requires a label column".to_string()))?;
+    let mut rows: Vec<(String, f64)> = ds
+        .meta()
+        .iter()
+        .zip(ds.columns())
+        .map(|(meta, col)| {
+            let iv = safe_stats::iv::information_value(col, labels, 10).unwrap_or(0.0);
+            (meta.name.clone(), iv)
         })
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -234,6 +273,29 @@ mod tests {
     }
 
     #[test]
+    fn fit_with_repair_policy_runs() {
+        let train = tmp("train_repair.csv");
+        let plan = tmp("plan_repair.safeplan");
+        // Add a constant column the audit should repair away.
+        let mut text = String::from("a,b,konst,label\n");
+        for i in 0..300 {
+            let a = ((i * 37) % 100) as f64 / 50.0 - 1.0;
+            let b = ((i * 61) % 100) as f64 / 50.0 - 1.0;
+            let y = (a * b > 0.0) as u8;
+            text.push_str(&format!("{a},{b},7,{y}\n"));
+        }
+        std::fs::write(&train, text).unwrap();
+        run(&argv(&format!(
+            "fit --input {} --plan {} --audit repair",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        let plan_text = std::fs::read_to_string(&plan).unwrap();
+        assert!(!plan_text.contains("konst"), "repaired column must not appear");
+    }
+
+    #[test]
     fn score_runs() {
         let train = tmp("score.csv");
         write_training_csv(&train);
@@ -244,7 +306,64 @@ mod tests {
     fn unknown_command_and_flags_error() {
         assert!(run(&argv("frobnicate")).is_err());
         assert!(run(&argv("fit --bogus 1")).is_err());
-        assert!(run(&argv("fit")).unwrap_err().contains("--input"));
+        assert!(run(&argv("fit")).unwrap_err().to_string().contains("--input"));
+    }
+
+    #[test]
+    fn errors_classify_to_distinct_exit_codes() {
+        // usage (2)
+        assert_eq!(run(&argv("fit")).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&argv("frobnicate")).unwrap_err().exit_code(), 2);
+        let train = tmp("codes.csv");
+        write_training_csv(&train);
+        assert_eq!(
+            run(&argv(&format!(
+                "fit --input {} --plan p --audit sometimes",
+                train.display()
+            )))
+            .unwrap_err()
+            .exit_code(),
+            2
+        );
+        // io (3): plan file absent
+        assert_eq!(
+            run(&argv("apply --plan /nonexistent --input x --output y"))
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+        // data (4): input csv absent
+        assert_eq!(
+            run(&argv("fit --input /nonexistent.csv --plan p")).unwrap_err().exit_code(),
+            4
+        );
+        // plan (5): malformed plan file
+        let bad_plan = tmp("bad.safeplan");
+        std::fs::write(&bad_plan, "NOTAPLAN\t9\n").unwrap();
+        assert_eq!(
+            run(&argv(&format!(
+                "apply --plan {} --input {} --output /tmp/x.csv",
+                bad_plan.display(),
+                train.display()
+            )))
+            .unwrap_err()
+            .exit_code(),
+            5
+        );
+        // pipeline (6): single-class labels are rejected by the audit
+        let one_class = tmp("one_class.csv");
+        let mut text = String::from("a,label\n");
+        for i in 0..50 {
+            text.push_str(&format!("{i},0\n"));
+        }
+        std::fs::write(&one_class, text).unwrap();
+        let err = run(&argv(&format!(
+            "fit --input {} --plan /tmp/p.safeplan",
+            one_class.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(matches!(err, CliError::Safe(_)));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! CLI errors, classified so each failure class maps to a distinct process
+//! exit code and renders its full cause chain.
+
+use std::fmt;
+
+use safe_core::SafeError;
+
+/// Errors from the CLI, classified by exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: unknown command/flag, missing or unparsable value.
+    Usage(String),
+    /// Filesystem failure reading or writing a file.
+    Io(String),
+    /// Input data could not be read or parsed.
+    Data(String),
+    /// Plan file invalid, or the plan does not apply to the given data.
+    Plan(String),
+    /// The SAFE pipeline rejected the run (bad config, audit rejection…).
+    Safe(Box<SafeError>),
+}
+
+impl CliError {
+    /// Process exit code: 2 usage, 3 io, 4 data, 5 plan, 6 pipeline.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Data(_) => 4,
+            CliError::Plan(_) => 5,
+            CliError::Safe(_) => 6,
+        }
+    }
+
+    /// Render this error and its `source()` chain, one cause per line.
+    pub fn render_chain(&self) -> String {
+        let mut out = format!("error: {self}");
+        let mut source = std::error::Error::source(self);
+        while let Some(cause) = source {
+            out.push_str(&format!("\n  caused by: {cause}"));
+            source = cause.source();
+        }
+        out
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(m) => write!(f, "{m}"),
+            CliError::Data(m) => write!(f, "{m}"),
+            CliError::Plan(m) => write!(f, "{m}"),
+            CliError::Safe(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Safe(e) => e.source(),
+            _ => None,
+        }
+    }
+}
+
+impl From<SafeError> for CliError {
+    fn from(e: SafeError) -> Self {
+        CliError::Safe(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            CliError::Usage("u".into()),
+            CliError::Io("i".into()),
+            CliError::Data("d".into()),
+            CliError::Plan("p".into()),
+            CliError::Safe(Box::new(SafeError::Config("c".into()))),
+        ];
+        let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct: {codes:?}");
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn chain_renders_nested_causes() {
+        let safe_err = SafeError::Gbm {
+            iteration: 0,
+            stage: "mine",
+            source: safe_gbm::GbmError::EmptyTraining,
+        };
+        let rendered = CliError::from(safe_err).render_chain();
+        assert!(rendered.starts_with("error: "), "{rendered}");
+        assert!(rendered.contains("caused by:"), "{rendered}");
+    }
+}

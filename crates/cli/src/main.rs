@@ -12,18 +12,23 @@
 //! CSV convention: header row, numeric cells, label column named `label`
 //! (override with `--label`), empty/NA cells are missing.
 
+//! Exit codes: 0 success, 2 usage, 3 file i/o, 4 bad input data, 5 bad
+//! plan, 6 pipeline rejection. Errors print their full cause chain, one
+//! `caused by:` line per nested source.
+
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("{}", e.render_chain());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -98,17 +98,28 @@ pub fn rank_combinations(
     train: &Dataset,
     gamma: usize,
 ) -> Vec<Combination> {
-    let labels = train.labels().expect("ranking requires labels");
+    let Some(labels) = train.labels() else {
+        // No labels: gain ratios are undefined. Keep a deterministic order
+        // and the γ cap so callers still get a usable (unscored) list.
+        combos.sort_by(|a, b| a.features.cmp(&b.features));
+        combos.truncate(gamma);
+        return combos;
+    };
+    let cols: Vec<&[f64]> = train.columns().collect();
     // Score combinations in parallel (each builds its own small binnings).
     let scores = safe_stats::parallel::par_map_indexed(combos.len(), |i| {
         let combo = &combos[i];
+        // Stale feature indices (not from this dataset) score zero.
+        if combo.features.iter().any(|&f| f >= cols.len()) {
+            return 0.0;
+        }
         let assignments: Vec<(Vec<usize>, usize)> = combo
             .features
             .iter()
             .zip(&combo.split_values)
             .map(|(&f, values)| {
                 let edges = BinEdges::from_cuts(values.clone());
-                let a = edges.assign_with_missing(train.column(f).expect("feature in range"));
+                let a = edges.assign_with_missing(cols[f]);
                 (a.bins, a.n_bins)
             })
             .collect();
@@ -136,13 +147,16 @@ pub fn rank_combinations(
 /// given feature pool, sizes drawn uniformly from `1..=max_arity` (capped by
 /// the pool size). Split values are empty — random combinations carry no
 /// path information, so downstream scoring bins the raw columns instead.
+/// An empty pool yields no combinations.
 pub fn random_combinations(
     pool: &[usize],
     gamma: usize,
     max_arity: usize,
     seed: u64,
 ) -> Vec<Combination> {
-    assert!(!pool.is_empty(), "feature pool must be non-empty");
+    if pool.is_empty() {
+        return Vec::new();
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let max_arity = max_arity.min(pool.len());
     let mut seen = std::collections::BTreeSet::new();

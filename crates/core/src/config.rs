@@ -5,6 +5,7 @@
 //! rule-of-thumb constant the paper fixes once for all datasets (α = 0.1
 //! from Table I, θ = 0.8 from Table II, β equal-frequency bins).
 
+use safe_data::audit::AuditConfig;
 use safe_gbm::config::GbmConfig;
 use safe_ops::registry::OperatorRegistry;
 use std::time::Duration;
@@ -54,6 +55,11 @@ pub struct SafeConfig {
     pub strategy: GenerationStrategy,
     /// Seed for the randomized strategies and subsampling.
     pub seed: u64,
+    /// Pre-fit data audit policy (see [`safe_data::audit`]). The default
+    /// warns on degenerate columns without modifying the data; switch to
+    /// [`safe_data::AuditPolicy::Repair`] to drop/impute them, or
+    /// [`safe_data::AuditPolicy::Reject`] to fail fast.
+    pub audit: AuditConfig,
 }
 
 impl Default for SafeConfig {
@@ -71,6 +77,7 @@ impl Default for SafeConfig {
             operators: OperatorRegistry::arithmetic(),
             strategy: GenerationStrategy::Mined,
             seed: 0,
+            audit: AuditConfig::default(),
         }
     }
 }

@@ -79,14 +79,9 @@ pub fn explain_plan(plan: &FeaturePlan, reference: Option<&Dataset>) -> Vec<Feat
             transformed
                 .meta()
                 .iter()
-                .enumerate()
-                .map(|(i, meta)| {
-                    let iv = safe_stats::iv::information_value(
-                        transformed.column(i).expect("in range"),
-                        &labels,
-                        10,
-                    )
-                    .unwrap_or(0.0);
+                .zip(transformed.columns())
+                .map(|(meta, col)| {
+                    let iv = safe_stats::iv::information_value(col, &labels, 10).unwrap_or(0.0);
                     (meta.name.clone(), iv)
                 })
                 .collect(),

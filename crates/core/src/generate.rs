@@ -72,11 +72,18 @@ pub fn generate_features(
     registry: &OperatorRegistry,
 ) -> Vec<GeneratedFeature> {
     let labels = train.labels();
+    let all_train_cols: Vec<&[f64]> = train.columns().collect();
+    let all_valid_cols: Option<Vec<&[f64]>> = valid.map(|v| v.columns().collect());
     let mut taken: HashSet<String> =
         train.feature_names().iter().map(|s| s.to_string()).collect();
     let mut out = Vec::new();
 
     for combo in combos {
+        // Combinations referencing columns outside this dataset (stale
+        // indices) cannot be generated; skip rather than panic.
+        if combo.features.iter().any(|&f| f >= all_train_cols.len()) {
+            continue;
+        }
         let ops = registry.by_arity(combo.arity());
         if ops.is_empty() {
             continue;
@@ -96,10 +103,7 @@ pub fn generate_features(
                 if taken.contains(&name) {
                     continue;
                 }
-                let train_cols: Vec<&[f64]> = order
-                    .iter()
-                    .map(|&f| train.column(f).expect("feature index valid"))
-                    .collect();
+                let train_cols: Vec<&[f64]> = order.iter().map(|&f| all_train_cols[f]).collect();
                 let fitted = match op.fit(&train_cols, labels) {
                     Ok(f) => f,
                     Err(_) => continue, // e.g. supervised op without labels
@@ -108,12 +112,12 @@ pub fn generate_features(
                 if is_degenerate(&train_values) {
                     continue;
                 }
-                let valid_values = valid.map(|v| {
-                    let cols: Vec<&[f64]> = order
-                        .iter()
-                        .map(|&f| v.column(f).expect("same schema as train"))
-                        .collect();
-                    fitted.apply(&cols)
+                // A validation set narrower than train (schema drift) simply
+                // gets no generated column for this feature.
+                let valid_values = all_valid_cols.as_ref().and_then(|vc| {
+                    let cols: Option<Vec<&[f64]>> =
+                        order.iter().map(|&f| vc.get(f).copied()).collect();
+                    cols.map(|cols| fitted.apply(&cols))
                 });
                 taken.insert(name.clone());
                 out.push(GeneratedFeature {

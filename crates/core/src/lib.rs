@@ -26,11 +26,22 @@
 //! features) and **IMP** (random combinations over split features) are
 //! selectable via [`config::GenerationStrategy`]; they share the full
 //! selection pipeline exactly as in Section V-A1.
+//!
+//! ## Robustness
+//!
+//! `Safe::fit` never panics on degenerate data: a configurable pre-fit
+//! audit ([`safe_data::audit`], wired through [`SafeConfig::audit`])
+//! rejects or repairs unusable datasets, and mid-loop stage failures
+//! degrade to the last good iteration's plan (recorded per iteration as an
+//! [`safe::IterationStatus`]) instead of aborting the run.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod combine;
 pub mod engineer;
+pub mod error;
 pub mod explain;
 pub mod config;
 pub mod generate;
@@ -40,6 +51,7 @@ pub mod select;
 
 pub use config::{GenerationStrategy, SafeConfig};
 pub use engineer::{FeatureEngineer, Identity};
+pub use error::SafeError;
 pub use explain::{explain_plan, explanation_report, FeatureExplanation};
 pub use plan::FeaturePlan;
-pub use safe::{IterationReport, Safe, SafeError, SafeOutcome};
+pub use safe::{IterationReport, IterationStatus, Safe, SafeOutcome};

@@ -147,8 +147,13 @@ impl FeaturePlan {
             let parents: Vec<usize> = s
                 .parents
                 .iter()
-                .map(|p| *slot_of.get(p.as_str()).expect("validated"))
-                .collect();
+                .map(|p| {
+                    slot_of
+                        .get(p.as_str())
+                        .copied()
+                        .ok_or_else(|| PlanError::UnknownFeature(p.clone()))
+                })
+                .collect::<Result<_, _>>()?;
             let out_slot = self.input_names.len() + k;
             slot_of.insert(&s.name, out_slot);
             steps.push(CompiledStep {
@@ -160,8 +165,13 @@ impl FeaturePlan {
         let outputs: Vec<usize> = self
             .outputs
             .iter()
-            .map(|o| *slot_of.get(o.as_str()).expect("validated"))
-            .collect();
+            .map(|o| {
+                slot_of
+                    .get(o.as_str())
+                    .copied()
+                    .ok_or_else(|| PlanError::UnknownFeature(o.clone()))
+            })
+            .collect::<Result<_, _>>()?;
         let output_meta = self
             .outputs
             .iter()
@@ -320,18 +330,22 @@ impl CompiledPlan {
             slots.push(Some(col.to_vec()));
         }
         slots.resize_with(n_slots, || None);
+        // Compilation orders steps topologically, so parent slots are always
+        // filled; report (never panic) if a corrupted plan breaks that.
+        let stale = || PlanError::Data("plan step referenced an uncomputed slot".into());
         for step in &self.steps {
             let parent_cols: Vec<&[f64]> = step
                 .parents
                 .iter()
-                .map(|&p| slots[p].as_deref().expect("topological order"))
-                .collect();
+                .map(|&p| slots.get(p).and_then(|s| s.as_deref()).ok_or_else(stale))
+                .collect::<Result<_, _>>()?;
             let values = step.fitted.apply(&parent_cols);
             slots[step.out_slot] = Some(values);
         }
         let mut out = Dataset::with_rows(ds.n_rows());
         for (&slot, meta) in self.outputs.iter().zip(&self.output_meta) {
-            out.push_column(meta.clone(), slots[slot].as_ref().expect("computed").clone())
+            let col = slots.get(slot).and_then(|s| s.as_ref()).ok_or_else(stale)?;
+            out.push_column(meta.clone(), col.clone())
                 .map_err(|e| PlanError::Data(e.to_string()))?;
         }
         if let Some(labels) = ds.labels() {

@@ -3,6 +3,7 @@
 use safe_data::dataset::Dataset;
 use safe_gbm::booster::Gbm;
 use safe_gbm::config::GbmConfig;
+use safe_gbm::error::GbmError;
 use safe_gbm::importance::ImportanceKind;
 use safe_stats::iv::information_value;
 use safe_stats::pearson::pearson;
@@ -10,11 +11,18 @@ use safe_stats::pearson::pearson;
 /// Algorithm 3: compute the IV of every candidate column (β equal-frequency
 /// bins, in parallel) and keep those with `IV > α`. Returns the surviving
 /// `(column index, IV)` pairs in the original column order.
+///
+/// Unlabeled data has no IV, so nothing can clear α: the result is empty
+/// (the caller treats an empty survivor set as "keep the current features
+/// and stop", never as a panic).
 pub fn iv_filter(train: &Dataset, alpha: f64, beta: usize) -> Vec<(usize, f64)> {
-    let labels = train.labels().expect("IV filter requires labels");
-    let ivs = safe_stats::parallel::par_map_indexed(train.n_cols(), |f| {
-        information_value(train.column(f).expect("in range"), labels, beta)
-            .unwrap_or(0.0)
+    safe_data::failpoint!("select/iv-empty" => return Vec::new());
+    let Some(labels) = train.labels() else {
+        return Vec::new();
+    };
+    let cols: Vec<&[f64]> = train.columns().collect();
+    let ivs = safe_stats::parallel::par_map_indexed(cols.len(), |f| {
+        information_value(cols[f], labels, beta).unwrap_or(0.0)
     });
     ivs.into_iter()
         .enumerate()
@@ -46,13 +54,17 @@ pub fn redundancy_filter(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.0.cmp(&b.0))
     });
+    let cols: Vec<&[f64]> = train.columns().collect();
     let mut kept: Vec<usize> = Vec::new();
     for &(candidate, _) in &order {
-        let col = train.column(candidate).expect("in range");
+        // Out-of-range survivor indices cannot be kept (defensive: survivor
+        // lists always come from iv_filter over the same dataset).
+        let Some(&col) = cols.get(candidate) else {
+            continue;
+        };
         // Compare against all kept features in parallel; any hit disqualifies.
         let hits = safe_stats::parallel::par_map_indexed(kept.len(), |i| {
-            let kept_col = train.column(kept[i]).expect("in range");
-            pearson(col, kept_col).abs() > theta
+            pearson(col, cols[kept[i]]).abs() > theta
         });
         if !hits.iter().any(|&h| h) {
             kept.push(candidate);
@@ -71,7 +83,8 @@ pub fn rank_and_cap(
     survivors: &[usize],
     ranker: &GbmConfig,
     cap: usize,
-) -> Result<Vec<usize>, String> {
+) -> Result<Vec<usize>, GbmError> {
+    safe_data::failpoint!("select/rank", GbmError::Injected("select/rank"));
     if survivors.is_empty() {
         return Ok(Vec::new());
     }
@@ -79,11 +92,9 @@ pub fn rank_and_cap(
         // Still rank for deterministic ordering, but nothing to cut.
         // Fall through so the returned order is importance-based.
     }
-    let sub_train = train
-        .select_columns(survivors)
-        .map_err(|e| e.to_string())?;
+    let sub_train = train.select_columns(survivors)?;
     let sub_valid = match valid {
-        Some(v) => Some(v.select_columns(survivors).map_err(|e| e.to_string())?),
+        Some(v) => Some(v.select_columns(survivors)?),
         None => None,
     };
     let model = Gbm::new(ranker.clone()).fit(&sub_train, sub_valid.as_ref())?;

@@ -40,7 +40,7 @@ impl BinEdges {
     /// Construct from explicit, sorted, deduplicated cut points.
     pub fn from_cuts(mut cuts: Vec<f64>) -> Self {
         cuts.retain(|c| c.is_finite());
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+        cuts.sort_by(f64::total_cmp);
         cuts.dedup();
         BinEdges { edges: cuts }
     }
@@ -54,13 +54,14 @@ impl BinEdges {
         if n_bins == 0 {
             return Err(DataError::ZeroBins);
         }
+        crate::failpoint!("binning/fit", DataError::Injected("binning/fit"));
         let mut clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if clean.is_empty() {
             return Ok(BinEdges { edges: Vec::new() });
         }
         match strategy {
             BinStrategy::EqualFrequency => {
-                clean.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                clean.sort_by(f64::total_cmp);
                 let n = clean.len();
                 let max = clean[n - 1];
                 let mut cuts = Vec::with_capacity(n_bins.saturating_sub(1));

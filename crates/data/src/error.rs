@@ -54,6 +54,9 @@ pub enum DataError {
     Io(String),
     /// A split fraction was outside (0, 1) or fractions summed past 1.
     InvalidSplit(String),
+    /// A fault-injection point fired (tests only; see the `failpoints`
+    /// feature). Carries the failpoint name.
+    Injected(&'static str),
 }
 
 impl fmt::Display for DataError {
@@ -83,6 +86,7 @@ impl fmt::Display for DataError {
             DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            DataError::Injected(name) => write!(f, "injected fault at '{name}'"),
         }
     }
 }

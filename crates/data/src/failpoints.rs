@@ -1,0 +1,219 @@
+//! Fault-injection registry (active only with the `failpoints` feature).
+//!
+//! Robustness claims are cheap until a failure actually fires inside the
+//! training loop. This module lets tests *make* named points in the
+//! pipeline fail on demand:
+//!
+//! ```ignore
+//! safe_data::failpoints::arm_once("gbm/train-round");
+//! let outcome = safe.fit(&train, None);      // round 0 errors, fit degrades
+//! safe_data::failpoints::disarm_all();
+//! ```
+//!
+//! Production code marks injection points with the [`failpoint!`] macro.
+//! Without the `failpoints` feature every function here is an inlined
+//! constant (`should_fail` is always `false`), so the marked branches are
+//! dead code the optimizer removes — the hot paths pay nothing. With the
+//! feature, the registry is a process-global map, so tests that arm
+//! failpoints must serialize on a shared mutex — see
+//! `tests/fault_injection.rs`. Downstream crates (`safe-gbm`, `safe-ops`,
+//! `safe-core`, the root `safe` package) forward a feature of the same
+//! name here, so `cargo test --features failpoints` at the workspace root
+//! activates every injection point at once.
+//!
+//! [`failpoint!`]: crate::failpoint
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Arm {
+        /// Fire every time the point is reached.
+        Always,
+        /// Fire once, then disarm automatically.
+        Once,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<&'static str, Arm>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Arm>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn with_registry<T>(f: impl FnOnce(&mut HashMap<&'static str, Arm>) -> T) -> T {
+        // A panic while holding the lock (e.g. a failing assertion in a
+        // test) must not poison fault injection for every later test.
+        let mut guard = registry().lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Arm `name`: every subsequent pass through the point fails until
+    /// [`disarm`] or [`disarm_all`].
+    pub fn arm(name: &'static str) {
+        with_registry(|map| {
+            map.insert(name, Arm::Always);
+        });
+    }
+
+    /// Arm `name` for exactly one firing; the point disarms itself after.
+    pub fn arm_once(name: &'static str) {
+        with_registry(|map| {
+            map.insert(name, Arm::Once);
+        });
+    }
+
+    /// Disarm a single point (no-op if it was not armed).
+    pub fn disarm(name: &str) {
+        with_registry(|map| {
+            map.remove(name);
+        });
+    }
+
+    /// Disarm every point. Call in test teardown.
+    pub fn disarm_all() {
+        with_registry(|map| map.clear());
+    }
+
+    /// True when `name` is armed; consumes one-shot arms.
+    pub fn should_fail(name: &str) -> bool {
+        with_registry(|map| match map.get(name).copied() {
+            Some(Arm::Always) => true,
+            Some(Arm::Once) => {
+                map.remove(name);
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// Names currently armed (diagnostic aid for tests).
+    pub fn armed() -> Vec<&'static str> {
+        with_registry(|map| map.keys().copied().collect())
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    /// Inert without the `failpoints` feature.
+    #[inline(always)]
+    pub fn arm(_name: &'static str) {}
+
+    /// Inert without the `failpoints` feature.
+    #[inline(always)]
+    pub fn arm_once(_name: &'static str) {}
+
+    /// Inert without the `failpoints` feature.
+    #[inline(always)]
+    pub fn disarm(_name: &str) {}
+
+    /// Inert without the `failpoints` feature.
+    #[inline(always)]
+    pub fn disarm_all() {}
+
+    /// Always `false` without the `failpoints` feature; the optimizer
+    /// removes the guarded branch entirely.
+    #[inline(always)]
+    pub fn should_fail(_name: &str) -> bool {
+        false
+    }
+
+    /// Always empty without the `failpoints` feature.
+    #[inline(always)]
+    pub fn armed() -> Vec<&'static str> {
+        Vec::new()
+    }
+}
+
+pub use imp::{arm, arm_once, armed, disarm, disarm_all, should_fail};
+
+/// Mark a fault-injection point.
+///
+/// Two forms:
+/// - `failpoint!("name", expr)` — when armed, `return Err(expr)` from the
+///   enclosing function,
+/// - `failpoint!("name" => stmt)` — when armed, run an arbitrary statement
+///   (e.g. `return` a degenerate-but-valid value to exercise a fallback
+///   path).
+///
+/// Without the `failpoints` feature the guard is a constant `false` and
+/// the whole expansion is dead code.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:literal => $action:expr) => {
+        if $crate::failpoints::should_fail($name) {
+            $action;
+        }
+    };
+    ($name:literal, $err:expr) => {
+        if $crate::failpoints::should_fail($name) {
+            return Err($err);
+        }
+    };
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // These tests mutate the global registry; they use distinct names so
+    // they can run in parallel with each other.
+
+    #[test]
+    fn always_arm_fires_until_disarmed() {
+        arm("test/always");
+        assert!(should_fail("test/always"));
+        assert!(should_fail("test/always"));
+        disarm("test/always");
+        assert!(!should_fail("test/always"));
+    }
+
+    #[test]
+    fn once_arm_fires_exactly_once() {
+        arm_once("test/once");
+        assert!(should_fail("test/once"));
+        assert!(!should_fail("test/once"));
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        assert!(!should_fail("test/never-armed"));
+    }
+
+    #[test]
+    fn macro_returns_the_error_when_armed() {
+        fn guarded() -> Result<u32, String> {
+            failpoint!("test/macro", "injected".to_string());
+            Ok(7)
+        }
+        arm_once("test/macro");
+        assert_eq!(guarded(), Err("injected".to_string()));
+        assert_eq!(guarded(), Ok(7));
+    }
+
+    #[test]
+    fn macro_action_form_runs_the_statement() {
+        fn guarded() -> u32 {
+            failpoint!("test/macro-action" => return 0);
+            7
+        }
+        arm_once("test/macro-action");
+        assert_eq!(guarded(), 0);
+        assert_eq!(guarded(), 7);
+    }
+}
+
+#[cfg(all(test, not(feature = "failpoints")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_are_inert() {
+        arm("test/ignored");
+        arm_once("test/ignored");
+        assert!(!should_fail("test/ignored"));
+        assert!(armed().is_empty());
+        disarm("test/ignored");
+        disarm_all();
+    }
+}

@@ -15,15 +15,30 @@
 //!
 //! Missing values are represented as `f64::NAN` and handled explicitly by the
 //! binning and statistics layers.
+//!
+//! Robustness additions:
+//! - [`audit`] — pre-flight scan for degenerate data (all-missing or
+//!   constant columns, infinities, single-class labels) with
+//!   reject/warn/repair policies,
+//! - [`failpoints`] — feature-gated fault injection used by the
+//!   degradation test-suite.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod audit;
 pub mod binning;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod failpoints;
 pub mod split;
 
+pub use audit::{
+    audit, enforce, AuditConfig, AuditError, AuditFinding, AuditPolicy, AuditReport,
+    AuditSeverity, RepairAction,
+};
 pub use binning::{BinAssignments, BinEdges, BinStrategy};
 pub use dataset::{Dataset, FeatureMeta, FeatureOrigin};
 pub use error::DataError;

@@ -23,9 +23,11 @@ impl BinMapper {
     /// Fit equal-frequency cuts on a raw column.
     pub fn fit(values: &[f64], max_bins: usize) -> BinMapper {
         // Reserve one index for the missing bin: quantize finite values into
-        // at most max_bins - 1 bins.
+        // at most max_bins - 1 bins. The bin count is clamped to >= 1, so the
+        // only possible fit error (zero bins) is unreachable; fall back to a
+        // single unsplittable bin rather than panic.
         let edges = BinEdges::fit(values, max_bins.saturating_sub(1).max(1), BinStrategy::EqualFrequency)
-            .expect("max_bins validated > 0");
+            .unwrap_or_else(|_| BinEdges::from_cuts(Vec::new()));
         let n_value_bins = edges.n_value_bins();
         BinMapper { edges, n_value_bins }
     }
@@ -85,9 +87,10 @@ impl BinnedMatrix {
     /// quantization run in parallel across features.
     pub fn from_dataset(ds: &Dataset, max_bins: usize) -> BinnedMatrix {
         let n_cols = ds.n_cols();
+        let cols: Vec<&[f64]> = ds.columns().collect();
         let per_feature: Vec<(BinMapper, Vec<u16>)> =
             safe_stats::parallel::par_map_indexed(n_cols, |f| {
-                let col = ds.column(f).expect("index in range");
+                let col = cols[f];
                 let mapper = BinMapper::fit(col, max_bins);
                 let binned = col.iter().map(|&v| mapper.bin(v)).collect();
                 (mapper, binned)

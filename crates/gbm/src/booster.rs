@@ -8,6 +8,7 @@ use safe_data::dataset::Dataset;
 
 use crate::binner::BinnedMatrix;
 use crate::config::{GbmConfig, Objective};
+use crate::error::GbmError;
 use crate::grow::grow_tree;
 use crate::importance::{FeatureImportance, ImportanceKind};
 use crate::loss::{base_margin, grad_hess, transform};
@@ -43,14 +44,15 @@ impl Gbm {
 
     /// Train on a labeled dataset, optionally early-stopping on validation
     /// AUC.
-    pub fn fit(&self, train: &Dataset, valid: Option<&Dataset>) -> Result<GbmModel, String> {
-        self.config.validate()?;
+    pub fn fit(&self, train: &Dataset, valid: Option<&Dataset>) -> Result<GbmModel, GbmError> {
+        safe_data::failpoint!("gbm/fit-begin", GbmError::Injected("gbm/fit-begin"));
+        self.config.validate().map_err(GbmError::Config)?;
         let labels = train
             .labels()
-            .ok_or_else(|| "training dataset has no labels".to_string())?;
+            .ok_or(GbmError::NoLabels { which: "training" })?;
         let n = train.n_rows();
         if n == 0 || train.n_cols() == 0 {
-            return Err("training dataset is empty".into());
+            return Err(GbmError::EmptyTraining);
         }
 
         let binned = BinnedMatrix::from_dataset(train, self.config.max_bins);
@@ -64,13 +66,12 @@ impl Gbm {
             Some(v) => {
                 let vl = v
                     .labels()
-                    .ok_or_else(|| "validation dataset has no labels".to_string())?;
+                    .ok_or(GbmError::NoLabels { which: "validation" })?;
                 if v.n_cols() != train.n_cols() {
-                    return Err(format!(
-                        "validation has {} features, train has {}",
-                        v.n_cols(),
-                        train.n_cols()
-                    ));
+                    return Err(GbmError::FeatureMismatch {
+                        train: train.n_cols(),
+                        valid: v.n_cols(),
+                    });
                 }
                 Some((v.columns().collect(), vl, vec![base; v.n_rows()]))
             }
@@ -91,6 +92,7 @@ impl Gbm {
         let mut hesss = vec![0.0f64; n];
 
         for round in 0..self.config.n_rounds {
+            safe_data::failpoint!("gbm/train-round", GbmError::Injected("gbm/train-round"));
             for i in 0..n {
                 let (g, h) = grad_hess(self.config.objective, margins[i], labels[i] as f64);
                 grads[i] = g;

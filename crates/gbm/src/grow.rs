@@ -107,7 +107,7 @@ fn find_best_split(
     candidates
         .into_iter()
         .flatten()
-        .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("gains are finite"))
+        .max_by(|a, b| a.gain.total_cmp(&b.gain))
 }
 
 /// Route each row left or right according to the chosen split.

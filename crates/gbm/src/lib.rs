@@ -25,15 +25,22 @@
 //!   path enumeration ([`tree::Tree::paths`]).
 //!
 //! Histogram construction is parallelized across features with the
-//! crossbeam-scoped helper from `safe-stats`, mirroring the paper's
+//! scoped-thread helper from `safe-stats`, mirroring the paper's
 //! "distributed computing" requirement.
+//!
+//! Training failures surface as typed [`GbmError`]s rather than panics;
+//! with the `failpoints` feature the loop exposes named fault-injection
+//! points (`gbm/fit-begin`, `gbm/train-round`) for degradation testing.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binner;
 pub mod booster;
 pub mod dump;
 pub mod config;
+pub mod error;
 pub mod grow;
 pub mod histogram;
 pub mod importance;
@@ -42,6 +49,7 @@ pub mod tree;
 
 pub use binner::{BinMapper, BinnedMatrix};
 pub use booster::{Gbm, GbmModel};
+pub use error::GbmError;
 pub use dump::{dump_model, dump_tree};
 pub use config::{GbmConfig, Objective};
 pub use importance::{FeatureImportance, ImportanceKind};

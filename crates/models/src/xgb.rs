@@ -39,7 +39,7 @@ impl Classifier for XgbClassifier {
     fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
         let model = Gbm::new(self.config.clone())
             .fit(train, None)
-            .map_err(ModelError::BadTrainingData)?;
+            .map_err(|e| ModelError::BadTrainingData(e.to_string()))?;
         Ok(Box::new(FittedXgb { model }))
     }
 }

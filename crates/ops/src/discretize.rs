@@ -124,13 +124,17 @@ impl Operator for ChiMergeDiscretize {
         }
         let threshold = safe_stats::chi::chi2_critical_1df(0.05);
         while counts.len() > 2 {
-            // Find the least-significant adjacent pair.
-            let (best_i, best_chi) = counts
+            // Find the least-significant adjacent pair. The loop guard
+            // guarantees at least one window, but degrade to the current
+            // cuts rather than panic if that ever stops holding.
+            let Some((best_i, best_chi)) = counts
                 .windows(2)
                 .enumerate()
                 .map(|(i, w)| (i, chi_square_pair(w[0], w[1])))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("chi is finite"))
-                .expect("at least one pair");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                break;
+            };
             let at_budget = counts.len() <= DEFAULT_BINS;
             if at_budget && best_chi > threshold {
                 break;

@@ -47,7 +47,9 @@ impl Aggregate {
                     clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / clean.len() as f64;
                 var.sqrt()
             }
-            Aggregate::Count => unreachable!(),
+            // Handled by the early return above; repeating it here keeps the
+            // match exhaustive without an unreachable panic.
+            Aggregate::Count => values.len() as f64,
         }
     }
 }

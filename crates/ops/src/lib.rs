@@ -34,6 +34,8 @@
 //! routes NaN keys to a dedicated group).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binary;
 pub mod discretize;

@@ -21,6 +21,9 @@ pub enum OpError {
     BadParams(String),
     /// A supervised operator was fit without labels.
     NeedsLabels(String),
+    /// A fault-injection point fired (tests only; see the `failpoints`
+    /// feature of `safe-data`). Carries the failpoint name.
+    Injected(&'static str),
 }
 
 impl fmt::Display for OpError {
@@ -32,6 +35,7 @@ impl fmt::Display for OpError {
             OpError::LengthMismatch => write!(f, "parent columns differ in length"),
             OpError::BadParams(msg) => write!(f, "bad operator parameters: {msg}"),
             OpError::NeedsLabels(op) => write!(f, "operator '{op}' requires labels to fit"),
+            OpError::Injected(name) => write!(f, "injected fault at '{name}'"),
         }
     }
 }
@@ -68,8 +72,11 @@ pub trait Operator: Send + Sync {
     /// Rebuild a fitted instance from stored parameters.
     fn rehydrate(&self, params: &[f64]) -> Result<Box<dyn FittedOperator>, OpError>;
 
-    /// Check input count; shared by implementations.
+    /// Check input count; shared by implementations. Every operator `fit`
+    /// funnels through here, which also makes it the natural fault-injection
+    /// point for "operator failed to fit" degradation tests.
     fn check_arity(&self, inputs: &[&[f64]]) -> Result<(), OpError> {
+        safe_data::failpoint!("ops/fit", OpError::Injected("ops/fit"));
         if inputs.len() != self.arity() {
             return Err(OpError::ArityMismatch {
                 op: self.name().to_string(),

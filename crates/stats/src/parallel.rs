@@ -3,7 +3,7 @@
 //! Section IV-E of the paper requires that per-feature IV and per-pair
 //! Pearson computations be parallelizable ("distributed computing"). This
 //! helper chunks an index range across up to `available_parallelism()`
-//! crossbeam scoped threads and preserves output order. No work stealing —
+//! std scoped threads and preserves output order. No work stealing —
 //! the workloads here (IV per column, Pearson per pair, histogram per
 //! feature) are uniform enough that static chunking wins on simplicity.
 
@@ -28,30 +28,26 @@ where
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest: &mut [Option<T>] = &mut out;
         let mut start = 0usize;
-        let mut handles = Vec::new();
         while start < n {
             let len = chunk.min(n - start);
             let (head, tail) = rest.split_at_mut(len);
             rest = tail;
             let begin = start;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in head.iter_mut().enumerate() {
                     *slot = Some(f(begin + offset));
                 }
-            }));
+            });
             start += len;
         }
-        for h in handles {
-            h.join().expect("parallel worker panicked");
-        }
-    })
-    .expect("crossbeam scope failed");
+        // Scope exit joins every worker; a panicking worker propagates here.
+    });
 
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    out.into_iter().flatten().collect()
 }
 
 /// Parallel map over an explicit slice of items (convenience wrapper).

@@ -1,0 +1,236 @@
+//! Fault-injection suite: arm each named failpoint in the pipeline and
+//! assert that `Safe::fit` degrades gracefully — it must return `Ok` with
+//! an accurate per-iteration status (or, for points outside the loop, keep
+//! the pipeline moving) and must never panic.
+//!
+//! Requires the `failpoints` feature:
+//!
+//! ```text
+//! cargo test --features failpoints --test fault_injection
+//! ```
+//!
+//! The registry in `safe-data` is process-global, so every test that arms
+//! a point serializes on [`FP_LOCK`] and disarms on drop (even when an
+//! assertion fails).
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safe_core::{IterationStatus, Safe, SafeConfig, SafeOutcome};
+use safe_data::failpoints;
+use safe_data::Dataset;
+
+/// Serializes tests that mutate the global failpoint registry.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry lock and guarantees a clean slate before and after
+/// the test body, even if an assertion panics.
+struct FpGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+fn fp_guard() -> FpGuard<'static> {
+    let lock = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::disarm_all();
+    FpGuard { _lock: lock }
+}
+
+impl Drop for FpGuard<'_> {
+    fn drop(&mut self) {
+        failpoints::disarm_all();
+    }
+}
+
+const FEATURES: [&str; 5] = ["a", "b", "c", "n1", "n2"];
+
+/// Product-interaction data (label ≈ sign of 3ab + c/2): the shape SAFE's
+/// generation stage is built for, so the un-injected pipeline completes.
+fn interaction_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols = vec![Vec::with_capacity(n); 5];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f64 = rng.gen_range(-1.0..1.0);
+        let b: f64 = rng.gen_range(-1.0..1.0);
+        let c: f64 = rng.gen_range(-1.0..1.0);
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(c);
+        cols[3].push(rng.gen_range(-1.0..1.0));
+        cols[4].push(rng.gen_range(-1.0..1.0));
+        let score = 3.0 * a * b + 0.5 * c + rng.gen_range(-0.2..0.2);
+        labels.push((score > 0.0) as u8);
+    }
+    Dataset::from_columns(
+        FEATURES.iter().map(|s| s.to_string()).collect(),
+        cols,
+        Some(labels),
+    )
+    .unwrap()
+}
+
+/// Arm `point`, run a fit, disarm, and check the history/plan invariant.
+fn fit_with(point: &'static str) -> SafeOutcome {
+    failpoints::arm(point);
+    let outcome = Safe::paper()
+        .fit(&interaction_data(800, 4), None)
+        .unwrap_or_else(|e| panic!("{point}: fit must degrade, not fail: {e}"));
+    failpoints::disarm(point);
+    assert_eq!(
+        outcome.history.len(),
+        outcome.plans_per_iteration.len(),
+        "{point}: every iteration must record both a report and a plan"
+    );
+    outcome
+}
+
+/// The last iteration degraded at `want_stage` and the outcome fell back to
+/// the identity plan over the original features.
+fn assert_degraded_to_identity(outcome: &SafeOutcome, point: &str, want_stage: &str) {
+    let last = outcome.history.last().expect("at least one iteration report");
+    match &last.status {
+        IterationStatus::Degraded { stage, reason } => {
+            assert_eq!(*stage, want_stage, "{point}: wrong stage (reason: {reason})");
+        }
+        other => panic!("{point}: expected Degraded at {want_stage}, got {other:?}"),
+    }
+    assert_eq!(outcome.plan.outputs, FEATURES, "{point}: identity fallback");
+    assert!(outcome.plan.steps.is_empty(), "{point}: no generated steps");
+}
+
+#[test]
+fn gbm_fit_begin_failure_degrades_mining() {
+    let _g = fp_guard();
+    let outcome = fit_with("gbm/fit-begin");
+    assert_degraded_to_identity(&outcome, "gbm/fit-begin", "mine");
+    let IterationStatus::Degraded { reason, .. } = &outcome.history[0].status else {
+        unreachable!()
+    };
+    assert!(reason.contains("gbm/fit-begin"), "reason names the point: {reason}");
+    assert!(reason.contains("iteration 0"), "reason carries the iteration: {reason}");
+}
+
+#[test]
+fn gbm_train_round_failure_degrades_mining() {
+    let _g = fp_guard();
+    let outcome = fit_with("gbm/train-round");
+    assert_degraded_to_identity(&outcome, "gbm/train-round", "mine");
+}
+
+#[test]
+fn binning_failure_zeroes_iv_and_degrades_selection() {
+    let _g = fp_guard();
+    // Every binning fit fails → every candidate's IV falls back to 0 → no
+    // candidate clears α, and the iteration degrades at the IV filter.
+    let outcome = fit_with("binning/fit");
+    assert_degraded_to_identity(&outcome, "binning/fit", "iv-filter");
+}
+
+#[test]
+fn operator_fit_failure_yields_no_generated_features() {
+    let _g = fp_guard();
+    // Operators failing to fit is survivable: generation simply yields
+    // nothing, and the funnel continues over the original features alone.
+    let outcome = fit_with("ops/fit");
+    let first = &outcome.history[0];
+    assert_eq!(first.n_generated, 0, "no feature survives a failing operator fit");
+    assert!(
+        matches!(
+            first.status,
+            IterationStatus::Completed | IterationStatus::Degraded { stage: "iv-filter", .. }
+        ),
+        "no panic and no spurious stage: {:?}",
+        first.status
+    );
+    assert!(outcome.plan.steps.is_empty(), "plan contains no generated steps");
+    assert!(!outcome.plan.outputs.is_empty());
+}
+
+#[test]
+fn empty_iv_survivor_set_degrades_to_identity_plan() {
+    let _g = fp_guard();
+    let outcome = fit_with("select/iv-empty");
+    assert_degraded_to_identity(&outcome, "select/iv-empty", "iv-filter");
+    assert_eq!(outcome.history.len(), 1, "loop stops after the degraded iteration");
+}
+
+#[test]
+fn rank_failure_degrades_with_injected_reason() {
+    let _g = fp_guard();
+    let outcome = fit_with("select/rank");
+    assert_degraded_to_identity(&outcome, "select/rank", "rank");
+    let IterationStatus::Degraded { reason, .. } = &outcome.history[0].status else {
+        unreachable!()
+    };
+    assert!(reason.contains("select/rank"), "reason names the point: {reason}");
+}
+
+#[test]
+fn one_shot_arm_fires_exactly_once() {
+    let _g = fp_guard();
+    // `arm_once` trips on the first traversal only: the first fit degrades,
+    // the second (same process, nothing re-armed) completes normally.
+    let train = interaction_data(800, 4);
+    failpoints::arm_once("gbm/fit-begin");
+    let degraded = Safe::paper().fit(&train, None).unwrap();
+    assert!(matches!(
+        degraded.history[0].status,
+        IterationStatus::Degraded { stage: "mine", .. }
+    ));
+    assert!(
+        !failpoints::armed().contains(&"gbm/fit-begin"),
+        "Once arm is consumed"
+    );
+
+    let clean = Safe::paper().fit(&train, None).unwrap();
+    assert!(matches!(
+        clean.history.last().unwrap().status,
+        IterationStatus::Completed
+    ));
+}
+
+#[test]
+fn degraded_run_still_yields_an_applicable_plan() {
+    let _g = fp_guard();
+    // The fallback plan is not just cosmetic: it must apply to fresh data.
+    let outcome = fit_with("gbm/fit-begin");
+    let test = interaction_data(200, 9);
+    let transformed = outcome.plan.apply(&test).unwrap();
+    assert_eq!(transformed.n_cols(), FEATURES.len());
+    assert_eq!(transformed.n_rows(), 200);
+}
+
+#[test]
+fn armed_registry_is_inert_for_unmarked_paths() {
+    let _g = fp_guard();
+    // Arming a name no code traverses must not perturb a normal run.
+    failpoints::arm("no/such-point");
+    let outcome = Safe::paper().fit(&interaction_data(800, 4), None).unwrap();
+    failpoints::disarm_all();
+    assert!(matches!(
+        outcome.history.last().unwrap().status,
+        IterationStatus::Completed
+    ));
+}
+
+#[test]
+fn multi_iteration_run_keeps_last_good_plan_on_late_failure() {
+    let _g = fp_guard();
+    // With every miner call failing from the start, a multi-iteration
+    // config still returns Ok: iteration 0 degrades, the loop stops, and
+    // the per-iteration bookkeeping stays aligned.
+    let config = SafeConfig { n_iterations: 3, ..SafeConfig::paper() };
+    failpoints::arm("gbm/fit-begin");
+    let outcome = Safe::new(config).fit(&interaction_data(800, 4), None).unwrap();
+    failpoints::disarm_all();
+    assert_eq!(outcome.history.len(), 1);
+    assert_eq!(outcome.plans_per_iteration.len(), 1);
+    assert!(matches!(
+        outcome.history[0].status,
+        IterationStatus::Degraded { stage: "mine", .. }
+    ));
+    assert_eq!(outcome.plan.outputs, FEATURES);
+}

@@ -229,3 +229,120 @@ proptest! {
         let _ = FeaturePlan::from_text(&text);
     }
 }
+
+// --- degenerate datasets ----------------------------------------------------
+//
+// The robustness contract of `Safe::fit`: on any dataset — constant columns,
+// all-NaN columns, ±inf cells, tiny row counts, one-sided labels — it returns
+// `Ok` (possibly degraded, with accurate per-iteration status) or a typed
+// `SafeError`. It must never panic.
+
+use safe::core::{IterationStatus, Safe, SafeConfig};
+use safe::data::Dataset;
+
+/// One column of a pathological dataset: healthy, constant, all-NaN, or
+/// salted with non-finite cells.
+fn degenerate_column(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        prop::collection::vec(-100.0f64..100.0, n..=n),
+        (-100.0f64..100.0).prop_map(move |v| vec![v; n]),
+        Just(vec![f64::NAN; n]),
+        prop::collection::vec(
+            prop_oneof![
+                (-100.0f64..100.0).prop_map(|v| v),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ],
+            n..=n,
+        ),
+    ]
+}
+
+fn degenerate_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..32, 1usize..4).prop_flat_map(|(n_rows, n_cols)| {
+        let cols = prop::collection::vec(degenerate_column(n_rows), n_cols..=n_cols);
+        // Bias toward imbalance so single-class label sets appear often.
+        let labels = prop::collection::vec(
+            (0u8..=3).prop_map(|v| (v == 3) as u8),
+            n_rows..=n_rows,
+        );
+        (cols, labels).prop_map(|(cols, labels)| {
+            let names = (0..cols.len()).map(|i| format!("f{i}")).collect();
+            Dataset::from_columns(names, cols, Some(labels)).unwrap()
+        })
+    })
+}
+
+/// A small configuration so each proptest case stays cheap.
+fn tiny_config() -> SafeConfig {
+    let mut miner = safe::gbm::config::GbmConfig::miner();
+    miner.n_rounds = 4;
+    SafeConfig {
+        miner: miner.clone(),
+        ranker: miner,
+        gamma: 8,
+        ..SafeConfig::paper()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the dataset, `fit` must not panic: it returns `Ok` with a
+    /// coherent outcome, or a typed error.
+    #[test]
+    fn fit_on_degenerate_data_never_panics(ds in degenerate_dataset()) {
+        match Safe::new(tiny_config()).fit(&ds, None) {
+            Ok(outcome) => {
+                prop_assert_eq!(
+                    outcome.history.len(),
+                    outcome.plans_per_iteration.len(),
+                    "report/plan alignment"
+                );
+                prop_assert!(
+                    !outcome.plan.outputs.is_empty(),
+                    "an Ok outcome must keep at least one feature"
+                );
+                for report in &outcome.history {
+                    if let IterationStatus::Degraded { reason, .. } = &report.status {
+                        prop_assert!(!reason.is_empty(), "degradation carries a reason");
+                    }
+                }
+            }
+            Err(e) => {
+                // Typed rejection is fine; its message must be non-empty so
+                // the CLI chain renderer has something to show.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Repair mode must also hold the no-panic contract, and any surviving
+    /// plan must not reference a column the audit dropped.
+    #[test]
+    fn repair_policy_never_panics_and_plans_stay_consistent(ds in degenerate_dataset()) {
+        let mut config = tiny_config();
+        config.audit = safe::data::AuditConfig {
+            policy: safe::data::AuditPolicy::Repair,
+            ..Default::default()
+        };
+        if let Ok(outcome) = Safe::new(config).fit(&ds, None) {
+            let dropped: Vec<&str> = outcome
+                .audit
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    safe::data::RepairAction::DroppedColumn { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            for name in &dropped {
+                prop_assert!(
+                    !outcome.plan.input_names.iter().any(|n| n == name),
+                    "dropped column {} must not be a plan input", name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/struct surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, `Bencher::iter`, `black_box` — with a simple
+//! median-of-samples timer instead of upstream's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier (display label).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier shown as `function/param`.
+    pub fn new(function: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", function.into()),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording the median over the configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then timed samples.
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Benchmark registry entry point (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group_name = name.to_string();
+        run_one(&group_name, None, 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under an id within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, Some(&id.into().label), self.samples, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, Some(&id.label), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; upstream flushes reports here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: Option<&str>, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        last: None,
+    };
+    f(&mut b);
+    let shown = match label {
+        Some(l) => format!("{group}/{l}"),
+        None => group.to_string(),
+    };
+    match b.last {
+        Some(t) => println!("bench {shown:<50} median {t:>12?} ({samples} samples)"),
+        None => println!("bench {shown:<50} (no measurement)"),
+    }
+}
+
+/// Identity function that defeats constant-propagation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}
