@@ -57,6 +57,16 @@ fn main() {
                 let path = out_dir.join(format!("{name}.txt"));
                 fs::write(&path, &out.stdout).expect("write result");
                 println!("ok -> {}", path.display());
+                if name == "table5_execution_time" {
+                    // table5 also drops per-stage SAFE timings at the repo
+                    // root; keep a copy with the rest of the results.
+                    let src = safe_bench::bench_pipeline_path();
+                    let dst = out_dir.join("BENCH_pipeline.json");
+                    match fs::copy(&src, &dst) {
+                        Ok(_) => println!("   + {}", dst.display()),
+                        Err(e) => eprintln!("   could not copy {src}: {e}"),
+                    }
+                }
             }
             Ok(out) => {
                 println!("FAILED (status {:?})", out.status.code());

@@ -5,7 +5,10 @@
 //! O(N·M²) exhaustive generation and FCTree's per-node construction loops
 //! dwarf SAFE's path-bounded search.
 
-use safe_bench::{engineer_split, fmt_secs, Flags, Method, TablePrinter};
+use safe_bench::{
+    bench_pipeline_path, engineer_split, fmt_secs, pipeline_rows, pipeline_rows_json,
+    traced_safe_report, Flags, Method, PipelineRow, TablePrinter,
+};
 use safe_datagen::benchmarks::generate_benchmark_scaled;
 
 fn main() {
@@ -26,8 +29,15 @@ fn main() {
     let t = TablePrinter::new(&headers, &widths);
 
     let mut ratio_acc: Vec<(f64, usize)> = vec![(0.0, 0); methods.len()];
-    for id in datasets {
+    let mut bench_rows: Vec<PipelineRow> = Vec::new();
+    for &id in &datasets {
         let split = generate_benchmark_scaled(id, scale, seed);
+        // Per-stage SAFE timings for BENCH_pipeline.json (a separate traced
+        // fit so the timed runs above stay undisturbed).
+        match traced_safe_report(&split, seed) {
+            Ok(report) => bench_rows.extend(pipeline_rows(id.spec().name, &report)),
+            Err(err) => eprintln!("  traced SAFE failed on {}: {err}", id.spec().name),
+        }
         let mut cells: Vec<String> = vec![id.spec().name.to_string()];
         let mut safe_time = None;
         let mut times = Vec::new();
@@ -71,5 +81,17 @@ fn main() {
             method.label(),
             ratio_acc[mi].0 / ratio_acc[mi].1 as f64
         );
+    }
+
+    let out_path = flags
+        .get("pipeline-out")
+        .map(str::to_string)
+        .unwrap_or_else(bench_pipeline_path);
+    match std::fs::write(&out_path, pipeline_rows_json(&bench_rows)) {
+        Ok(()) => println!(
+            "\nper-stage SAFE timings ({} rows) -> {out_path}",
+            bench_rows.len()
+        ),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
 }

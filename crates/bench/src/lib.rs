@@ -271,6 +271,83 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// Fit SAFE on a split with the report machinery engaged and return the
+/// per-stage run report (telemetry never alters the fit itself).
+pub fn traced_safe_report(
+    split: &DatasetSplit,
+    seed: u64,
+) -> Result<safe_obs::RunReport, String> {
+    let config = SafeConfig { seed, ..SafeConfig::paper() };
+    Safe::new(config)
+        .fit(&split.train, split.valid.as_ref())
+        .map(|outcome| outcome.report)
+        .map_err(|e| e.to_string())
+}
+
+/// One row of `BENCH_pipeline.json`: a stage of one SAFE iteration on one
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Benchmark dataset name.
+    pub dataset: String,
+    /// SAFE iteration index.
+    pub iteration: usize,
+    /// Stage name from the `safe_obs::stages` vocabulary.
+    pub stage: String,
+    /// Stage wall time in milliseconds.
+    pub millis: f64,
+    /// Feature count entering the stage (0 where not applicable).
+    pub features_in: u64,
+    /// Feature count leaving the stage (0 where not applicable).
+    pub features_out: u64,
+}
+
+/// Flatten a run report into `BENCH_pipeline.json` rows for one dataset.
+pub fn pipeline_rows(dataset: &str, report: &safe_obs::RunReport) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    for it in &report.iterations {
+        for st in &it.stages {
+            rows.push(PipelineRow {
+                dataset: dataset.to_string(),
+                iteration: it.iteration,
+                stage: st.stage.clone(),
+                millis: st.micros as f64 / 1000.0,
+                features_in: st.features_in,
+                features_out: st.features_out,
+            });
+        }
+    }
+    rows
+}
+
+/// Serialize pipeline rows as a JSON array (the `BENCH_pipeline.json`
+/// schema: `{dataset, iteration, stage, millis, features_in, features_out}`).
+pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"iteration\":{},\"stage\":{},\"millis\":{:.3},\"features_in\":{},\"features_out\":{}}}",
+            safe_obs::json::escape(&r.dataset),
+            r.iteration,
+            safe_obs::json::escape(&r.stage),
+            r.millis,
+            r.features_in,
+            r.features_out,
+        ));
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Default output path for `BENCH_pipeline.json`: the repository root.
+pub fn bench_pipeline_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use safe_core::explain::{explain_plan, explanation_report};
@@ -7,6 +8,7 @@ use safe_core::plan::FeaturePlan;
 use safe_core::safe::IterationStatus;
 use safe_core::{Safe, SafeConfig};
 use safe_data::csv::{read_csv, write_csv};
+use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, SinkHandle};
 use safe_ops::registry::OperatorRegistry;
 
 use crate::args::Args;
@@ -20,10 +22,21 @@ USAGE:
                    [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
                    [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
                    [--audit warn|repair|reject]
+                   [--trace-jsonl trace.jsonl] [--report-json report.json]
+                   [--report]
+                   ('train' is an alias for 'fit')
   safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
                    [--label label]
   safe-cli explain --plan plan.safeplan [--input data.csv] [--label label]
   safe-cli score   --input data.csv [--label label]
+  safe-cli trace-check --input trace.jsonl
+
+TELEMETRY:
+  --trace-jsonl PATH   stream pipeline events (one JSON object per line:
+                       ts_us, event, stage, ...) to PATH during the fit
+  --report-json PATH   write the per-stage/per-iteration run report as JSON
+  --report             print the run report as a table on stderr
+  trace-check          validate a --trace-jsonl file (schema + event kinds)
 
 EXIT CODES:
   0 success   2 usage   3 file i/o   4 bad input data
@@ -34,15 +47,35 @@ EXIT CODES:
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv).map_err(CliError::Usage)?;
     match args.command.as_deref() {
-        Some("fit") => fit(&args),
+        Some("fit") | Some("train") => fit(&args),
         Some("apply") => apply(&args),
         Some("explain") => explain(&args),
         Some("score") => score(&args),
+        Some("trace-check") => trace_check(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// Prints `warn` telemetry events (degraded iterations, audit findings,
+/// failpoint trips) to stderr as they happen; ignores everything else.
+struct StderrWarnSink;
+
+impl EventSink for StderrWarnSink {
+    fn record(&self, event: &Event) {
+        if event.kind != EventKind::Warn {
+            return;
+        }
+        match event.iteration {
+            Some(i) => eprintln!(
+                "  warn[{} iter {}] {}: {}",
+                event.stage, i, event.name, event.message
+            ),
+            None => eprintln!("  warn[{}] {}: {}", event.stage, event.name, event.message),
+        }
     }
 }
 
@@ -72,6 +105,7 @@ fn fit(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "valid", "plan", "label", "gamma", "alpha", "theta",
         "iterations", "multiplier", "seed", "full-ops", "audit",
+        "trace-jsonl", "report-json", "report",
     ])
     .map_err(CliError::Usage)?;
     let input = args.require("input").map_err(CliError::Usage)?;
@@ -85,7 +119,19 @@ fn fit(args: &Args) -> Result<(), CliError> {
         }
         None => None,
     };
+
+    // Telemetry: warnings always stream to stderr; --trace-jsonl adds a
+    // machine-readable event stream.
+    let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(StderrWarnSink)];
+    if let Some(path) = args.get("trace-jsonl") {
+        let jsonl =
+            JsonlSink::to_file(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        sinks.push(Arc::new(jsonl));
+    }
+    let fan: Arc<dyn EventSink> = Arc::new(FanoutSink::new(sinks));
+
     let config = SafeConfig {
+        sink: SinkHandle::new(fan.clone()),
         gamma: args.get_or("gamma", 30usize).map_err(CliError::Usage)?,
         alpha: args.get_or("alpha", 0.1f64).map_err(CliError::Usage)?,
         theta: args.get_or("theta", 0.8f64).map_err(CliError::Usage)?,
@@ -105,12 +151,7 @@ fn fit(args: &Args) -> Result<(), CliError> {
     );
     let start = Instant::now();
     let outcome = Safe::new(config).fit(&train, valid.as_ref())?;
-    for f in &outcome.audit.findings {
-        eprintln!("  audit: {f}");
-    }
-    for a in &outcome.audit.actions {
-        eprintln!("  audit repair: {a}");
-    }
+    fan.flush();
     eprintln!(
         "done in {:.2}s: {} features selected ({} generated)",
         start.elapsed().as_secs_f64(),
@@ -133,9 +174,65 @@ fn fit(args: &Args) -> Result<(), CliError> {
             }
         }
     }
+    if args.switch("report") || args.get("report-json").is_some() {
+        eprint!("{}", outcome.report.render_table());
+    }
+    if let Some(path) = args.get("report-json") {
+        std::fs::write(path, outcome.report.to_json())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        eprintln!("run report written to {path}");
+    }
     std::fs::write(plan_path, outcome.plan.to_text())
         .map_err(|e| CliError::Io(format!("{plan_path}: {e}")))?;
     eprintln!("plan written to {plan_path}");
+    Ok(())
+}
+
+/// Validate a `--trace-jsonl` file: every non-empty line must parse as a
+/// JSON object carrying `ts_us`, `event` (a known kind), and `stage`.
+fn trace_check(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&["input"]).map_err(CliError::Usage)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| CliError::Io(format!("{input}: {e}")))?;
+    let mut n_events = 0usize;
+    let mut n_warns = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let value = safe_obs::json::parse(line)
+            .map_err(|e| CliError::Data(format!("{input}:{lineno}: invalid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| CliError::Data(format!("{input}:{lineno}: not a JSON object")))?;
+        for key in ["ts_us", "event", "stage"] {
+            if !obj.iter().any(|(k, _)| k == key) {
+                return Err(CliError::Data(format!(
+                    "{input}:{lineno}: missing required key '{key}'"
+                )));
+            }
+        }
+        if value.get("ts_us").and_then(|v| v.as_u64()).is_none() {
+            return Err(CliError::Data(format!("{input}:{lineno}: ts_us is not an integer")));
+        }
+        let kind = value
+            .get("event")
+            .and_then(|v| v.as_str())
+            .and_then(EventKind::parse)
+            .ok_or_else(|| {
+                CliError::Data(format!("{input}:{lineno}: unknown event kind"))
+            })?;
+        if kind == EventKind::Warn {
+            n_warns += 1;
+        }
+        n_events += 1;
+    }
+    if n_events == 0 {
+        return Err(CliError::Data(format!("{input}: no events")));
+    }
+    println!("{input}: {n_events} events OK ({n_warns} warnings)");
     Ok(())
 }
 
@@ -293,6 +390,56 @@ mod tests {
         .unwrap();
         let plan_text = std::fs::read_to_string(&plan).unwrap();
         assert!(!plan_text.contains("konst"), "repaired column must not appear");
+    }
+
+    #[test]
+    fn train_alias_with_telemetry_flags() {
+        let train = tmp("train_telemetry.csv");
+        let plan = tmp("plan_telemetry.safeplan");
+        let trace = tmp("trace.jsonl");
+        let report = tmp("report.json");
+        write_training_csv(&train);
+
+        run(&argv(&format!(
+            "train --input {} --plan {} --seed 3 --trace-jsonl {} --report-json {} --report",
+            train.display(),
+            plan.display(),
+            trace.display(),
+            report.display()
+        )))
+        .unwrap();
+
+        // The trace validates under its own checker.
+        run(&argv(&format!("trace-check --input {}", trace.display()))).unwrap();
+
+        // The report parses and carries at least one completed iteration
+        // with the full core stage set.
+        let text = std::fs::read_to_string(&report).unwrap();
+        let v = safe_obs::json::parse(&text).unwrap();
+        let iterations = v.get("iterations").and_then(|x| x.as_array().map(<[_]>::to_vec)).unwrap();
+        assert!(!iterations.is_empty());
+        let it0 = &iterations[0];
+        assert_eq!(it0.get("status").and_then(|s| s.as_str()), Some("completed"));
+        let stages: Vec<String> = it0
+            .get("stages")
+            .and_then(|s| s.as_array().map(<[_]>::to_vec))
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("stage").and_then(|n| n.as_str()).map(String::from))
+            .collect();
+        for want in safe_obs::stages::CORE {
+            assert!(stages.contains(&want.to_string()), "missing stage {want}: {stages:?}");
+        }
+    }
+
+    #[test]
+    fn trace_check_rejects_garbage() {
+        let bad = tmp("bad_trace.jsonl");
+        std::fs::write(&bad, "{\"ts_us\":1}\n").unwrap();
+        let err = run(&argv(&format!("trace-check --input {}", bad.display()))).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(run(&argv(&format!("trace-check --input {}", bad.display()))).is_err());
     }
 
     #[test]

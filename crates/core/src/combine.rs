@@ -87,23 +87,48 @@ fn subsets_of(items: &[usize], size: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// Scoring telemetry from [`rank_combinations_observed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Combinations that entered the ranking.
+    pub candidates_in: u64,
+    /// Total joint-partition cells evaluated across all combinations.
+    pub cells_evaluated: u64,
+    /// Combinations cut by the γ truncation.
+    pub gamma_truncated: u64,
+}
+
 /// Algorithm 2: score each combination by the information gain ratio of the
 /// partition its split values induce, and keep the top γ.
+pub fn rank_combinations(
+    combos: Vec<Combination>,
+    train: &Dataset,
+    gamma: usize,
+) -> Vec<Combination> {
+    rank_combinations_observed(combos, train, gamma).0
+}
+
+/// [`rank_combinations`], additionally reporting scoring telemetry.
 ///
 /// A combination of q features with value sets `V_1..V_q` splits the records
 /// into `∏ (|V_i| + 1)` cells; the gain ratio of that partition against the
 /// label is the combination's score.
-pub fn rank_combinations(
+pub fn rank_combinations_observed(
     mut combos: Vec<Combination>,
     train: &Dataset,
     gamma: usize,
-) -> Vec<Combination> {
+) -> (Vec<Combination>, RankStats) {
+    let mut stats = RankStats {
+        candidates_in: combos.len() as u64,
+        ..RankStats::default()
+    };
     let Some(labels) = train.labels() else {
         // No labels: gain ratios are undefined. Keep a deterministic order
         // and the γ cap so callers still get a usable (unscored) list.
         combos.sort_by(|a, b| a.features.cmp(&b.features));
         combos.truncate(gamma);
-        return combos;
+        stats.gamma_truncated = stats.candidates_in - combos.len() as u64;
+        return (combos, stats);
     };
     let cols: Vec<&[f64]> = train.columns().collect();
     // Score combinations in parallel (each builds its own small binnings).
@@ -111,7 +136,7 @@ pub fn rank_combinations(
         let combo = &combos[i];
         // Stale feature indices (not from this dataset) score zero.
         if combo.features.iter().any(|&f| f >= cols.len()) {
-            return 0.0;
+            return (0.0, 0u64);
         }
         let assignments: Vec<(Vec<usize>, usize)> = combo
             .features
@@ -128,10 +153,11 @@ pub fn rank_combinations(
             .map(|(bins, n)| (bins.as_slice(), *n))
             .collect();
         let (cells, n_cells) = joint_cells(&refs);
-        gain_ratio(&cells, labels, n_cells)
+        (gain_ratio(&cells, labels, n_cells), n_cells as u64)
     });
-    for (combo, score) in combos.iter_mut().zip(scores) {
+    for (combo, (score, n_cells)) in combos.iter_mut().zip(scores) {
         combo.gain_ratio = score;
+        stats.cells_evaluated += n_cells;
     }
     combos.sort_by(|a, b| {
         b.gain_ratio
@@ -140,7 +166,8 @@ pub fn rank_combinations(
             .then_with(|| a.features.cmp(&b.features))
     });
     combos.truncate(gamma);
-    combos
+    stats.gamma_truncated = stats.candidates_in - combos.len() as u64;
+    (combos, stats)
 }
 
 /// The RAND/IMP generators (Section V-A1): γ random combinations over the
@@ -255,6 +282,19 @@ mod tests {
         let ranked = rank_combinations(combos, &ds, 2);
         assert!(ranked.len() <= 2);
         assert!(total >= ranked.len());
+    }
+
+    #[test]
+    fn rank_stats_count_candidates_and_cells() {
+        let ds = xor_like_dataset(400);
+        let model = Gbm::new(GbmConfig::miner()).fit(&ds, None).unwrap();
+        let combos = mine_combinations(&model, 2);
+        let total = combos.len() as u64;
+        let (ranked, stats) = rank_combinations_observed(combos, &ds, 3);
+        assert_eq!(stats.candidates_in, total);
+        assert_eq!(stats.gamma_truncated, total - ranked.len() as u64);
+        // Every combination induces at least 2 cells (one cut ⇒ two sides).
+        assert!(stats.cells_evaluated >= 2 * total, "{stats:?}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use safe_data::audit::AuditConfig;
 use safe_gbm::config::GbmConfig;
+use safe_obs::SinkHandle;
 use safe_ops::registry::OperatorRegistry;
 use std::time::Duration;
 
@@ -60,6 +61,12 @@ pub struct SafeConfig {
     /// [`safe_data::AuditPolicy::Repair`] to drop/impute them, or
     /// [`safe_data::AuditPolicy::Reject`] to fail fast.
     pub audit: AuditConfig,
+    /// Telemetry sink every pipeline stage reports to (spans, counters,
+    /// warnings). Defaults to the no-op [`safe_obs::NullSink`]; attach a
+    /// [`safe_obs::JsonlSink`] or [`safe_obs::MemorySink`] via
+    /// [`SinkHandle::new`] to observe the run. The sink never influences
+    /// pipeline results.
+    pub sink: SinkHandle,
 }
 
 impl Default for SafeConfig {
@@ -78,6 +85,7 @@ impl Default for SafeConfig {
             strategy: GenerationStrategy::Mined,
             seed: 0,
             audit: AuditConfig::default(),
+            sink: SinkHandle::null(),
         }
     }
 }

@@ -60,6 +60,32 @@ fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
     out
 }
 
+/// Generation telemetry from [`generate_features_observed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenerateStats {
+    /// Features generated per operator family, in first-seen order.
+    pub per_op: Vec<(String, u64)>,
+    /// Candidates discarded because the output column was constant or
+    /// all-missing on the training set.
+    pub degenerate_discarded: u64,
+    /// Candidates skipped because the name already existed.
+    pub name_collisions: u64,
+    /// Candidates skipped because the operator refused to fit (e.g. a
+    /// supervised operator without labels).
+    pub op_fit_errors: u64,
+    /// Combinations skipped for referencing columns outside the dataset.
+    pub stale_combinations: u64,
+}
+
+impl GenerateStats {
+    fn count_op(&mut self, op: &str) {
+        match self.per_op.iter_mut().find(|(name, _)| name == op) {
+            Some((_, n)) => *n += 1,
+            None => self.per_op.push((op.to_string(), 1)),
+        }
+    }
+}
+
 /// Apply every applicable operator to every combination. Features whose
 /// names collide with existing columns (or earlier generated ones) are
 /// skipped; features that come out constant or all-missing on the training
@@ -71,6 +97,18 @@ pub fn generate_features(
     combos: &[Combination],
     registry: &OperatorRegistry,
 ) -> Vec<GeneratedFeature> {
+    generate_features_observed(train, valid, combos, registry).0
+}
+
+/// [`generate_features`], additionally reporting per-operator counts and
+/// how many candidates were skipped (and why).
+pub fn generate_features_observed(
+    train: &Dataset,
+    valid: Option<&Dataset>,
+    combos: &[Combination],
+    registry: &OperatorRegistry,
+) -> (Vec<GeneratedFeature>, GenerateStats) {
+    let mut stats = GenerateStats::default();
     let labels = train.labels();
     let all_train_cols: Vec<&[f64]> = train.columns().collect();
     let all_valid_cols: Option<Vec<&[f64]>> = valid.map(|v| v.columns().collect());
@@ -82,6 +120,7 @@ pub fn generate_features(
         // Combinations referencing columns outside this dataset (stale
         // indices) cannot be generated; skip rather than panic.
         if combo.features.iter().any(|&f| f >= all_train_cols.len()) {
+            stats.stale_combinations += 1;
             continue;
         }
         let ops = registry.by_arity(combo.arity());
@@ -101,15 +140,21 @@ pub fn generate_features(
                     .collect();
                 let name = feature_name(op.name(), &parent_names);
                 if taken.contains(&name) {
+                    stats.name_collisions += 1;
                     continue;
                 }
                 let train_cols: Vec<&[f64]> = order.iter().map(|&f| all_train_cols[f]).collect();
                 let fitted = match op.fit(&train_cols, labels) {
                     Ok(f) => f,
-                    Err(_) => continue, // e.g. supervised op without labels
+                    Err(_) => {
+                        // e.g. supervised op without labels
+                        stats.op_fit_errors += 1;
+                        continue;
+                    }
                 };
                 let train_values = fitted.apply(&train_cols);
                 if is_degenerate(&train_values) {
+                    stats.degenerate_discarded += 1;
                     continue;
                 }
                 // A validation set narrower than train (schema drift) simply
@@ -120,6 +165,7 @@ pub fn generate_features(
                     cols.map(|cols| fitted.apply(&cols))
                 });
                 taken.insert(name.clone());
+                stats.count_op(op.name());
                 out.push(GeneratedFeature {
                     name,
                     op: op.name().to_string(),
@@ -131,7 +177,7 @@ pub fn generate_features(
             }
         }
     }
-    out
+    (out, stats)
 }
 
 /// Constant or all-missing columns carry no signal.
@@ -248,6 +294,31 @@ mod tests {
         assert!(out.iter().any(|g| g.name == "log(a)"));
         // No binary ops applied to a unary combo.
         assert!(!out.iter().any(|g| g.op == "add"));
+    }
+
+    #[test]
+    fn generate_stats_account_for_every_candidate() {
+        // add(a,b) is constant on this fixture → one degenerate discard;
+        // the five survivors split as add:0, sub:2, mul:1, div:2.
+        let (out, stats) =
+            generate_features_observed(&ds(), None, &[pair_combo()], &OperatorRegistry::arithmetic());
+        assert_eq!(out.len(), 5);
+        assert_eq!(stats.degenerate_discarded, 1);
+        assert_eq!(stats.name_collisions, 0);
+        assert_eq!(stats.per_op.iter().map(|&(_, n)| n).sum::<u64>(), 5);
+        assert!(stats.per_op.iter().any(|(op, n)| op == "sub" && *n == 2));
+        assert!(stats.per_op.iter().any(|(op, n)| op == "div" && *n == 2));
+        // A pre-existing column with a generated name counts as a collision.
+        let mut train = ds();
+        train
+            .push_column(
+                safe_data::dataset::FeatureMeta::original("mul(a,b)"),
+                vec![0.0; 4],
+            )
+            .unwrap();
+        let (_, stats) =
+            generate_features_observed(&train, None, &[pair_combo()], &OperatorRegistry::arithmetic());
+        assert_eq!(stats.name_collisions, 1);
     }
 
     #[test]

@@ -48,6 +48,17 @@ pub fn redundancy_filter(
     survivors: &[(usize, f64)],
     theta: f64,
 ) -> Vec<usize> {
+    redundancy_filter_observed(train, survivors, theta).0
+}
+
+/// [`redundancy_filter`], additionally reporting how many candidate/kept
+/// pairs were correlation-tested.
+pub fn redundancy_filter_observed(
+    train: &Dataset,
+    survivors: &[(usize, f64)],
+    theta: f64,
+) -> (Vec<usize>, u64) {
+    let mut pairs_compared: u64 = 0;
     let mut order: Vec<(usize, f64)> = survivors.to_vec();
     order.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -63,6 +74,7 @@ pub fn redundancy_filter(
             continue;
         };
         // Compare against all kept features in parallel; any hit disqualifies.
+        pairs_compared += kept.len() as u64;
         let hits = safe_stats::parallel::par_map_indexed(kept.len(), |i| {
             pearson(col, cols[kept[i]]).abs() > theta
         });
@@ -70,7 +82,7 @@ pub fn redundancy_filter(
             kept.push(candidate);
         }
     }
-    kept
+    (kept, pairs_compared)
 }
 
 /// Section IV-C3: rank the surviving candidates by average split gain of a
@@ -84,9 +96,24 @@ pub fn rank_and_cap(
     ranker: &GbmConfig,
     cap: usize,
 ) -> Result<Vec<usize>, GbmError> {
+    rank_and_cap_observed(train, valid, survivors, ranker, cap, &safe_obs::NullSink, None)
+        .map(|(idx, _)| idx)
+}
+
+/// [`rank_and_cap`], additionally emitting the internal booster's training
+/// counters through `sink` under the `rank-topk` stage and returning them.
+pub fn rank_and_cap_observed(
+    train: &Dataset,
+    valid: Option<&Dataset>,
+    survivors: &[usize],
+    ranker: &GbmConfig,
+    cap: usize,
+    sink: &dyn safe_obs::EventSink,
+    iteration: Option<usize>,
+) -> Result<(Vec<usize>, safe_gbm::GbmFitStats), GbmError> {
     safe_data::failpoint!("select/rank", GbmError::Injected("select/rank"));
     if survivors.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), safe_gbm::GbmFitStats::default()));
     }
     if survivors.len() <= cap {
         // Still rank for deterministic ordering, but nothing to cut.
@@ -97,7 +124,13 @@ pub fn rank_and_cap(
         Some(v) => Some(v.select_columns(survivors)?),
         None => None,
     };
-    let model = Gbm::new(ranker.clone()).fit(&sub_train, sub_valid.as_ref())?;
+    let (model, stats) = Gbm::new(ranker.clone()).fit_observed(
+        &sub_train,
+        sub_valid.as_ref(),
+        sink,
+        safe_obs::stages::RANK_TOPK,
+        iteration,
+    )?;
     let importance = model.importance(ImportanceKind::AverageGain);
     let mut order: Vec<usize> = (0..survivors.len()).collect();
     order.sort_by(|&a, &b| {
@@ -106,11 +139,8 @@ pub fn rank_and_cap(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    Ok(order
-        .into_iter()
-        .take(cap)
-        .map(|i| survivors[i])
-        .collect())
+    let selected = order.into_iter().take(cap).map(|i| survivors[i]).collect();
+    Ok((selected, stats))
 }
 
 #[cfg(test)]

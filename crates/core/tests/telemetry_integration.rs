@@ -1,0 +1,214 @@
+//! End-to-end telemetry: real SAFE fits observed through a `MemorySink`.
+//!
+//! Proves the four contracts the telemetry layer makes:
+//! 1. span events balance and nest properly,
+//! 2. every completed iteration reports the full core stage set and an
+//!    internally consistent feature waterfall,
+//! 3. counters are deterministic for a fixed seed,
+//! 4. telemetry never changes pipeline results (NullSink vs MemorySink),
+//!    and the inline report matches one reassembled from the event stream.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use safe_core::safe::SafeOutcome;
+use safe_core::{Safe, SafeConfig};
+use safe_data::dataset::Dataset;
+use safe_obs::{stages, EventKind, MemorySink, RunReport, SinkHandle};
+
+/// Label depends on the product of two features — SAFE finds an (a,b)
+/// combination and completes its iterations.
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<f64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f64 = rng.gen_range(-1.0..1.0);
+        let b: f64 = rng.gen_range(-1.0..1.0);
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(rng.gen_range(-1.0..1.0));
+        cols[3].push(rng.gen_range(-1.0..1.0));
+        labels.push((a * b > 0.0) as u8);
+    }
+    Dataset::from_columns(
+        vec!["a".into(), "b".into(), "n1".into(), "n2".into()],
+        cols,
+        Some(labels),
+    )
+    .unwrap()
+}
+
+fn fit_with(sink: SinkHandle, n_iterations: usize) -> SafeOutcome {
+    let train = dataset(800, 7);
+    let config = SafeConfig {
+        sink,
+        seed: 7,
+        gamma: 10,
+        n_iterations,
+        ..SafeConfig::paper()
+    };
+    Safe::new(config).fit(&train, None).unwrap()
+}
+
+#[test]
+fn spans_balance_and_nest() {
+    let sink = Arc::new(MemorySink::new());
+    let _ = fit_with(SinkHandle::new(sink.clone()), 2);
+    let events = sink.events();
+    assert!(!events.is_empty());
+
+    let mut stack: Vec<&str> = Vec::new();
+    for e in &events {
+        match e.kind {
+            EventKind::StageStart => stack.push(&e.stage),
+            EventKind::StageEnd => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("stage_end '{}' with no open span", e.stage)
+                });
+                assert_eq!(open, e.stage, "spans must close LIFO");
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+
+    // Timestamps are monotone within the stream.
+    assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+}
+
+#[test]
+fn completed_iterations_carry_full_stage_set() {
+    let sink = Arc::new(MemorySink::new());
+    let outcome = fit_with(SinkHandle::new(sink.clone()), 2);
+
+    let completed: Vec<_> = outcome
+        .report
+        .iterations
+        .iter()
+        .filter(|it| it.status == "completed")
+        .collect();
+    assert!(!completed.is_empty(), "fixture must complete at least one iteration");
+    for it in completed {
+        for want in stages::CORE {
+            assert!(
+                it.stage(want).is_some(),
+                "iteration {} missing stage {want}",
+                it.iteration
+            );
+        }
+        assert!(
+            it.waterfall.is_consistent(),
+            "waterfall must be a funnel: {:?}",
+            it.waterfall
+        );
+        assert_eq!(it.waterfall.selected, outcome.history[it.iteration].n_selected as u64);
+        // The iteration span covers its stages.
+        let stage_sum: u64 = it.stages.iter().map(|s| s.micros).sum();
+        assert!(it.micros >= stage_sum, "iteration span shorter than its stages");
+    }
+    // One history entry per report iteration, statuses agree.
+    assert_eq!(outcome.report.iterations.len(), outcome.history.len());
+}
+
+/// Everything in a report except wall-clock timings, for equality checks.
+fn deterministic_view(report: &RunReport) -> String {
+    let mut out = String::new();
+    for it in &report.iterations {
+        out.push_str(&format!(
+            "iter {} {} waterfall={:?}\n",
+            it.iteration, it.status, it.waterfall
+        ));
+        for s in &it.stages {
+            out.push_str(&format!(
+                "  {} in={} out={} counters={:?}\n",
+                s.stage, s.features_in, s.features_out, s.counters
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn counters_deterministic_for_fixed_seed() {
+    let a = fit_with(SinkHandle::new(Arc::new(MemorySink::new())), 2);
+    let b = fit_with(SinkHandle::new(Arc::new(MemorySink::new())), 2);
+    assert_eq!(deterministic_view(&a.report), deterministic_view(&b.report));
+}
+
+#[test]
+fn null_sink_outcome_identical_to_instrumented_run() {
+    let instrumented = fit_with(SinkHandle::new(Arc::new(MemorySink::new())), 2);
+    let silent = fit_with(SinkHandle::null(), 2);
+
+    // The learned plan is byte-identical.
+    assert_eq!(silent.plan.to_text(), instrumented.plan.to_text());
+    // Funnel history matches except for wall-clock.
+    assert_eq!(silent.history.len(), instrumented.history.len());
+    for (s, i) in silent.history.iter().zip(&instrumented.history) {
+        assert_eq!(s.iteration, i.iteration);
+        assert_eq!(s.n_combinations, i.n_combinations);
+        assert_eq!(s.n_generated, i.n_generated);
+        assert_eq!(s.n_after_iv, i.n_after_iv);
+        assert_eq!(s.n_after_redundancy, i.n_after_redundancy);
+        assert_eq!(s.n_selected, i.n_selected);
+        assert_eq!(s.selected, i.selected);
+    }
+    // The report is assembled either way, with identical content.
+    assert_eq!(
+        deterministic_view(&silent.report),
+        deterministic_view(&instrumented.report)
+    );
+}
+
+#[test]
+fn report_from_events_matches_inline_assembly() {
+    let sink = Arc::new(MemorySink::new());
+    let outcome = fit_with(SinkHandle::new(sink.clone()), 2);
+    let replayed = RunReport::from_events(&sink.events());
+
+    assert_eq!(replayed.iterations.len(), outcome.report.iterations.len());
+    for (r, i) in replayed.iterations.iter().zip(&outcome.report.iterations) {
+        assert_eq!(r.iteration, i.iteration);
+        assert_eq!(r.status, i.status);
+        assert_eq!(r.waterfall, i.waterfall);
+        assert_eq!(r.stages.len(), i.stages.len(), "iteration {}", i.iteration);
+        for (x, y) in r.stages.iter().zip(&i.stages) {
+            assert_eq!(x.stage, y.stage);
+            assert_eq!(x.features_in, y.features_in);
+            assert_eq!(x.features_out, y.features_out);
+            assert_eq!(x.counters, y.counters, "stage {}", y.stage);
+            assert_eq!(x.micros, y.micros, "stage {}", y.stage);
+        }
+    }
+    assert_eq!(replayed.setup.len(), outcome.report.setup.len());
+    assert_eq!(replayed.warnings, outcome.report.warnings);
+}
+
+#[test]
+fn degraded_iteration_emits_warn_and_balances() {
+    let sink = Arc::new(MemorySink::new());
+    let train = dataset(600, 3);
+    let config = SafeConfig {
+        sink: SinkHandle::new(sink.clone()),
+        seed: 3,
+        gamma: 8,
+        // An absurd IV threshold empties the filter: the iteration degrades.
+        alpha: 1.0e9,
+        ..SafeConfig::paper()
+    };
+    let outcome = Safe::new(config).fit(&train, None).unwrap();
+    assert!(outcome
+        .report
+        .warnings
+        .iter()
+        .any(|w| w.code == "degraded"), "warnings: {:?}", outcome.report.warnings);
+
+    let events = sink.events();
+    assert!(events.iter().any(|e| e.kind == EventKind::Warn));
+    let starts = events.iter().filter(|e| e.kind == EventKind::StageStart).count();
+    let ends = events.iter().filter(|e| e.kind == EventKind::StageEnd).count();
+    assert_eq!(starts, ends, "degraded run must still balance its spans");
+}

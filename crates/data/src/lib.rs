@@ -36,8 +36,8 @@ pub mod failpoints;
 pub mod split;
 
 pub use audit::{
-    audit, enforce, AuditConfig, AuditError, AuditFinding, AuditPolicy, AuditReport,
-    AuditSeverity, RepairAction,
+    audit, enforce, enforce_observed, AuditConfig, AuditError, AuditFinding, AuditPolicy,
+    AuditReport, AuditSeverity, RepairAction,
 };
 pub use binning::{BinAssignments, BinEdges, BinStrategy};
 pub use dataset::{Dataset, FeatureMeta, FeatureOrigin};

@@ -5,14 +5,28 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use safe_data::dataset::Dataset;
+use safe_obs::EventSink;
 
 use crate::binner::BinnedMatrix;
 use crate::config::{GbmConfig, Objective};
 use crate::error::GbmError;
-use crate::grow::grow_tree;
+use crate::grow::{grow_tree_observed, GrowStats};
 use crate::importance::{FeatureImportance, ImportanceKind};
 use crate::loss::{base_margin, grad_hess, transform};
 use crate::tree::{SplitPath, Tree};
+
+/// Telemetry from one training run, returned by [`Gbm::fit_observed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GbmFitStats {
+    /// Boosting rounds actually executed (≤ configured `n_rounds` under
+    /// early stopping).
+    pub rounds_run: u64,
+    /// Trees in the final model (after early-stopping truncation).
+    pub trees_kept: u64,
+    /// Aggregated tree-construction telemetry (histogram builds, nodes
+    /// grown per depth).
+    pub grow: GrowStats,
+}
 
 /// Gradient-boosting trainer.
 #[derive(Debug, Clone)]
@@ -45,6 +59,40 @@ impl Gbm {
     /// Train on a labeled dataset, optionally early-stopping on validation
     /// AUC.
     pub fn fit(&self, train: &Dataset, valid: Option<&Dataset>) -> Result<GbmModel, GbmError> {
+        let mut stats = GbmFitStats::default();
+        self.fit_inner(train, valid, &mut stats)
+    }
+
+    /// [`Gbm::fit`], additionally emitting training counters through `sink`
+    /// (attributed to `stage`/`iteration`) and returning them. Emitted
+    /// counters: `gbm_rounds`, `gbm_trees`, `histogram_builds`,
+    /// `nodes_grown`, and `nodes_depth<d>` per tree level.
+    pub fn fit_observed(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        sink: &dyn EventSink,
+        stage: &str,
+        iteration: Option<usize>,
+    ) -> Result<(GbmModel, GbmFitStats), GbmError> {
+        let mut stats = GbmFitStats::default();
+        let model = self.fit_inner(train, valid, &mut stats)?;
+        sink.counter(stage, iteration, "gbm_rounds", stats.rounds_run);
+        sink.counter(stage, iteration, "gbm_trees", stats.trees_kept);
+        sink.counter(stage, iteration, "histogram_builds", stats.grow.histogram_builds);
+        sink.counter(stage, iteration, "nodes_grown", stats.grow.total_nodes());
+        for (depth, &n) in stats.grow.nodes_per_depth.iter().enumerate() {
+            sink.counter(stage, iteration, &format!("nodes_depth{depth}"), n);
+        }
+        Ok((model, stats))
+    }
+
+    fn fit_inner(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        stats: &mut GbmFitStats,
+    ) -> Result<GbmModel, GbmError> {
         safe_data::failpoint!("gbm/fit-begin", GbmError::Injected("gbm/fit-begin"));
         self.config.validate().map_err(GbmError::Config)?;
         let labels = train
@@ -93,6 +141,7 @@ impl Gbm {
 
         for round in 0..self.config.n_rounds {
             safe_data::failpoint!("gbm/train-round", GbmError::Injected("gbm/train-round"));
+            stats.rounds_run += 1;
             for i in 0..n {
                 let (g, h) = grad_hess(self.config.objective, margins[i], labels[i] as f64);
                 grads[i] = g;
@@ -102,7 +151,8 @@ impl Gbm {
             let rows = sample(&all_rows, self.config.subsample, &mut rng);
             let features = sample(&all_features, self.config.colsample, &mut rng);
 
-            let tree = grow_tree(&binned, &grads, &hesss, rows, &features, &self.config);
+            let tree =
+                grow_tree_observed(&binned, &grads, &hesss, rows, &features, &self.config, &mut stats.grow);
             tree.predict_into(&train_cols, &mut margins);
 
             if let Some((cols, vl, vmargins)) = valid_state.as_mut() {
@@ -131,6 +181,7 @@ impl Gbm {
         if self.config.early_stopping_rounds.is_some() && !eval_history.is_empty() {
             trees.truncate(best_round + 1);
         }
+        stats.trees_kept = trees.len() as u64;
 
         Ok(GbmModel {
             trees,
@@ -225,6 +276,7 @@ impl GbmModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grow::grow_tree;
     use safe_stats::auc::auc;
 
     /// Linearly separable two-feature data with noise features.

@@ -5,6 +5,40 @@ use crate::config::GbmConfig;
 use crate::histogram::{best_split_for_feature, build_histogram, leaf_weight, SplitInfo};
 use crate::tree::{Tree, TreeNode};
 
+/// Construction telemetry for one (or several accumulated) grown trees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrowStats {
+    /// Per-feature histograms built during split finding.
+    pub histogram_builds: u64,
+    /// Nodes (internal + leaf) created at each depth; index = depth.
+    pub nodes_per_depth: Vec<u64>,
+}
+
+impl GrowStats {
+    /// Fold another tree's stats into this accumulator.
+    pub fn merge(&mut self, other: &GrowStats) {
+        self.histogram_builds += other.histogram_builds;
+        if self.nodes_per_depth.len() < other.nodes_per_depth.len() {
+            self.nodes_per_depth.resize(other.nodes_per_depth.len(), 0);
+        }
+        for (acc, &n) in self.nodes_per_depth.iter_mut().zip(&other.nodes_per_depth) {
+            *acc += n;
+        }
+    }
+
+    /// Total nodes across all depths.
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_per_depth.iter().sum()
+    }
+
+    fn count_node(&mut self, depth: usize) {
+        if self.nodes_per_depth.len() <= depth {
+            self.nodes_per_depth.resize(depth + 1, 0);
+        }
+        self.nodes_per_depth[depth] += 1;
+    }
+}
+
 /// Grow one regression tree on the given row/feature subsets.
 ///
 /// `grads`/`hesss` are full-length per-row derivative vectors; `rows` selects
@@ -19,9 +53,24 @@ pub fn grow_tree(
     features: &[usize],
     config: &GbmConfig,
 ) -> Tree {
+    let mut stats = GrowStats::default();
+    grow_tree_observed(binned, grads, hesss, rows, features, config, &mut stats)
+}
+
+/// [`grow_tree`], additionally accumulating construction telemetry into
+/// `stats` (histogram builds, nodes created per depth).
+pub fn grow_tree_observed(
+    binned: &BinnedMatrix,
+    grads: &[f64],
+    hesss: &[f64],
+    rows: Vec<u32>,
+    features: &[usize],
+    config: &GbmConfig,
+    stats: &mut GrowStats,
+) -> Tree {
     let mut tree = Tree::default();
     tree.nodes.clear();
-    build_node(&mut tree, binned, grads, hesss, rows, features, config, 0);
+    build_node(&mut tree, binned, grads, hesss, rows, features, config, 0, stats);
     tree
 }
 
@@ -37,7 +86,9 @@ fn build_node(
     features: &[usize],
     config: &GbmConfig,
     depth: usize,
+    stats: &mut GrowStats,
 ) -> usize {
+    stats.count_node(depth);
     let (g, h) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
         (g + grads[r as usize], h + hesss[r as usize])
     });
@@ -46,7 +97,7 @@ fn build_node(
     let split = if depth >= config.max_depth || rows.len() < 2 {
         None
     } else {
-        find_best_split(binned, grads, hesss, &rows, features, totals, config)
+        find_best_split(binned, grads, hesss, &rows, features, totals, config, stats)
     };
 
     match split {
@@ -62,8 +113,10 @@ fn build_node(
             // Reserve this node's slot before the children claim theirs.
             let idx = tree.nodes.len();
             tree.nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
-            let left = build_node(tree, binned, grads, hesss, left_rows, features, config, depth + 1);
-            let right = build_node(tree, binned, grads, hesss, right_rows, features, config, depth + 1);
+            let left =
+                build_node(tree, binned, grads, hesss, left_rows, features, config, depth + 1, stats);
+            let right =
+                build_node(tree, binned, grads, hesss, right_rows, features, config, depth + 1, stats);
             tree.nodes[idx] = TreeNode::Internal {
                 feature: split.feature,
                 threshold,
@@ -78,6 +131,7 @@ fn build_node(
 }
 
 /// Best split across the candidate features, histograms built in parallel.
+#[allow(clippy::too_many_arguments)]
 fn find_best_split(
     binned: &BinnedMatrix,
     grads: &[f64],
@@ -86,7 +140,14 @@ fn find_best_split(
     features: &[usize],
     totals: (f64, f64, u32),
     config: &GbmConfig,
+    stats: &mut GrowStats,
 ) -> Option<SplitInfo> {
+    // Counted serially before the parallel map so no atomics are needed:
+    // exactly the features with split candidates get a histogram below.
+    stats.histogram_builds += features
+        .iter()
+        .filter(|&&f| binned.mappers[f].n_split_candidates() > 0)
+        .count() as u64;
     let candidates: Vec<Option<SplitInfo>> =
         safe_stats::parallel::par_map_slice(features, |&f| {
             let mapper = &binned.mappers[f];

@@ -48,8 +48,9 @@ pub mod loss;
 pub mod tree;
 
 pub use binner::{BinMapper, BinnedMatrix};
-pub use booster::{Gbm, GbmModel};
+pub use booster::{Gbm, GbmFitStats, GbmModel};
 pub use error::GbmError;
+pub use grow::GrowStats;
 pub use dump::{dump_model, dump_tree};
 pub use config::{GbmConfig, Objective};
 pub use importance::{FeatureImportance, ImportanceKind};

@@ -1,0 +1,86 @@
+//! # safe-obs — pipeline telemetry: tracing spans, metrics, run reports
+//!
+//! A zero-dependency observability layer for the SAFE pipeline. Every
+//! pipeline stage emits structured [`Event`]s — span boundaries
+//! (`stage_start`/`stage_end` with wall time), counters, gauges, and
+//! warnings — through an [`EventSink`] threaded through the run
+//! configuration:
+//!
+//! - [`NullSink`] — the default; reports `enabled() == false` so call
+//!   sites can skip event construction entirely,
+//! - [`JsonlSink`] — one JSON object per line to any writer/file,
+//! - [`MemorySink`] — collects events in memory for tests and report
+//!   assembly,
+//! - [`FanoutSink`] — tee to several sinks at once.
+//!
+//! From the instrumentation, [`ReportBuilder`] assembles a [`RunReport`]:
+//! per-iteration, per-stage timings (integer microseconds), counters, and
+//! the feature-count waterfall (generated → post-IV → post-redundancy →
+//! post-top-k). The same report can be reassembled offline from collected
+//! events via [`RunReport::from_events`].
+//!
+//! ## Stage-name vocabulary (stable contract)
+//!
+//! The seven core per-iteration stages, in pipeline order (see
+//! [`stages::CORE`]): `gbm-train`, `path-extract`, `rank-combos`,
+//! `generate`, `iv-filter`, `redundancy-filter`, `rank-topk`. Framing
+//! spans use `iteration`; run-level events use `audit` and `waterfall`.
+//! These names are a stable contract for downstream tooling
+//! (`BENCH_pipeline.json`, `--trace-jsonl` consumers); renames are
+//! breaking changes.
+//!
+//! ## JSONL schema
+//!
+//! Every line is one JSON object with at least `ts_us` (microseconds since
+//! process telemetry epoch), `event` (one of `stage_start`, `stage_end`,
+//! `counter`, `gauge`, `warn`), and `stage`. Optional keys: `iteration`,
+//! `name`, `value` (for `stage_end` this is the span duration in
+//! microseconds), `message` (warnings only).
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use report::{
+    IterationTelemetry, ReportBuilder, RunReport, StageGuard, StageTelemetry, Waterfall, WarnRecord,
+};
+pub use sink::{Event, EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, NullSink, SinkHandle};
+
+/// The stable stage-name vocabulary.
+pub mod stages {
+    /// Miner/booster training on the current feature set.
+    pub const GBM_TRAIN: &str = "gbm-train";
+    /// Root→leaf-parent path harvesting and combination extraction.
+    pub const PATH_EXTRACT: &str = "path-extract";
+    /// Information-gain-ratio ranking of combinations (γ truncation).
+    pub const RANK_COMBOS: &str = "rank-combos";
+    /// Operator application over the kept combinations.
+    pub const GENERATE: &str = "generate";
+    /// Information-Value filter at α (Algorithm 3).
+    pub const IV_FILTER: &str = "iv-filter";
+    /// Pairwise Pearson redundancy removal at θ (Algorithm 4).
+    pub const REDUNDANCY: &str = "redundancy-filter";
+    /// Split-gain ranking and 2M cap (Section IV-C3).
+    pub const RANK_TOPK: &str = "rank-topk";
+    /// Framing span around one SAFE iteration.
+    pub const ITERATION: &str = "iteration";
+    /// Pre-fit data audit (run level, before iteration 0).
+    pub const AUDIT: &str = "audit";
+    /// Feature-count waterfall gauges emitted at iteration end.
+    pub const WATERFALL: &str = "waterfall";
+
+    /// The seven core stages every completed iteration runs, in order.
+    pub const CORE: [&str; 7] = [
+        GBM_TRAIN,
+        PATH_EXTRACT,
+        RANK_COMBOS,
+        GENERATE,
+        IV_FILTER,
+        REDUNDANCY,
+        RANK_TOPK,
+    ];
+}

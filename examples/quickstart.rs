@@ -2,11 +2,16 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with a telemetry trace:
+//! SAFE_TRACE_JSONL=trace.jsonl cargo run --release --example quickstart
 //! ```
+
+use std::sync::Arc;
 
 use safe::core::{Safe, SafeConfig};
 use safe::datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
 use safe::models::classifier::{evaluate_auc, ClassifierKind};
+use safe::obs::{JsonlSink, SinkHandle};
 
 fn main() {
     // 1. Data: a scaled-down stand-in for the paper's `magic` benchmark.
@@ -17,9 +22,20 @@ fn main() {
         split.train.n_cols()
     );
 
+    // Optional telemetry: SAFE_TRACE_JSONL=<path> streams pipeline events
+    // (one JSON object per line) to that file while SAFE fits.
+    let sink = match std::env::var("SAFE_TRACE_JSONL") {
+        Ok(path) => {
+            let jsonl = JsonlSink::to_file(&path).expect("create trace file");
+            println!("tracing pipeline events to {path}");
+            SinkHandle::new(Arc::new(jsonl))
+        }
+        Err(_) => SinkHandle::null(),
+    };
+
     // 2. Learn the feature-generation function Ψ (one SAFE iteration,
     //    arithmetic operators, IV/Pearson/gain selection — paper defaults).
-    let safe_engine = Safe::new(SafeConfig::paper());
+    let safe_engine = Safe::new(SafeConfig { sink, ..SafeConfig::paper() });
     let outcome = safe_engine
         .fit(&split.train, split.valid.as_ref())
         .expect("SAFE fits");

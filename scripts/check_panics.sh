@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Fail if any hardened crate's library code reintroduces unwrap()/expect().
 #
-# The hardened crates (safe-data, safe-gbm, safe-ops, safe-core) carry
+# The hardened crates (safe-data, safe-gbm, safe-ops, safe-core, safe-obs)
+# carry
 # `#![warn(clippy::unwrap_used, clippy::expect_used)]`; this script promotes
 # those warnings to errors so CI can gate on them. Tests are exempt — each
 # crate allows the lints under #[cfg(test)].
@@ -18,7 +19,7 @@ if ! cargo clippy --version >/dev/null 2>&1; then
 fi
 
 cargo clippy \
-    -p safe-data -p safe-gbm -p safe-ops -p safe-core \
+    -p safe-data -p safe-gbm -p safe-ops -p safe-core -p safe-obs \
     --no-deps --lib --quiet -- \
     -D clippy::unwrap_used \
     -D clippy::expect_used

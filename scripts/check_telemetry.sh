@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Validate the telemetry layer end to end: run the quickstart example with a
+# JSONL trace attached, then check every emitted line is a well-formed event
+# (valid JSON carrying the required `ts_us`, `event`, `stage` keys and a
+# known event kind) using the CLI's own `trace-check` validator.
+#
+# Usage: scripts/check_telemetry.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TRACE="${TMPDIR:-/tmp}/safe_check_telemetry_$$.jsonl"
+trap 'rm -f "$TRACE"' EXIT
+
+echo "check_telemetry: running quickstart with SAFE_TRACE_JSONL=$TRACE"
+SAFE_TRACE_JSONL="$TRACE" cargo run --quiet --release --example quickstart >/dev/null
+
+if [ ! -s "$TRACE" ]; then
+    echo "check_telemetry: FAILED — trace file is empty or missing" >&2
+    exit 1
+fi
+
+cargo run --quiet --release -p safe-cli -- trace-check --input "$TRACE"
+
+# The trace must cover every core pipeline stage at least once.
+for stage in gbm-train path-extract rank-combos generate iv-filter \
+             redundancy-filter rank-topk iteration; do
+    if ! grep -q "\"stage\":\"$stage\"" "$TRACE"; then
+        echo "check_telemetry: FAILED — no events for stage '$stage'" >&2
+        exit 1
+    fi
+done
+
+echo "check_telemetry: OK — $(wc -l < "$TRACE" | tr -d ' ') events, all stages covered"
