@@ -6,10 +6,11 @@
 //! dwarf SAFE's path-bounded search.
 
 use safe_bench::{
-    bench_pipeline_path, engineer_split, fmt_secs, pipeline_rows, pipeline_rows_json,
-    traced_safe_report, Flags, Method, PipelineRow, TablePrinter,
+    bench_pipeline_path, engineer_split, fmt_secs, pipeline_json, pipeline_rows,
+    timed_safe_fit, traced_safe_report, Flags, Method, ParallelRow, PipelineRow, TablePrinter,
 };
 use safe_datagen::benchmarks::generate_benchmark_scaled;
+use safe_datagen::synth::{generate, SyntheticConfig};
 
 fn main() {
     let flags = Flags::from_env();
@@ -83,11 +84,45 @@ fn main() {
         );
     }
 
+    // Thread sweep: end-to-end SAFE fit at 1/2/4 workers on a medium
+    // synthetic dataset (`--sweep-rows` to resize). Determinism means the
+    // sweep only moves wall-clock, never the outcome; the rows land in the
+    // `parallel` section of BENCH_pipeline.json.
+    let sweep_rows: usize = flags.get_or("sweep-rows", 4_000);
+    let medium = generate(&SyntheticConfig {
+        n_rows: sweep_rows,
+        dim: 10,
+        n_signal: 5,
+        n_interactions: 4,
+        noise: 0.2,
+        seed,
+        ..Default::default()
+    });
+    println!("\nThread sweep on synth-medium ({sweep_rows} rows x 10 features):");
+    let mut parallel_rows: Vec<ParallelRow> = Vec::new();
+    let mut serial_secs = None;
+    for threads in [1usize, 2, 4] {
+        match timed_safe_fit(&medium, seed, threads) {
+            Ok(secs) => {
+                let base = *serial_secs.get_or_insert(secs);
+                let speedup = if secs > 0.0 { base / secs } else { 1.0 };
+                println!("  threads={threads}: {secs:.2}s ({speedup:.2}x vs serial)");
+                parallel_rows.push(ParallelRow {
+                    dataset: "synth-medium".into(),
+                    threads,
+                    secs,
+                    speedup_vs_serial: speedup,
+                });
+            }
+            Err(err) => eprintln!("  sweep failed at threads={threads}: {err}"),
+        }
+    }
+
     let out_path = flags
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    match std::fs::write(&out_path, pipeline_rows_json(&bench_rows)) {
+    match std::fs::write(&out_path, pipeline_json(&bench_rows, &parallel_rows)) {
         Ok(()) => println!(
             "\nper-stage SAFE timings ({} rows) -> {out_path}",
             bench_rows.len()

@@ -320,11 +320,41 @@ pub fn pipeline_rows(dataset: &str, report: &safe_obs::RunReport) -> Vec<Pipelin
     rows
 }
 
-/// Serialize pipeline rows as a JSON array (the `BENCH_pipeline.json`
-/// schema: `{dataset, iteration, stage, millis, features_in, features_out}`).
-pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
+/// One row of the `parallel` section of `BENCH_pipeline.json`: one
+/// end-to-end SAFE fit at a fixed worker budget on the sweep dataset.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Sweep dataset name.
+    pub dataset: String,
+    /// Worker budget for the fit (`1` = the serial path).
+    pub threads: usize,
+    /// End-to-end fit wall time in seconds.
+    pub secs: f64,
+    /// `serial secs / this row's secs` (1.0 for the serial row itself).
+    pub speedup_vs_serial: f64,
+}
+
+/// Time one end-to-end SAFE fit at a fixed worker budget (the `parallel`
+/// sweep of Table V). Returns the fit wall time in seconds.
+pub fn timed_safe_fit(data: &Dataset, seed: u64, threads: usize) -> Result<f64, String> {
+    let config = SafeConfig { seed, ..SafeConfig::paper() }.with_threads(threads);
+    let start = Instant::now();
+    Safe::new(config)
+        .fit(data, None)
+        .map_err(|e| e.to_string())?;
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Serialize the `BENCH_pipeline.json` document: an object holding the
+/// per-stage rows (`stages`) and the thread-sweep rows (`parallel`).
+///
+/// Schema:
+/// `{"stages": [{dataset, iteration, stage, millis, features_in,
+/// features_out}], "parallel": [{dataset, threads, secs,
+/// speedup_vs_serial}]}`
+pub fn pipeline_json(stages: &[PipelineRow], parallel: &[ParallelRow]) -> String {
+    let mut out = String::from("{\n\"stages\": [\n");
+    for (i, r) in stages.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"dataset\":{},\"iteration\":{},\"stage\":{},\"millis\":{:.3},\"features_in\":{},\"features_out\":{}}}",
             safe_obs::json::escape(&r.dataset),
@@ -334,12 +364,26 @@ pub fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
             r.features_in,
             r.features_out,
         ));
-        if i + 1 < rows.len() {
+        if i + 1 < stages.len() {
             out.push(',');
         }
         out.push('\n');
     }
-    out.push_str("]\n");
+    out.push_str("],\n\"parallel\": [\n");
+    for (i, r) in parallel.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"threads\":{},\"secs\":{:.3},\"speedup_vs_serial\":{:.3}}}",
+            safe_obs::json::escape(&r.dataset),
+            r.threads,
+            r.secs,
+            r.speedup_vs_serial,
+        ));
+        if i + 1 < parallel.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
     out
 }
 
@@ -399,6 +443,42 @@ mod tests {
                 "{}: train/test schema must agree",
                 method.label()
             );
+        }
+    }
+
+    #[test]
+    fn pipeline_json_document_parses_back() {
+        let stages = vec![PipelineRow {
+            dataset: "toy".into(),
+            iteration: 0,
+            stage: "gbm-train".into(),
+            millis: 1.25,
+            features_in: 4,
+            features_out: 4,
+        }];
+        let parallel = vec![
+            ParallelRow { dataset: "toy".into(), threads: 1, secs: 2.0, speedup_vs_serial: 1.0 },
+            ParallelRow { dataset: "toy".into(), threads: 4, secs: 1.0, speedup_vs_serial: 2.0 },
+        ];
+        let text = pipeline_json(&stages, &parallel);
+        let v = safe_obs::json::parse(&text).unwrap();
+        let s = v.get("stages").unwrap().as_array().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].get("stage").unwrap().as_str(), Some("gbm-train"));
+        let p = v.get("parallel").unwrap().as_array().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1].get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(p[1].get("speedup_vs_serial").unwrap().as_f64(), Some(2.0));
+        // Both sections empty must still be valid JSON.
+        assert!(safe_obs::json::parse(&pipeline_json(&[], &[])).is_ok());
+    }
+
+    #[test]
+    fn timed_safe_fit_is_thread_invariant_in_outcome() {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.15, 3);
+        for threads in [1usize, 2] {
+            let secs = timed_safe_fit(&split.train, 0, threads).unwrap();
+            assert!(secs > 0.0);
         }
     }
 

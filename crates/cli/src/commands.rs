@@ -21,7 +21,7 @@ USAGE:
   safe-cli fit     --input train.csv [--valid valid.csv] --plan out.safeplan
                    [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
                    [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
-                   [--audit warn|repair|reject]
+                   [--audit warn|repair|reject] [--threads N]
                    [--trace-jsonl trace.jsonl] [--report-json report.json]
                    [--report]
                    ('train' is an alias for 'fit')
@@ -37,6 +37,11 @@ TELEMETRY:
   --report-json PATH   write the per-stage/per-iteration run report as JSON
   --report             print the run report as a table on stderr
   trace-check          validate a --trace-jsonl file (schema + event kinds)
+
+THREADING:
+  --threads N          worker threads for the parallel stages (0 = auto,
+                       the default; 1 = serial). Results are bit-identical
+                       for every N — see DESIGN.md, \"Parallel execution\"
 
 EXIT CODES:
   0 success   2 usage   3 file i/o   4 bad input data
@@ -105,12 +110,19 @@ fn fit(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "valid", "plan", "label", "gamma", "alpha", "theta",
         "iterations", "multiplier", "seed", "full-ops", "audit",
-        "trace-jsonl", "report-json", "report",
+        "threads", "trace-jsonl", "report-json", "report",
     ])
     .map_err(CliError::Usage)?;
     let input = args.require("input").map_err(CliError::Usage)?;
     let plan_path = args.require("plan").map_err(CliError::Usage)?;
     let label = args.get("label").unwrap_or("label");
+
+    // Worker budget for the parallel stages; rejected up front so an
+    // absurd request is a usage error, not a pipeline failure.
+    let threads = args.get_or("threads", 0usize).map_err(CliError::Usage)?;
+    safe_stats::par::Parallelism::new(threads)
+        .validate()
+        .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
 
     let train = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
     let valid = match args.get("valid") {
@@ -141,7 +153,8 @@ fn fit(args: &Args) -> Result<(), CliError> {
         operators: registry(args),
         audit: audit_config(args)?,
         ..SafeConfig::paper()
-    };
+    }
+    .with_threads(threads);
 
     eprintln!(
         "fitting SAFE on {} ({} rows x {} features)...",
@@ -430,6 +443,46 @@ mod tests {
         for want in safe_obs::stages::CORE {
             assert!(stages.contains(&want.to_string()), "missing stage {want}: {stages:?}");
         }
+    }
+
+    #[test]
+    fn threads_flag_is_deterministic_and_one_falls_back_to_serial() {
+        let train = tmp("train_threads.csv");
+        write_training_csv(&train);
+        // threads=1 (explicit serial), threads=4 (parallel), and the
+        // auto default must all emit byte-identical plans.
+        let mut plans = Vec::new();
+        for (name, flag) in
+            [("t1.safeplan", "--threads 1"), ("t4.safeplan", "--threads 4"), ("t0.safeplan", "")]
+        {
+            let plan = tmp(name);
+            run(&argv(&format!(
+                "fit --input {} --plan {} --seed 3 {flag}",
+                train.display(),
+                plan.display()
+            )))
+            .unwrap();
+            plans.push(std::fs::read_to_string(&plan).unwrap());
+        }
+        assert_eq!(plans[0], plans[1], "threads=1 and threads=4 plans differ");
+        assert_eq!(plans[0], plans[2], "explicit and auto plans differ");
+    }
+
+    #[test]
+    fn threads_flag_rejects_absurd_values() {
+        let train = tmp("train_threads_bad.csv");
+        write_training_csv(&train);
+        let plan = tmp("never_written.safeplan");
+        for bad in ["100000", "1000000000", "-2", "four"] {
+            let err = run(&argv(&format!(
+                "fit --input {} --plan {} --threads {bad}",
+                train.display(),
+                plan.display()
+            )))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--threads {bad} must be a usage error");
+        }
+        assert!(!plan.exists(), "rejected run must not write a plan");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use safe_data::binning::BinEdges;
 use safe_data::dataset::Dataset;
 use safe_gbm::booster::GbmModel;
 use safe_stats::entropy::{gain_ratio, joint_cells};
+use safe_stats::par::{ParPanic, Parallelism};
 
 /// A candidate feature combination: the distinct split features of (a subset
 /// of) one tree path, with the split values observed for each.
@@ -105,10 +106,14 @@ pub fn rank_combinations(
     train: &Dataset,
     gamma: usize,
 ) -> Vec<Combination> {
-    rank_combinations_observed(combos, train, gamma).0
+    match rank_combinations_observed(combos, train, gamma, Parallelism::auto()) {
+        Ok((combos, _)) => combos,
+        Err(p) => panic!("{p}"),
+    }
 }
 
-/// [`rank_combinations`], additionally reporting scoring telemetry.
+/// [`rank_combinations`] with an explicit thread budget, additionally
+/// reporting scoring telemetry. Worker panics surface as [`ParPanic`].
 ///
 /// A combination of q features with value sets `V_1..V_q` splits the records
 /// into `∏ (|V_i| + 1)` cells; the gain ratio of that partition against the
@@ -117,7 +122,8 @@ pub fn rank_combinations_observed(
     mut combos: Vec<Combination>,
     train: &Dataset,
     gamma: usize,
-) -> (Vec<Combination>, RankStats) {
+    par: Parallelism,
+) -> Result<(Vec<Combination>, RankStats), ParPanic> {
     let mut stats = RankStats {
         candidates_in: combos.len() as u64,
         ..RankStats::default()
@@ -128,11 +134,11 @@ pub fn rank_combinations_observed(
         combos.sort_by(|a, b| a.features.cmp(&b.features));
         combos.truncate(gamma);
         stats.gamma_truncated = stats.candidates_in - combos.len() as u64;
-        return (combos, stats);
+        return Ok((combos, stats));
     };
     let cols: Vec<&[f64]> = train.columns().collect();
     // Score combinations in parallel (each builds its own small binnings).
-    let scores = safe_stats::parallel::par_map_indexed(combos.len(), |i| {
+    let scores = safe_stats::par::try_par_map(par, combos.len(), |i| {
         let combo = &combos[i];
         // Stale feature indices (not from this dataset) score zero.
         if combo.features.iter().any(|&f| f >= cols.len()) {
@@ -154,7 +160,7 @@ pub fn rank_combinations_observed(
             .collect();
         let (cells, n_cells) = joint_cells(&refs);
         (gain_ratio(&cells, labels, n_cells), n_cells as u64)
-    });
+    })?;
     for (combo, (score, n_cells)) in combos.iter_mut().zip(scores) {
         combo.gain_ratio = score;
         stats.cells_evaluated += n_cells;
@@ -167,7 +173,7 @@ pub fn rank_combinations_observed(
     });
     combos.truncate(gamma);
     stats.gamma_truncated = stats.candidates_in - combos.len() as u64;
-    (combos, stats)
+    Ok((combos, stats))
 }
 
 /// The RAND/IMP generators (Section V-A1): γ random combinations over the
@@ -290,7 +296,8 @@ mod tests {
         let model = Gbm::new(GbmConfig::miner()).fit(&ds, None).unwrap();
         let combos = mine_combinations(&model, 2);
         let total = combos.len() as u64;
-        let (ranked, stats) = rank_combinations_observed(combos, &ds, 3);
+        let (ranked, stats) =
+            rank_combinations_observed(combos, &ds, 3, Parallelism::auto()).unwrap();
         assert_eq!(stats.candidates_in, total);
         assert_eq!(stats.gamma_truncated, total - ranked.len() as u64);
         // Every combination induces at least 2 cells (one cut ⇒ two sides).

@@ -9,6 +9,7 @@ use safe_data::audit::AuditConfig;
 use safe_gbm::config::GbmConfig;
 use safe_obs::SinkHandle;
 use safe_ops::registry::OperatorRegistry;
+use safe_stats::par::Parallelism;
 use std::time::Duration;
 
 /// How candidate feature combinations are produced — SAFE proper plus the
@@ -67,6 +68,14 @@ pub struct SafeConfig {
     /// [`SinkHandle::new`] to observe the run. The sink never influences
     /// pipeline results.
     pub sink: SinkHandle,
+    /// Worker-thread budget for the parallel stages (IV, Pearson, IG-ratio
+    /// combination scoring, operator application). `threads = 0`
+    /// auto-detects, `threads = 1` is the serial path. Every reduction
+    /// merges in fixed chunk-index order, so any setting yields
+    /// bit-identical results. The miner/ranker boosters carry their own
+    /// knob in [`GbmConfig`]; use [`SafeConfig::with_threads`] to set all
+    /// three at once.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SafeConfig {
@@ -86,6 +95,7 @@ impl Default for SafeConfig {
             seed: 0,
             audit: AuditConfig::default(),
             sink: SinkHandle::null(),
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -115,6 +125,16 @@ impl SafeConfig {
         }
     }
 
+    /// Set the worker-thread budget on the pipeline *and* both internal
+    /// boosters (`0` = auto-detect, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let par = Parallelism::new(threads);
+        self.parallelism = par;
+        self.miner.parallelism = par;
+        self.ranker.parallelism = par;
+        self
+    }
+
     /// Validate ranges.
     pub fn validate(&self) -> Result<(), String> {
         if self.gamma == 0 {
@@ -138,6 +158,7 @@ impl SafeConfig {
         if self.operators.is_empty() {
             return Err("operator registry is empty".into());
         }
+        self.parallelism.validate()?;
         self.miner.validate()?;
         self.ranker.validate()?;
         Ok(())
@@ -193,5 +214,21 @@ mod tests {
         let mut c = SafeConfig::default();
         c.operators = OperatorRegistry::empty();
         assert!(c.validate().is_err());
+
+        let c = SafeConfig::default().with_threads(100_000);
+        assert!(c.validate().is_err(), "absurd thread counts are rejected");
+    }
+
+    #[test]
+    fn with_threads_sets_all_three_knobs() {
+        let c = SafeConfig::default().with_threads(4);
+        assert_eq!(c.parallelism, Parallelism::new(4));
+        assert_eq!(c.miner.parallelism, Parallelism::new(4));
+        assert_eq!(c.ranker.parallelism, Parallelism::new(4));
+        assert!(c.validate().is_ok());
+
+        let auto = SafeConfig::default().with_threads(0);
+        assert_eq!(auto.parallelism, Parallelism::auto());
+        assert!(auto.validate().is_ok());
     }
 }

@@ -39,9 +39,28 @@ pub enum SafeError {
     /// An internal model failed to train (legacy string form, kept for
     /// stages without a typed error).
     Train(String),
+    /// A worker thread panicked inside a parallel stage. The execution
+    /// layer ([`safe_stats::par`]) joins every worker and captures the
+    /// panic, so this is an error — never a hang or an unwind across the
+    /// pipeline. Like [`SafeError::Gbm`] it is normally absorbed by the
+    /// degradation policy mid-loop.
+    WorkerPanic {
+        /// Pipeline stage, e.g. `"iv-filter"` or `"generate"`.
+        stage: &'static str,
+        /// Stringified panic payload from the worker.
+        message: String,
+    },
 }
 
 impl SafeError {
+    /// Wrap a captured worker panic with the pipeline stage it poisoned.
+    pub fn worker_panic(stage: &'static str, panic: safe_stats::par::ParPanic) -> SafeError {
+        SafeError::WorkerPanic {
+            stage,
+            message: panic.message,
+        }
+    }
+
     /// Display plus every [`std::error::Error::source`] in the chain,
     /// joined with `": "` — for contexts that flatten the error into one
     /// line (iteration degradation reasons, logs).
@@ -70,6 +89,9 @@ impl fmt::Display for SafeError {
                 write!(f, "booster failed at iteration {iteration}, stage '{stage}'")
             }
             SafeError::Train(m) => write!(f, "training error: {m}"),
+            SafeError::WorkerPanic { stage, message } => {
+                write!(f, "worker thread panicked in stage '{stage}': {message}")
+            }
         }
     }
 }
@@ -116,5 +138,15 @@ mod tests {
     fn string_variants_have_no_source() {
         assert!(SafeError::Config("x".into()).source().is_none());
         assert!(SafeError::Data("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn worker_panic_carries_stage_and_payload() {
+        let p = safe_stats::par::ParPanic { message: "poisoned column 3".into() };
+        let e = SafeError::worker_panic("iv-filter", p);
+        let msg = e.to_string();
+        assert!(msg.contains("iv-filter"), "{msg}");
+        assert!(msg.contains("poisoned column 3"), "{msg}");
+        assert!(e.source().is_none(), "payload is embedded, not chained");
     }
 }

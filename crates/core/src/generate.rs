@@ -12,6 +12,7 @@ use std::collections::HashSet;
 
 use safe_data::dataset::Dataset;
 use safe_ops::registry::OperatorRegistry;
+use safe_stats::par::{ParPanic, Parallelism};
 
 use crate::combine::Combination;
 
@@ -97,37 +98,67 @@ pub fn generate_features(
     combos: &[Combination],
     registry: &OperatorRegistry,
 ) -> Vec<GeneratedFeature> {
-    generate_features_observed(train, valid, combos, registry).0
+    match generate_features_observed(train, valid, combos, registry, Parallelism::auto()) {
+        Ok((out, _)) => out,
+        Err(p) => panic!("{p}"),
+    }
 }
 
-/// [`generate_features`], additionally reporting per-operator counts and
-/// how many candidates were skipped (and why).
+/// What one (combination, operator, ordering) candidate computed in a worker
+/// thread, before the serial merge decides its fate.
+enum CandidateOutcome {
+    FitError,
+    Degenerate,
+    Feature {
+        params: Vec<f64>,
+        train_values: Vec<f64>,
+        valid_values: Option<Vec<f64>>,
+    },
+}
+
+struct Candidate {
+    name: String,
+    op: String,
+    parents: Vec<String>,
+    outcome: CandidateOutcome,
+}
+
+/// Per-combination worker output.
+enum ComboWork {
+    Stale,
+    Candidates(Vec<Candidate>),
+}
+
+/// [`generate_features`] with an explicit thread budget, additionally
+/// reporting per-operator counts and how many candidates were skipped (and
+/// why). Worker panics surface as [`ParPanic`].
+///
+/// Operator fitting and application run one combination per work item; the
+/// results are then merged serially in combination order, so name-collision
+/// bookkeeping, per-operator counts and output ordering are bit-identical
+/// to the serial path for any thread count.
 pub fn generate_features_observed(
     train: &Dataset,
     valid: Option<&Dataset>,
     combos: &[Combination],
     registry: &OperatorRegistry,
-) -> (Vec<GeneratedFeature>, GenerateStats) {
+    par: Parallelism,
+) -> Result<(Vec<GeneratedFeature>, GenerateStats), ParPanic> {
     let mut stats = GenerateStats::default();
     let labels = train.labels();
     let all_train_cols: Vec<&[f64]> = train.columns().collect();
     let all_valid_cols: Option<Vec<&[f64]>> = valid.map(|v| v.columns().collect());
-    let mut taken: HashSet<String> =
-        train.feature_names().iter().map(|s| s.to_string()).collect();
-    let mut out = Vec::new();
 
-    for combo in combos {
+    // Phase 1 (parallel): fit + apply every candidate of every combination.
+    let per_combo: Vec<ComboWork> = safe_stats::par::try_par_map(par, combos.len(), |ci| {
+        let combo = &combos[ci];
         // Combinations referencing columns outside this dataset (stale
         // indices) cannot be generated; skip rather than panic.
         if combo.features.iter().any(|&f| f >= all_train_cols.len()) {
-            stats.stale_combinations += 1;
-            continue;
+            return ComboWork::Stale;
         }
-        let ops = registry.by_arity(combo.arity());
-        if ops.is_empty() {
-            continue;
-        }
-        for op in ops {
+        let mut candidates = Vec::new();
+        for op in registry.by_arity(combo.arity()) {
             let orders = if op.commutative() {
                 vec![combo.features.clone()]
             } else {
@@ -139,45 +170,86 @@ pub fn generate_features_observed(
                     .map(|&f| train.meta()[f].name.as_str())
                     .collect();
                 let name = feature_name(op.name(), &parent_names);
-                if taken.contains(&name) {
-                    stats.name_collisions += 1;
-                    continue;
-                }
-                let train_cols: Vec<&[f64]> = order.iter().map(|&f| all_train_cols[f]).collect();
-                let fitted = match op.fit(&train_cols, labels) {
-                    Ok(f) => f,
-                    Err(_) => {
-                        // e.g. supervised op without labels
-                        stats.op_fit_errors += 1;
-                        continue;
+                let train_cols: Vec<&[f64]> =
+                    order.iter().map(|&f| all_train_cols[f]).collect();
+                let outcome = match op.fit(&train_cols, labels) {
+                    // e.g. supervised op without labels
+                    Err(_) => CandidateOutcome::FitError,
+                    Ok(fitted) => {
+                        let train_values = fitted.apply(&train_cols);
+                        if is_degenerate(&train_values) {
+                            CandidateOutcome::Degenerate
+                        } else {
+                            // A validation set narrower than train (schema
+                            // drift) simply gets no generated column for
+                            // this feature.
+                            let valid_values = all_valid_cols.as_ref().and_then(|vc| {
+                                let cols: Option<Vec<&[f64]>> =
+                                    order.iter().map(|&f| vc.get(f).copied()).collect();
+                                cols.map(|cols| fitted.apply(&cols))
+                            });
+                            CandidateOutcome::Feature {
+                                params: fitted.params(),
+                                train_values,
+                                valid_values,
+                            }
+                        }
                     }
                 };
-                let train_values = fitted.apply(&train_cols);
-                if is_degenerate(&train_values) {
-                    stats.degenerate_discarded += 1;
-                    continue;
-                }
-                // A validation set narrower than train (schema drift) simply
-                // gets no generated column for this feature.
-                let valid_values = all_valid_cols.as_ref().and_then(|vc| {
-                    let cols: Option<Vec<&[f64]>> =
-                        order.iter().map(|&f| vc.get(f).copied()).collect();
-                    cols.map(|cols| fitted.apply(&cols))
-                });
-                taken.insert(name.clone());
-                stats.count_op(op.name());
-                out.push(GeneratedFeature {
+                candidates.push(Candidate {
                     name,
                     op: op.name().to_string(),
                     parents: parent_names.iter().map(|s| s.to_string()).collect(),
-                    params: fitted.params(),
-                    train_values,
-                    valid_values,
+                    outcome,
                 });
             }
         }
+        ComboWork::Candidates(candidates)
+    })?;
+
+    // Phase 2 (serial, fixed order): collision bookkeeping and stats, in
+    // exactly the order the serial loop would have visited candidates. A
+    // collided candidate is counted before its fit result is examined,
+    // matching the serial path, which never fits it at all.
+    let mut taken: HashSet<String> =
+        train.feature_names().iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    for work in per_combo {
+        let candidates = match work {
+            ComboWork::Stale => {
+                stats.stale_combinations += 1;
+                continue;
+            }
+            ComboWork::Candidates(c) => c,
+        };
+        for cand in candidates {
+            if taken.contains(&cand.name) {
+                stats.name_collisions += 1;
+                continue;
+            }
+            match cand.outcome {
+                CandidateOutcome::FitError => stats.op_fit_errors += 1,
+                CandidateOutcome::Degenerate => stats.degenerate_discarded += 1,
+                CandidateOutcome::Feature {
+                    params,
+                    train_values,
+                    valid_values,
+                } => {
+                    taken.insert(cand.name.clone());
+                    stats.count_op(&cand.op);
+                    out.push(GeneratedFeature {
+                        name: cand.name,
+                        op: cand.op,
+                        parents: cand.parents,
+                        params,
+                        train_values,
+                        valid_values,
+                    });
+                }
+            }
+        }
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Constant or all-missing columns carry no signal.
@@ -300,8 +372,14 @@ mod tests {
     fn generate_stats_account_for_every_candidate() {
         // add(a,b) is constant on this fixture → one degenerate discard;
         // the five survivors split as add:0, sub:2, mul:1, div:2.
-        let (out, stats) =
-            generate_features_observed(&ds(), None, &[pair_combo()], &OperatorRegistry::arithmetic());
+        let (out, stats) = generate_features_observed(
+            &ds(),
+            None,
+            &[pair_combo()],
+            &OperatorRegistry::arithmetic(),
+            Parallelism::auto(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 5);
         assert_eq!(stats.degenerate_discarded, 1);
         assert_eq!(stats.name_collisions, 0);
@@ -316,8 +394,14 @@ mod tests {
                 vec![0.0; 4],
             )
             .unwrap();
-        let (_, stats) =
-            generate_features_observed(&train, None, &[pair_combo()], &OperatorRegistry::arithmetic());
+        let (_, stats) = generate_features_observed(
+            &train,
+            None,
+            &[pair_combo()],
+            &OperatorRegistry::arithmetic(),
+            Parallelism::auto(),
+        )
+        .unwrap();
         assert_eq!(stats.name_collisions, 1);
     }
 

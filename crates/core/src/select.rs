@@ -6,6 +6,7 @@ use safe_gbm::config::GbmConfig;
 use safe_gbm::error::GbmError;
 use safe_gbm::importance::ImportanceKind;
 use safe_stats::iv::information_value;
+use safe_stats::par::{ParPanic, Parallelism};
 use safe_stats::pearson::pearson;
 
 /// Algorithm 3: compute the IV of every candidate column (β equal-frequency
@@ -16,18 +17,37 @@ use safe_stats::pearson::pearson;
 /// (the caller treats an empty survivor set as "keep the current features
 /// and stop", never as a panic).
 pub fn iv_filter(train: &Dataset, alpha: f64, beta: usize) -> Vec<(usize, f64)> {
-    safe_data::failpoint!("select/iv-empty" => return Vec::new());
+    match iv_filter_par(train, alpha, beta, Parallelism::auto()) {
+        Ok(kept) => kept,
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// [`iv_filter`] with an explicit thread budget. A panic inside a worker
+/// (one poisoned column) is captured and surfaced as [`ParPanic`] so the
+/// caller can degrade the iteration instead of unwinding the whole run.
+pub fn iv_filter_par(
+    train: &Dataset,
+    alpha: f64,
+    beta: usize,
+    par: Parallelism,
+) -> Result<Vec<(usize, f64)>, ParPanic> {
+    safe_data::failpoint!("select/iv-empty" => return Ok(Vec::new()));
     let Some(labels) = train.labels() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let cols: Vec<&[f64]> = train.columns().collect();
-    let ivs = safe_stats::parallel::par_map_indexed(cols.len(), |f| {
+    let ivs = safe_stats::par::try_par_map(par, cols.len(), |f| {
+        safe_data::failpoint!(
+            "select/iv-worker-panic" => panic!("injected worker panic: select/iv-worker-panic")
+        );
         information_value(cols[f], labels, beta).unwrap_or(0.0)
-    });
-    ivs.into_iter()
+    })?;
+    Ok(ivs
+        .into_iter()
         .enumerate()
         .filter(|&(_, iv)| iv > alpha)
-        .collect()
+        .collect())
 }
 
 /// Algorithm 4: redundancy removal. Candidates are visited in descending-IV
@@ -48,16 +68,21 @@ pub fn redundancy_filter(
     survivors: &[(usize, f64)],
     theta: f64,
 ) -> Vec<usize> {
-    redundancy_filter_observed(train, survivors, theta).0
+    match redundancy_filter_observed(train, survivors, theta, Parallelism::auto()) {
+        Ok((kept, _)) => kept,
+        Err(p) => panic!("{p}"),
+    }
 }
 
-/// [`redundancy_filter`], additionally reporting how many candidate/kept
-/// pairs were correlation-tested.
+/// [`redundancy_filter`] with an explicit thread budget, additionally
+/// reporting how many candidate/kept pairs were correlation-tested.
+/// Worker panics surface as [`ParPanic`].
 pub fn redundancy_filter_observed(
     train: &Dataset,
     survivors: &[(usize, f64)],
     theta: f64,
-) -> (Vec<usize>, u64) {
+    par: Parallelism,
+) -> Result<(Vec<usize>, u64), ParPanic> {
     let mut pairs_compared: u64 = 0;
     let mut order: Vec<(usize, f64)> = survivors.to_vec();
     order.sort_by(|a, b| {
@@ -75,14 +100,14 @@ pub fn redundancy_filter_observed(
         };
         // Compare against all kept features in parallel; any hit disqualifies.
         pairs_compared += kept.len() as u64;
-        let hits = safe_stats::parallel::par_map_indexed(kept.len(), |i| {
+        let hits = safe_stats::par::try_par_map(par, kept.len(), |i| {
             pearson(col, cols[kept[i]]).abs() > theta
-        });
+        })?;
         if !hits.iter().any(|&h| h) {
             kept.push(candidate);
         }
     }
-    (kept, pairs_compared)
+    Ok((kept, pairs_compared))
 }
 
 /// Section IV-C3: rank the surviving candidates by average split gain of a

@@ -83,13 +83,24 @@ pub struct BinnedMatrix {
 }
 
 impl BinnedMatrix {
-    /// Quantize every feature of a dataset. Mapper fitting and column
-    /// quantization run in parallel across features.
+    /// Quantize every feature of a dataset with auto-detected parallelism.
     pub fn from_dataset(ds: &Dataset, max_bins: usize) -> BinnedMatrix {
+        Self::from_dataset_par(ds, max_bins, safe_stats::par::Parallelism::auto())
+    }
+
+    /// Quantize every feature of a dataset. Mapper fitting and column
+    /// quantization run across up to `par.resolve()` scoped threads;
+    /// per-feature results are merged in column order, so the matrix is
+    /// identical for any thread count.
+    pub fn from_dataset_par(
+        ds: &Dataset,
+        max_bins: usize,
+        par: safe_stats::par::Parallelism,
+    ) -> BinnedMatrix {
         let n_cols = ds.n_cols();
         let cols: Vec<&[f64]> = ds.columns().collect();
         let per_feature: Vec<(BinMapper, Vec<u16>)> =
-            safe_stats::parallel::par_map_indexed(n_cols, |f| {
+            safe_stats::par::par_map(par, n_cols, |f| {
                 let col = cols[f];
                 let mapper = BinMapper::fit(col, max_bins);
                 let binned = col.iter().map(|&v| mapper.bin(v)).collect();

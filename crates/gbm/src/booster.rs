@@ -103,7 +103,8 @@ impl Gbm {
             return Err(GbmError::EmptyTraining);
         }
 
-        let binned = BinnedMatrix::from_dataset(train, self.config.max_bins);
+        let binned =
+            BinnedMatrix::from_dataset_par(train, self.config.max_bins, self.config.parallelism);
         let base = base_margin(self.config.objective, labels);
         let mut margins = vec![base; n];
         let train_cols: Vec<&[f64]> = train.columns().collect();

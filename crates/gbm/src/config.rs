@@ -4,6 +4,8 @@
 //! exposes control complexity — tree count, depth — so the defaults here are
 //! deliberately ordinary XGBoost defaults that work across datasets.
 
+use safe_stats::par::Parallelism;
+
 /// Training objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
@@ -41,6 +43,10 @@ pub struct GbmConfig {
     pub early_stopping_rounds: Option<usize>,
     /// RNG seed for subsampling.
     pub seed: u64,
+    /// Worker-thread budget for histogram construction and feature binning.
+    /// `threads = 0` auto-detects, `threads = 1` is the serial path; any
+    /// setting yields bit-identical models (fixed-order reductions only).
+    pub parallelism: Parallelism,
 }
 
 impl Default for GbmConfig {
@@ -58,6 +64,7 @@ impl Default for GbmConfig {
             objective: Objective::Logistic,
             early_stopping_rounds: None,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -109,6 +116,7 @@ impl GbmConfig {
         if self.lambda < 0.0 || self.gamma < 0.0 || self.min_child_weight < 0.0 {
             return Err("lambda, gamma, min_child_weight must be non-negative".into());
         }
+        self.parallelism.validate()?;
         Ok(())
     }
 }
@@ -145,6 +153,18 @@ mod tests {
         let mut c = GbmConfig::default();
         c.lambda = -0.1;
         assert!(c.validate().is_err());
+
+        let mut c = GbmConfig::default();
+        c.parallelism = Parallelism::new(100_000);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn explicit_thread_counts_validate() {
+        for threads in [0, 1, 2, 4, 7] {
+            let c = GbmConfig { parallelism: Parallelism::new(threads), ..GbmConfig::default() };
+            assert!(c.validate().is_ok(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -149,7 +149,7 @@ fn find_best_split(
         .filter(|&&f| binned.mappers[f].n_split_candidates() > 0)
         .count() as u64;
     let candidates: Vec<Option<SplitInfo>> =
-        safe_stats::parallel::par_map_slice(features, |&f| {
+        safe_stats::par::par_map_slice(config.parallelism, features, |&f| {
             let mapper = &binned.mappers[f];
             if mapper.n_split_candidates() == 0 {
                 return None;

@@ -13,9 +13,11 @@
 //!   of Table VI,
 //! - [`chi`] — chi-square statistic backing the ChiMerge discretizer,
 //! - [`describe`] — means, variances, quantiles,
-//! - [`parallel`] — a crossbeam scoped-thread map used to parallelize
-//!   per-column IV and per-pair Pearson work (the paper's "distributed
-//!   computing" requirement, realized as thread parallelism).
+//! - [`par`](mod@par) — the configurable `std::thread::scope` execution
+//!   layer ([`Parallelism`] knob, fixed-order chunk merging, panic capture),
+//! - [`parallel`] — auto-parallel wrappers over [`par`](mod@par) used to
+//!   parallelize per-column IV and per-pair Pearson work (the paper's
+//!   "distributed computing" requirement, realized as thread parallelism).
 
 #![warn(missing_docs)]
 
@@ -25,10 +27,12 @@ pub mod describe;
 pub mod divergence;
 pub mod entropy;
 pub mod iv;
+pub mod par;
 pub mod parallel;
 pub mod pearson;
 
 pub use auc::auc;
+pub use par::{ParPanic, Parallelism};
 
 pub use divergence::{jensen_shannon, kullback_leibler, stability_score};
 pub use entropy::{entropy_from_counts, gain_ratio, information_gain, label_entropy};

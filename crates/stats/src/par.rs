@@ -1,0 +1,410 @@
+//! Configurable parallel execution layer over `std::thread::scope`.
+//!
+//! The SAFE paper (Section IV-E) motivates per-feature parallelism for the
+//! expensive stages: histogram construction, IG-ratio combination scoring,
+//! operator application, IV binning, and pairwise Pearson. This module is
+//! the single primitive those stages share:
+//!
+//! - [`Parallelism`] — the thread-count knob carried by `SafeConfig` and
+//!   `GbmConfig` (`0` = auto-detect, `1` = the serial path, `n` = exactly
+//!   `n` workers).
+//! - [`par_chunks`] / [`par_map`] — chunked maps over index ranges whose
+//!   results are merged in **fixed chunk-index order**, so output is
+//!   bit-identical to a sequential loop regardless of thread count or
+//!   scheduling.
+//! - [`try_par_chunks`] / [`try_par_map`] — the same maps with worker
+//!   panics captured and surfaced as a [`ParPanic`] error instead of
+//!   unwinding. `std::thread::scope` joins every worker before returning,
+//!   so a panicking worker can never leave the caller hanging.
+//!
+//! # Determinism contract
+//!
+//! Chunk boundaries depend only on `(n, resolved thread count)`, every
+//! chunk writes to its own pre-assigned slot, and slots are concatenated
+//! in chunk-index order after all workers have joined. No reduction here
+//! is order-sensitive, so `threads = k` produces the same bytes as
+//! `threads = 1` for any `k`. The serial-vs-parallel differential suite
+//! (`tests/parallel_differential.rs`) enforces this end to end.
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Upper bound on an explicit thread request. Anything larger is a config
+/// error: it would only oversubscribe the scheduler.
+pub const MAX_THREADS: usize = 512;
+
+/// Below this many items per worker, thread spawn overhead dominates and
+/// the map runs inline on the calling thread.
+pub const MIN_PER_THREAD: usize = 8;
+
+/// Thread-count knob for the parallel stages.
+///
+/// `threads == 0` means "auto": resolve to `available_parallelism()` at
+/// use time. `threads == 1` is the serial path (no worker threads are
+/// spawned). Any other value spawns up to that many scoped workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Requested worker count; `0` = auto-detect from the machine.
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Parallelism {
+    /// Auto-detect: use `available_parallelism()` when the work is large
+    /// enough to split.
+    pub fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Force the serial path; equivalent to `new(1)`.
+    pub fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Request exactly `threads` workers (`0` = auto).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// The concrete thread budget: the explicit request, or the machine's
+    /// available parallelism when auto.
+    pub fn resolve(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Reject absurd explicit requests (more than [`MAX_THREADS`]).
+    pub fn validate(self) -> Result<(), String> {
+        if self.threads > MAX_THREADS {
+            return Err(format!(
+                "threads must be 0 (auto) or at most {MAX_THREADS}, got {}",
+                self.threads
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of chunks an `n`-item map will split into: `1` when serial
+    /// or when the work is too small to amortize a thread spawn.
+    pub fn chunk_count(self, n: usize) -> usize {
+        let threads = self.resolve();
+        if threads <= 1 || n < 2 * MIN_PER_THREAD {
+            1
+        } else {
+            threads.min(n / MIN_PER_THREAD).max(1)
+        }
+    }
+}
+
+/// A worker thread panicked inside a parallel map.
+///
+/// Carries the stringified panic payload; callers in the pipeline convert
+/// this into a `SafeError` so a poisoned stage degrades instead of
+/// unwinding (or worse, deadlocking) the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParPanic {
+    /// Panic payload rendered as text (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for ParPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel worker thread panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParPanic {}
+
+fn payload_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Split `0..n` into contiguous chunks, run `f` on each chunk (in worker
+/// threads when the knob allows), and return the per-chunk results in
+/// chunk-index order. Worker panics are captured and returned as
+/// [`ParPanic`]; every worker is joined before this function returns.
+pub fn try_par_chunks<R, F>(par: Parallelism, n: usize, f: F) -> Result<Vec<R>, ParPanic>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let n_chunks = par.chunk_count(n);
+    if n_chunks <= 1 {
+        return match catch_unwind(AssertUnwindSafe(|| f(0..n))) {
+            Ok(r) => Ok(vec![r]),
+            Err(p) => Err(ParPanic {
+                message: payload_message(p),
+            }),
+        };
+    }
+
+    let chunk = n.div_ceil(n_chunks);
+    let ranges: Vec<Range<usize>> = (0..n_chunks)
+        .map(|i| (i * chunk)..((i + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(ranges.len());
+    slots.resize_with(ranges.len(), || None);
+
+    let mut first_panic: Option<ParPanic> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (range, slot) in ranges.into_iter().zip(slots.iter_mut()) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(range))) {
+                    Ok(r) => {
+                        *slot = Some(r);
+                        None
+                    }
+                    Err(p) => Some(ParPanic {
+                        message: payload_message(p),
+                    }),
+                }
+            }));
+        }
+        // Join in spawn order so the first chunk's panic wins
+        // deterministically when several workers fail at once.
+        for handle in handles {
+            if let Ok(Some(panic)) = handle.join() {
+                if first_panic.is_none() {
+                    first_panic = Some(panic);
+                }
+            }
+        }
+    });
+
+    match first_panic {
+        Some(p) => Err(p),
+        None => Ok(slots.into_iter().flatten().collect()),
+    }
+}
+
+/// [`try_par_chunks`] that re-raises a captured worker panic on the
+/// calling thread, matching plain sequential semantics.
+pub fn par_chunks<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    match try_par_chunks(par, n, f) {
+        Ok(v) => v,
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// Parallel map of `f` over `0..n`; results in index order, worker panics
+/// surfaced as [`ParPanic`].
+pub fn try_par_map<T, F>(par: Parallelism, n: usize, f: F) -> Result<Vec<T>, ParPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = try_par_chunks(par, n, |range| range.map(&f).collect::<Vec<T>>())?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Parallel map of `f` over `0..n`, re-raising worker panics.
+pub fn par_map<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_par_map(par, n, f) {
+        Ok(v) => v,
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// Parallel map over an explicit slice, panics surfaced as [`ParPanic`].
+pub fn try_par_map_slice<I, T, F>(
+    par: Parallelism,
+    items: &[I],
+    f: F,
+) -> Result<Vec<T>, ParPanic>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    try_par_map(par, items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map over an explicit slice, re-raising worker panics.
+pub fn par_map_slice<I, T, F>(par: Parallelism, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map(par, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn auto_is_default_and_zero() {
+        assert_eq!(Parallelism::default(), Parallelism::auto());
+        assert_eq!(Parallelism::auto().threads, 0);
+        assert!(Parallelism::auto().resolve() >= 1);
+    }
+
+    #[test]
+    fn explicit_resolve_is_identity() {
+        assert_eq!(Parallelism::new(7).resolve(), 7);
+        assert_eq!(Parallelism::serial().resolve(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_absurd_requests() {
+        assert!(Parallelism::new(MAX_THREADS).validate().is_ok());
+        assert!(Parallelism::new(MAX_THREADS + 1).validate().is_err());
+        assert!(Parallelism::auto().validate().is_ok());
+    }
+
+    #[test]
+    fn serial_spawns_single_chunk() {
+        assert_eq!(Parallelism::serial().chunk_count(10_000), 1);
+        assert_eq!(Parallelism::new(4).chunk_count(4), 1, "too small to split");
+        assert!(Parallelism::new(4).chunk_count(10_000) > 1);
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_thread_count() {
+        let expected: Vec<u64> = (0..500u64).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let got = par_map(Parallelism::new(threads), 500, |i| i as u64 * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_range_in_order() {
+        let chunks = par_chunks(Parallelism::new(4), 100, |r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calls_each_index_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map(Parallelism::new(4), 1_000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+        assert_eq!(out.len(), 1_000);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = par_map(Parallelism::new(4), 0, |i| i);
+        assert!(out.is_empty());
+        assert!(try_par_chunks(Parallelism::new(4), 0, |r| r.len())
+            .expect("empty is fine")
+            .is_empty());
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_hang() {
+        let err = try_par_map(Parallelism::new(4), 1_000, |i| {
+            if i == 777 {
+                panic!("poisoned item {i}");
+            }
+            i
+        })
+        .expect_err("panic must surface");
+        assert!(err.message.contains("poisoned item 777"), "{err}");
+    }
+
+    #[test]
+    fn serial_panic_also_becomes_error() {
+        let err = try_par_map(Parallelism::serial(), 10, |i| {
+            if i == 3 {
+                panic!("serial poison");
+            }
+            i
+        })
+        .expect_err("panic must surface");
+        assert!(err.message.contains("serial poison"));
+    }
+
+    #[test]
+    fn first_chunk_panic_wins_deterministically() {
+        for _ in 0..10 {
+            let err = try_par_map(Parallelism::new(4), 1_000, |i| {
+                if i % 250 == 10 {
+                    panic!("chunk owning {i}");
+                }
+                i
+            })
+            .expect_err("panic must surface");
+            assert!(err.message.contains("chunk owning 10"), "{err}");
+        }
+    }
+
+    #[test]
+    fn par_map_repanics_with_message() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(Parallelism::new(2), 100, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn oversubscription_preserves_order() {
+        // More threads than items-per-chunk allows on any machine.
+        let out = par_map(Parallelism::new(64), 256, |i| i);
+        assert_eq!(out, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_copy_results() {
+        let out = par_map(Parallelism::new(3), 100, |i| vec![i; 3]);
+        assert_eq!(out[42], vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn slice_wrapper() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(par_map_slice(Parallelism::new(2), &items, |s| s.len()), vec![1, 2, 3]);
+        assert_eq!(
+            try_par_map_slice(Parallelism::new(2), &items, |s| s.len()).expect("no panic"),
+            vec![1, 2, 3]
+        );
+    }
+}

@@ -1,11 +1,14 @@
-//! Scoped-thread parallel map over index ranges.
+//! Auto-parallel map over index ranges (legacy convenience wrappers).
 //!
 //! Section IV-E of the paper requires that per-feature IV and per-pair
-//! Pearson computations be parallelizable ("distributed computing"). This
-//! helper chunks an index range across up to `available_parallelism()`
-//! std scoped threads and preserves output order. No work stealing —
-//! the workloads here (IV per column, Pearson per pair, histogram per
-//! feature) are uniform enough that static chunking wins on simplicity.
+//! Pearson computations be parallelizable ("distributed computing").
+//! These helpers delegate to [`crate::par`] with [`Parallelism::auto`]:
+//! the index range is chunked across up to `available_parallelism()`
+//! scoped threads and results are merged in fixed chunk-index order.
+//! Call sites that honour the config knob should use [`crate::par`]
+//! directly and pass their `Parallelism` through.
+
+use crate::par::{self, Parallelism};
 
 /// Parallel map `f` over `0..n`, returning results in index order.
 ///
@@ -16,38 +19,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    const MIN_PER_THREAD: usize = 8;
-    if threads <= 1 || n < 2 * MIN_PER_THREAD {
-        return (0..n).map(f).collect();
-    }
-    let n_chunks = threads.min(n / MIN_PER_THREAD).max(1);
-    let chunk = n.div_ceil(n_chunks);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<T>] = &mut out;
-        let mut start = 0usize;
-        while start < n {
-            let len = chunk.min(n - start);
-            let (head, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let begin = start;
-            let f = &f;
-            scope.spawn(move || {
-                for (offset, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(f(begin + offset));
-                }
-            });
-            start += len;
-        }
-        // Scope exit joins every worker; a panicking worker propagates here.
-    });
-
-    out.into_iter().flatten().collect()
+    par::par_map(Parallelism::auto(), n, f)
 }
 
 /// Parallel map over an explicit slice of items (convenience wrapper).
@@ -57,7 +29,7 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    par_map_indexed(items.len(), |i| f(&items[i]))
+    par::par_map_slice(Parallelism::auto(), items, f)
 }
 
 #[cfg(test)]

@@ -80,4 +80,32 @@ proptest! {
         let sequential: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
         prop_assert_eq!(parallel, sequential);
     }
+
+    #[test]
+    fn explicit_thread_budgets_match_sequential(
+        n in 0usize..2000,
+        threads in 1usize..=16,
+    ) {
+        use safe_stats::par::{par_map, Parallelism};
+        let parallel = par_map(Parallelism::new(threads), n, |i| i * i + 1);
+        let sequential: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn try_par_map_captures_any_panic(
+        n in 1usize..500,
+        panic_at in 0usize..500,
+        threads in 1usize..=8,
+    ) {
+        use safe_stats::par::{try_par_map, Parallelism};
+        let panic_at = panic_at % n;
+        let r = try_par_map(Parallelism::new(threads), n, |i| {
+            assert!(i != panic_at, "boom at {i}");
+            i
+        });
+        let err = r.expect_err("panicking worker must yield Err");
+        let needle = format!("boom at {panic_at}");
+        prop_assert!(err.message.contains(&needle), "payload lost: {}", err.message);
+    }
 }
