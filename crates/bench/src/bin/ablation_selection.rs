@@ -18,13 +18,13 @@ use safe_datagen::benchmarks::generate_benchmark_scaled;
 use safe_models::classifier::{evaluate_auc, ClassifierKind};
 
 fn variants(seed: u64) -> Vec<(&'static str, SafeConfig)> {
-    let base = SafeConfig { seed, ..SafeConfig::paper() };
+    let build = |b: safe_core::SafeConfigBuilder| b.seed(seed).build().expect("valid ablation config");
     vec![
-        ("full", base.clone()),
-        ("no-iv", SafeConfig { alpha: 0.0, ..base.clone() }),
-        ("no-redund", SafeConfig { theta: 1.0, ..base.clone() }),
-        ("gamma-8", SafeConfig { gamma: 8, ..base.clone() }),
-        ("gamma-100", SafeConfig { gamma: 100, ..base }),
+        ("full", build(SafeConfig::builder())),
+        ("no-iv", build(SafeConfig::builder().alpha(0.0))),
+        ("no-redund", build(SafeConfig::builder().theta(1.0))),
+        ("gamma-8", build(SafeConfig::builder().gamma(8))),
+        ("gamma-100", build(SafeConfig::builder().gamma(100))),
     ]
 }
 

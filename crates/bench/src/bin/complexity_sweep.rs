@@ -20,18 +20,18 @@ fn time_safe(n_rows: usize, dim: usize, k_trees: usize, seed: u64) -> f64 {
         n_signal: (dim / 4).max(2),
         ..Default::default()
     });
-    let config = SafeConfig {
-        miner: GbmConfig {
+    let config = SafeConfig::builder()
+        .miner(GbmConfig {
             n_rounds: k_trees,
             ..GbmConfig::miner()
-        },
-        ranker: GbmConfig {
+        })
+        .ranker(GbmConfig {
             n_rounds: k_trees,
             ..GbmConfig::miner()
-        },
-        seed,
-        ..SafeConfig::paper()
-    };
+        })
+        .seed(seed)
+        .build()
+        .expect("valid sweep config");
     let start = Instant::now();
     let _ = Safe::new(config).fit(&ds, None).expect("pipeline runs");
     start.elapsed().as_secs_f64()

@@ -28,11 +28,11 @@ fn main() {
 
     for id in datasets {
         let split = generate_benchmark_scaled(id, scale, seed);
-        let config = SafeConfig {
-            n_iterations: n_iter,
-            seed,
-            ..SafeConfig::paper()
-        };
+        let config = SafeConfig::builder()
+            .n_iterations(n_iter)
+            .seed(seed)
+            .build()
+            .expect("valid sweep config");
         let outcome = match Safe::new(config).fit(&split.train, split.valid.as_ref()) {
             Ok(o) => o,
             Err(e) => {

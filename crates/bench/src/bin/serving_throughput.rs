@@ -1,0 +1,199 @@
+//! Serving throughput: the naive per-row loop (`apply_row` + `predict_row`,
+//! fresh buffers every call) against `safe_serve::Scorer`'s micro-batched,
+//! buffer-reusing path, at several worker budgets.
+//!
+//! Both paths must produce bit-identical scores — the benchmark asserts it
+//! on every configuration before recording a row. Results land in the
+//! `serving` section of `BENCH_pipeline.json`; the `stages` and `parallel`
+//! sections written by `table5_execution_time` are passed through untouched.
+
+use std::time::Instant;
+
+use safe_bench::{
+    bench_pipeline_path, pipeline_json, read_pipeline_document, Flags, ServingRow, TablePrinter,
+};
+use safe_core::plan::{FeaturePlan, PlanStep};
+use safe_data::dataset::Dataset;
+use safe_gbm::GbmConfig;
+use safe_ops::registry::OperatorRegistry;
+use safe_serve::{SafeArtifact, Scorer, DEFAULT_BATCH_SIZE};
+
+const DATASET: &str = "synth-serving";
+const N_INPUTS: usize = 6;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// A plan exercising every arithmetic operator over six raw inputs, keeping
+/// all raw and generated columns (10 scoring features).
+fn serving_plan() -> FeaturePlan {
+    let input_names: Vec<String> = (0..N_INPUTS).map(|i| format!("x{i}")).collect();
+    let step = |name: &str, op: &str, a: usize, b: usize| PlanStep {
+        name: name.into(),
+        op: op.into(),
+        parents: vec![format!("x{a}"), format!("x{b}")],
+        params: vec![],
+    };
+    let steps = vec![
+        step("mul(x0,x1)", "mul", 0, 1),
+        step("div(x2,x3)", "div", 2, 3),
+        step("add(x4,x5)", "add", 4, 5),
+        step("sub(x0,x2)", "sub", 0, 2),
+    ];
+    let mut outputs = input_names.clone();
+    outputs.extend(steps.iter().map(|s| s.name.clone()));
+    FeaturePlan { input_names, steps, outputs }
+}
+
+fn training_data(seed: u64, n: usize) -> Dataset {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut cols = vec![Vec::with_capacity(n); N_INPUTS];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..N_INPUTS).map(|_| lcg(&mut state)).collect();
+        let signal = row[0] * row[1] - 0.5 * row[2] + 0.3 * (row[4] + row[5]);
+        for (c, v) in cols.iter_mut().zip(&row) {
+            c.push(*v);
+        }
+        labels.push(u8::from(signal > 0.0));
+    }
+    let names = (0..N_INPUTS).map(|i| format!("x{i}")).collect();
+    Dataset::from_columns(names, cols, Some(labels)).expect("rectangular columns")
+}
+
+fn scoring_rows(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x51afd36d) | 1;
+    (0..n * N_INPUTS).map(|_| lcg(&mut state)).collect()
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let n_rows: usize = flags.get_or("rows", 100_000);
+    let seed: u64 = flags.get_or("seed", 42);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!(
+        "Serving throughput: {n_rows} rows x {N_INPUTS} raw features \
+         ({} scoring features), seed={seed}, {cores} core(s) available\n",
+        serving_plan().outputs.len()
+    );
+
+    let registry = OperatorRegistry::standard();
+    let artifact = SafeArtifact::train(
+        &serving_plan(),
+        &registry,
+        &training_data(seed, 2_000),
+        None,
+        &GbmConfig::classifier(),
+    )
+    .expect("artifact training failed");
+    let compiled = artifact.plan.compile(&registry).expect("plan compiles");
+    let rows = scoring_rows(seed, n_rows);
+
+    // --- Naive baseline: one apply_row + predict_row per row, allocating
+    // fresh feature buffers on every call (the pre-Scorer integration).
+    let naive_scores: Vec<f64> = rows
+        .chunks_exact(N_INPUTS)
+        .map(|row| {
+            let features = compiled.apply_row(row).expect("row applies");
+            artifact.model.predict_row(&features)
+        })
+        .collect(); // warm-up: page in the model and data
+    let start = Instant::now();
+    let mut check = Vec::with_capacity(n_rows);
+    for row in rows.chunks_exact(N_INPUTS) {
+        let features = compiled.apply_row(row).expect("row applies");
+        check.push(artifact.model.predict_row(&features));
+    }
+    let naive_secs = start.elapsed().as_secs_f64();
+    assert_eq!(naive_scores.len(), check.len());
+    let naive_rps = n_rows as f64 / naive_secs;
+
+    let t = TablePrinter::new(
+        &["method", "threads", "batch", "secs", "rows/s", "vs naive", "bits"],
+        &[16, 7, 7, 8, 12, 9, 9],
+    );
+    t.row(&[
+        "naive-row-loop",
+        "1",
+        "-",
+        &format!("{naive_secs:.3}"),
+        &format!("{naive_rps:.0}"),
+        "1.00x",
+        "baseline",
+    ]);
+    let mut serving = vec![ServingRow {
+        dataset: DATASET.into(),
+        method: "naive-row-loop".into(),
+        rows: n_rows as u64,
+        threads: 1,
+        batch_size: 0,
+        secs: naive_secs,
+        rows_per_sec: naive_rps,
+        speedup_vs_naive: 1.0,
+    }];
+
+    // --- Batch scorer at several worker budgets. Scores must match the
+    // naive loop bit-for-bit at every configuration.
+    for threads in [1usize, 2, 4] {
+        let scorer = Scorer::new(&artifact, &registry)
+            .expect("scorer builds")
+            .with_threads(threads);
+        let _ = scorer.score_rows(&rows, N_INPUTS).expect("warm-up scores"); // warm-up
+        let start = Instant::now();
+        let (scores, report) = scorer.score_rows(&rows, N_INPUTS).expect("scoring succeeds");
+        let secs = start.elapsed().as_secs_f64();
+        let identical = scores
+            .iter()
+            .zip(&naive_scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "batch scorer diverged from the naive loop at threads={threads}");
+        let rps = n_rows as f64 / secs;
+        t.row(&[
+            "batch-scorer",
+            &threads.to_string(),
+            &report.batch_size.to_string(),
+            &format!("{secs:.3}"),
+            &format!("{rps:.0}"),
+            &format!("{:.2}x", naive_secs / secs),
+            "identical",
+        ]);
+        serving.push(ServingRow {
+            dataset: DATASET.into(),
+            method: "batch-scorer".into(),
+            rows: n_rows as u64,
+            threads,
+            batch_size: DEFAULT_BATCH_SIZE,
+            secs,
+            rows_per_sec: rps,
+            speedup_vs_naive: naive_secs / secs,
+        });
+    }
+
+    if cores == 1 {
+        println!(
+            "\nnote: 1 CPU available — thread rows measure scheduling overhead,\n\
+             not speedup; the batch-vs-naive comparison at threads=1 is the\n\
+             meaningful number here"
+        );
+    }
+
+    let out_path = flags
+        .get("pipeline-out")
+        .map(str::to_string)
+        .unwrap_or_else(bench_pipeline_path);
+    // This binary owns `serving`; carry `stages`/`parallel` rows written by
+    // table5_execution_time through untouched.
+    let existing = read_pipeline_document(&out_path);
+    match std::fs::write(
+        &out_path,
+        pipeline_json(&existing.stages, &existing.parallel, &serving),
+    ) {
+        Ok(()) => println!("\nserving rows -> {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

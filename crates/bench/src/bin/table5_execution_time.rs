@@ -122,7 +122,13 @@ fn main() {
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    match std::fs::write(&out_path, pipeline_json(&bench_rows, &parallel_rows)) {
+    // This binary owns `stages` and `parallel`; carry any existing
+    // `serving` rows (written by serving_throughput) through untouched.
+    let existing = safe_bench::read_pipeline_document(&out_path);
+    match std::fs::write(
+        &out_path,
+        pipeline_json(&bench_rows, &parallel_rows, &existing.serving),
+    ) {
         Ok(()) => println!(
             "\nper-stage SAFE timings ({} rows) -> {out_path}",
             bench_rows.len()

@@ -98,7 +98,12 @@ impl Method {
             Method::Tfc => Box::new(Tfc::default()),
             Method::Rand => Box::new(Safe::new(SafeConfig::rand_baseline(seed))),
             Method::Imp => Box::new(Safe::new(SafeConfig::imp_baseline(seed))),
-            Method::Safe => Box::new(Safe::new(SafeConfig { seed, ..SafeConfig::paper() })),
+            Method::Safe => Box::new(Safe::new(
+                SafeConfig::builder()
+                    .seed(seed)
+                    .build()
+                    .unwrap_or_else(|e| unreachable!("paper defaults validate: {e}")),
+            )),
             Method::AutoLearn => Box::new(AutoLearn { seed, ..AutoLearn::default() }),
         }
     }
@@ -277,7 +282,7 @@ pub fn traced_safe_report(
     split: &DatasetSplit,
     seed: u64,
 ) -> Result<safe_obs::RunReport, String> {
-    let config = SafeConfig { seed, ..SafeConfig::paper() };
+    let config = SafeConfig::builder().seed(seed).build()?;
     Safe::new(config)
         .fit(&split.train, split.valid.as_ref())
         .map(|outcome| outcome.report)
@@ -337,7 +342,7 @@ pub struct ParallelRow {
 /// Time one end-to-end SAFE fit at a fixed worker budget (the `parallel`
 /// sweep of Table V). Returns the fit wall time in seconds.
 pub fn timed_safe_fit(data: &Dataset, seed: u64, threads: usize) -> Result<f64, String> {
-    let config = SafeConfig { seed, ..SafeConfig::paper() }.with_threads(threads);
+    let config = SafeConfig::builder().seed(seed).threads(threads).build()?;
     let start = Instant::now();
     Safe::new(config)
         .fit(data, None)
@@ -345,14 +350,50 @@ pub fn timed_safe_fit(data: &Dataset, seed: u64, threads: usize) -> Result<f64, 
     Ok(start.elapsed().as_secs_f64())
 }
 
+/// One row of the `serving` section of `BENCH_pipeline.json`: one scoring
+/// configuration (method × threads × batch size) over the serving dataset.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Serving dataset name.
+    pub dataset: String,
+    /// `"naive-row-loop"` (per-row `apply_row` + `predict_row`, fresh
+    /// buffers every call) or `"batch-scorer"` (`safe_serve::Scorer`).
+    pub method: String,
+    /// Rows scored.
+    pub rows: u64,
+    /// Worker budget (`1` = serial; only meaningful for the batch scorer).
+    pub threads: usize,
+    /// Micro-batch size (0 for the naive loop, which has no batching).
+    pub batch_size: usize,
+    /// Wall time for the full pass in seconds.
+    pub secs: f64,
+    /// Scoring throughput.
+    pub rows_per_sec: f64,
+    /// `naive secs / this row's secs` (1.0 for the naive row itself).
+    pub speedup_vs_naive: f64,
+}
+
 /// Serialize the `BENCH_pipeline.json` document: an object holding the
-/// per-stage rows (`stages`) and the thread-sweep rows (`parallel`).
+/// per-stage rows (`stages`), the thread-sweep rows (`parallel`), and the
+/// scoring-throughput rows (`serving`).
 ///
 /// Schema:
 /// `{"stages": [{dataset, iteration, stage, millis, features_in,
 /// features_out}], "parallel": [{dataset, threads, secs,
-/// speedup_vs_serial}]}`
-pub fn pipeline_json(stages: &[PipelineRow], parallel: &[ParallelRow]) -> String {
+/// speedup_vs_serial}], "serving": [{dataset, method, rows, threads,
+/// batch_size, secs, rows_per_sec, speedup_vs_naive}]}`
+///
+/// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`,
+/// `serving_throughput` owns `serving`) each re-read the document first via
+/// [`read_pipeline_document`] and pass the other sections through, so
+/// running either binary never clobbers the other's results.
+///
+/// [t5]: ../safe_bench/index.html
+pub fn pipeline_json(
+    stages: &[PipelineRow],
+    parallel: &[ParallelRow],
+    serving: &[ServingRow],
+) -> String {
     let mut out = String::from("{\n\"stages\": [\n");
     for (i, r) in stages.iter().enumerate() {
         out.push_str(&format!(
@@ -383,8 +424,96 @@ pub fn pipeline_json(stages: &[PipelineRow], parallel: &[ParallelRow]) -> String
         }
         out.push('\n');
     }
+    out.push_str("],\n\"serving\": [\n");
+    for (i, r) in serving.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"method\":{},\"rows\":{},\"threads\":{},\"batch_size\":{},\"secs\":{:.4},\"rows_per_sec\":{:.0},\"speedup_vs_naive\":{:.3}}}",
+            safe_obs::json::escape(&r.dataset),
+            safe_obs::json::escape(&r.method),
+            r.rows,
+            r.threads,
+            r.batch_size,
+            r.secs,
+            r.rows_per_sec,
+            r.speedup_vs_naive,
+        ));
+        if i + 1 < serving.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("]\n}\n");
     out
+}
+
+/// Parsed `BENCH_pipeline.json`, used by the writer binaries to preserve
+/// the sections they don't own (see [`pipeline_json`]).
+#[derive(Debug, Default, Clone)]
+pub struct PipelineDocument {
+    /// Per-stage SAFE fit timings.
+    pub stages: Vec<PipelineRow>,
+    /// End-to-end fit thread sweep.
+    pub parallel: Vec<ParallelRow>,
+    /// Scoring throughput rows.
+    pub serving: Vec<ServingRow>,
+}
+
+/// Re-read an existing `BENCH_pipeline.json`. A missing file, unparsable
+/// JSON, or an absent/garbled section yields empty rows for that section —
+/// a benchmark writer should never fail because a previous run left a
+/// partial document behind.
+pub fn read_pipeline_document(path: &str) -> PipelineDocument {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return PipelineDocument::default();
+    };
+    let Ok(v) = safe_obs::json::parse(&text) else {
+        return PipelineDocument::default();
+    };
+    let rows_of = |section: &str| -> Vec<safe_obs::json::Value> {
+        v.get(section)
+            .and_then(|s| s.as_array().map(<[_]>::to_vec))
+            .unwrap_or_default()
+    };
+    let stages = rows_of("stages")
+        .iter()
+        .filter_map(|r| {
+            Some(PipelineRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                iteration: r.get("iteration")?.as_u64()? as usize,
+                stage: r.get("stage")?.as_str()?.to_string(),
+                millis: r.get("millis")?.as_f64()?,
+                features_in: r.get("features_in")?.as_u64()?,
+                features_out: r.get("features_out")?.as_u64()?,
+            })
+        })
+        .collect();
+    let parallel = rows_of("parallel")
+        .iter()
+        .filter_map(|r| {
+            Some(ParallelRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                threads: r.get("threads")?.as_u64()? as usize,
+                secs: r.get("secs")?.as_f64()?,
+                speedup_vs_serial: r.get("speedup_vs_serial")?.as_f64()?,
+            })
+        })
+        .collect();
+    let serving = rows_of("serving")
+        .iter()
+        .filter_map(|r| {
+            Some(ServingRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                method: r.get("method")?.as_str()?.to_string(),
+                rows: r.get("rows")?.as_u64()?,
+                threads: r.get("threads")?.as_u64()? as usize,
+                batch_size: r.get("batch_size")?.as_u64()? as usize,
+                secs: r.get("secs")?.as_f64()?,
+                rows_per_sec: r.get("rows_per_sec")?.as_f64()?,
+                speedup_vs_naive: r.get("speedup_vs_naive")?.as_f64()?,
+            })
+        })
+        .collect();
+    PipelineDocument { stages, parallel, serving }
 }
 
 /// Default output path for `BENCH_pipeline.json`: the repository root.
@@ -460,7 +589,17 @@ mod tests {
             ParallelRow { dataset: "toy".into(), threads: 1, secs: 2.0, speedup_vs_serial: 1.0 },
             ParallelRow { dataset: "toy".into(), threads: 4, secs: 1.0, speedup_vs_serial: 2.0 },
         ];
-        let text = pipeline_json(&stages, &parallel);
+        let serving = vec![ServingRow {
+            dataset: "synth-serving".into(),
+            method: "batch-scorer".into(),
+            rows: 100_000,
+            threads: 4,
+            batch_size: 1024,
+            secs: 0.5,
+            rows_per_sec: 200_000.0,
+            speedup_vs_naive: 2.5,
+        }];
+        let text = pipeline_json(&stages, &parallel, &serving);
         let v = safe_obs::json::parse(&text).unwrap();
         let s = v.get("stages").unwrap().as_array().unwrap();
         assert_eq!(s.len(), 1);
@@ -469,8 +608,55 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p[1].get("threads").unwrap().as_u64(), Some(4));
         assert_eq!(p[1].get("speedup_vs_serial").unwrap().as_f64(), Some(2.0));
-        // Both sections empty must still be valid JSON.
-        assert!(safe_obs::json::parse(&pipeline_json(&[], &[])).is_ok());
+        let sv = v.get("serving").unwrap().as_array().unwrap();
+        assert_eq!(sv[0].get("method").unwrap().as_str(), Some("batch-scorer"));
+        assert_eq!(sv[0].get("rows").unwrap().as_u64(), Some(100_000));
+        // All sections empty must still be valid JSON.
+        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[])).is_ok());
+    }
+
+    #[test]
+    fn pipeline_document_read_preserves_other_sections() {
+        let dir = std::env::temp_dir().join(format!("safe_bench_doc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        let path_s = path.to_str().unwrap();
+
+        // Missing file: all sections empty, no error.
+        let empty = read_pipeline_document(path_s);
+        assert!(empty.stages.is_empty() && empty.parallel.is_empty() && empty.serving.is_empty());
+
+        // Simulate the serving benchmark writing first...
+        let serving = vec![ServingRow {
+            dataset: "synth-serving".into(),
+            method: "naive-row-loop".into(),
+            rows: 5,
+            threads: 1,
+            batch_size: 0,
+            secs: 1.0,
+            rows_per_sec: 5.0,
+            speedup_vs_naive: 1.0,
+        }];
+        std::fs::write(&path, pipeline_json(&[], &[], &serving)).unwrap();
+        // ...then table5 re-reading and writing its own sections.
+        let doc = read_pipeline_document(path_s);
+        let parallel =
+            vec![ParallelRow { dataset: "m".into(), threads: 2, secs: 1.0, speedup_vs_serial: 1.5 }];
+        std::fs::write(&path, pipeline_json(&doc.stages, &parallel, &doc.serving)).unwrap();
+
+        // Both survive.
+        let back = read_pipeline_document(path_s);
+        assert_eq!(back.serving.len(), 1);
+        assert_eq!(back.serving[0].method, "naive-row-loop");
+        assert_eq!(back.serving[0].rows, 5);
+        assert_eq!(back.parallel.len(), 1);
+        assert_eq!(back.parallel[0].threads, 2);
+
+        // Garbage never panics the readers.
+        std::fs::write(&path, "not json at all").unwrap();
+        let garbled = read_pipeline_document(path_s);
+        assert!(garbled.serving.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

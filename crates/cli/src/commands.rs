@@ -8,8 +8,10 @@ use safe_core::plan::FeaturePlan;
 use safe_core::safe::IterationStatus;
 use safe_core::{Safe, SafeConfig};
 use safe_data::csv::{read_csv, write_csv};
+use safe_gbm::GbmConfig;
 use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, SinkHandle};
 use safe_ops::registry::OperatorRegistry;
+use safe_serve::{SafeArtifact, Scorer};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -29,7 +31,23 @@ USAGE:
                    [--label label]
   safe-cli explain --plan plan.safeplan [--input data.csv] [--label label]
   safe-cli score   --input data.csv [--label label]
+  safe-cli score   --artifact model.safeartifact --input data.csv
+                   [--label label] [--threads N] [--batch-size 1024]
+                   [--output scores.csv]
+  safe-cli save-artifact --plan plan.safeplan --input train.csv
+                   [--valid valid.csv] --artifact model.safeartifact
+                   [--label label] [--rounds 100] [--seed 0] [--threads N]
+                   [--full-ops]
   safe-cli trace-check --input trace.jsonl
+
+SERVING:
+  save-artifact        train a scoring booster on the plan's features and
+                       bundle plan + booster + schema into one versioned,
+                       checksummed artifact file
+  score --artifact     batch-score a CSV with a saved artifact; prints the
+                       AUC at full precision when a label column is present
+                       (bit-identical to the AUC recorded at save time, for
+                       the same data, at any --threads / --batch-size)
 
 TELEMETRY:
   --trace-jsonl PATH   stream pipeline events (one JSON object per line:
@@ -55,6 +73,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("fit") | Some("train") => fit(&args),
         Some("apply") => apply(&args),
         Some("explain") => explain(&args),
+        Some("save-artifact") => save_artifact(&args),
+        Some("score") if args.get("artifact").is_some() => score_artifact(&args),
         Some("score") => score(&args),
         Some("trace-check") => trace_check(&args),
         Some("help") | None => {
@@ -142,19 +162,19 @@ fn fit(args: &Args) -> Result<(), CliError> {
     }
     let fan: Arc<dyn EventSink> = Arc::new(FanoutSink::new(sinks));
 
-    let config = SafeConfig {
-        sink: SinkHandle::new(fan.clone()),
-        gamma: args.get_or("gamma", 30usize).map_err(CliError::Usage)?,
-        alpha: args.get_or("alpha", 0.1f64).map_err(CliError::Usage)?,
-        theta: args.get_or("theta", 0.8f64).map_err(CliError::Usage)?,
-        n_iterations: args.get_or("iterations", 1usize).map_err(CliError::Usage)?,
-        output_multiplier: args.get_or("multiplier", 2usize).map_err(CliError::Usage)?,
-        seed: args.get_or("seed", 0u64).map_err(CliError::Usage)?,
-        operators: registry(args),
-        audit: audit_config(args)?,
-        ..SafeConfig::paper()
-    }
-    .with_threads(threads);
+    let config = SafeConfig::builder()
+        .sink(SinkHandle::new(fan.clone()))
+        .gamma(args.get_or("gamma", 30usize).map_err(CliError::Usage)?)
+        .alpha(args.get_or("alpha", 0.1f64).map_err(CliError::Usage)?)
+        .theta(args.get_or("theta", 0.8f64).map_err(CliError::Usage)?)
+        .n_iterations(args.get_or("iterations", 1usize).map_err(CliError::Usage)?)
+        .output_multiplier(args.get_or("multiplier", 2usize).map_err(CliError::Usage)?)
+        .seed(args.get_or("seed", 0u64).map_err(CliError::Usage)?)
+        .operators(registry(args))
+        .audit(audit_config(args)?)
+        .threads(threads)
+        .build()
+        .map_err(CliError::Usage)?;
 
     eprintln!(
         "fitting SAFE on {} ({} rows x {} features)...",
@@ -294,6 +314,119 @@ fn explain(args: &Args) -> Result<(), CliError> {
     };
     let explanations = explain_plan(&plan, reference.as_ref());
     print!("{}", explanation_report(&explanations));
+    Ok(())
+}
+
+/// Train the scoring booster over a fitted plan's features and save a
+/// versioned, checksummed [`SafeArtifact`] (plan + booster + schema).
+fn save_artifact(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "plan", "input", "valid", "artifact", "label", "rounds", "seed", "threads", "full-ops",
+    ])
+    .map_err(CliError::Usage)?;
+    let plan_path = args.require("plan").map_err(CliError::Usage)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let artifact_path = args.require("artifact").map_err(CliError::Usage)?;
+    let label = args.get("label").unwrap_or("label");
+
+    // Flags are validated before any file is touched, so a bad command line
+    // is always a usage error regardless of what exists on disk.
+    let threads = args.get_or("threads", 0usize).map_err(CliError::Usage)?;
+    safe_stats::par::Parallelism::new(threads)
+        .validate()
+        .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
+
+    let plan = load_plan(plan_path)?;
+    let train = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
+    let valid = match args.get("valid") {
+        Some(path) => {
+            Some(read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string()))?)
+        }
+        None => None,
+    };
+
+    let defaults = GbmConfig::classifier();
+    let config = GbmConfig {
+        n_rounds: args.get_or("rounds", defaults.n_rounds).map_err(CliError::Usage)?,
+        seed: args.get_or("seed", defaults.seed).map_err(CliError::Usage)?,
+        parallelism: safe_stats::par::Parallelism::new(threads),
+        ..defaults
+    };
+
+    eprintln!(
+        "training scoring booster on {} ({} rows, {} plan outputs)...",
+        input,
+        train.n_rows(),
+        plan.outputs.len()
+    );
+    let start = Instant::now();
+    let artifact = SafeArtifact::train(&plan, &registry(args), &train, valid.as_ref(), &config)?;
+    artifact.save(artifact_path)?;
+    eprintln!(
+        "artifact written to {} in {:.2}s ({} rounds)",
+        artifact_path,
+        start.elapsed().as_secs_f64(),
+        config.n_rounds
+    );
+    if let Some(auc) = artifact.val_auc {
+        // Full precision so downstream `score` runs can be checked
+        // bit-for-bit against the value recorded here.
+        println!("validation AUC {auc:.17}");
+    }
+    Ok(())
+}
+
+/// Batch-score a CSV with a saved artifact. Prints the AUC (full precision)
+/// when a label column is present; `--output` writes one `score` column.
+fn score_artifact(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&["artifact", "input", "label", "threads", "batch-size", "output"])
+        .map_err(CliError::Usage)?;
+    let artifact_path = args.require("artifact").map_err(CliError::Usage)?;
+    let input = args.require("input").map_err(CliError::Usage)?;
+    let label = args.get("label").unwrap_or("label");
+
+    let threads = args.get_or("threads", 0usize).map_err(CliError::Usage)?;
+    safe_stats::par::Parallelism::new(threads)
+        .validate()
+        .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
+    let batch_size = args
+        .get_or("batch-size", safe_serve::DEFAULT_BATCH_SIZE)
+        .map_err(CliError::Usage)?;
+    if batch_size == 0 {
+        return Err(CliError::Usage("flag --batch-size: must be positive".into()));
+    }
+
+    let artifact = SafeArtifact::load(artifact_path)?;
+    // Label column optional at scoring time (production data is unlabeled).
+    let ds = read_csv(input, Some(label))
+        .or_else(|_| read_csv(input, None))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+
+    let scorer = Scorer::new(&artifact, &OperatorRegistry::standard())?
+        .with_threads(threads)
+        .with_batch_size(batch_size);
+    let (scores, report) = scorer.score_dataset(&ds)?;
+    eprintln!(
+        "{input}: {} rows in {} batches of {} on {} thread(s), {:.0} rows/s",
+        report.rows, report.batches, report.batch_size, report.threads, report.rows_per_sec
+    );
+
+    if let Some(labels) = ds.labels() {
+        let auc = safe_stats::auc::auc(&scores, labels);
+        // Full precision: must reproduce the artifact's recorded validation
+        // AUC bit-for-bit when scoring the same validation file.
+        println!("AUC {auc:.17}");
+    }
+    if let Some(out_path) = args.get("output") {
+        let out = safe_data::dataset::Dataset::from_columns(
+            vec!["score".to_string()],
+            vec![scores],
+            None,
+        )
+        .map_err(|e| CliError::Data(e.to_string()))?;
+        write_csv(&out, out_path).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
+        eprintln!("scores written to {out_path}");
+    }
     Ok(())
 }
 
@@ -564,6 +697,129 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), 6);
         assert!(matches!(err, CliError::Safe(_)));
+    }
+
+    fn write_valid_csv(path: &std::path::Path) {
+        // Same schema and generating process as write_training_csv, but a
+        // disjoint index range so it acts as a held-out validation split.
+        let mut text = String::from("a,b,noise,label\n");
+        for i in 400..600 {
+            let a = ((i * 37) % 100) as f64 / 50.0 - 1.0;
+            let b = ((i * 61) % 100) as f64 / 50.0 - 1.0;
+            let noise = ((i * 17) % 100) as f64;
+            let y = (a * b > 0.0) as u8;
+            text.push_str(&format!("{a},{b},{noise},{y}\n"));
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
+    /// End-to-end serving path: fit a plan, bundle it into an artifact, then
+    /// batch-score the validation CSV through the CLI and check the scores
+    /// reproduce the AUC recorded inside the artifact bit-for-bit — at more
+    /// than one thread count and batch size.
+    #[test]
+    fn save_artifact_then_score_reproduces_validation_auc_bitwise() {
+        let train = tmp("serve_train.csv");
+        let valid = tmp("serve_valid.csv");
+        let plan = tmp("serve_plan.safeplan");
+        let artifact = tmp("serve_model.safeartifact");
+        write_training_csv(&train);
+        write_valid_csv(&valid);
+
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "save-artifact --plan {} --input {} --valid {} --artifact {} --rounds 25",
+            plan.display(),
+            train.display(),
+            valid.display(),
+            artifact.display()
+        )))
+        .unwrap();
+
+        // The artifact records the validation AUC as hex f64 bits.
+        let text = std::fs::read_to_string(&artifact).unwrap();
+        let recorded = text
+            .lines()
+            .find_map(|l| l.strip_prefix("VAL_AUC\t"))
+            .expect("artifact must record VAL_AUC");
+        let recorded_bits = u64::from_str_radix(recorded.trim(), 16).unwrap();
+
+        for (threads, batch) in [(1usize, 64usize), (4, 7), (2, 1024)] {
+            let scores_path = tmp(&format!("serve_scores_{threads}_{batch}.csv"));
+            run(&argv(&format!(
+                "score --artifact {} --input {} --output {} --threads {threads} --batch-size {batch}",
+                artifact.display(),
+                valid.display(),
+                scores_path.display()
+            )))
+            .unwrap();
+
+            // CSV cells use shortest round-trippable float formatting, so
+            // reading them back recovers the exact score bits.
+            let scored = read_csv(&scores_path, None).unwrap();
+            let labeled = read_csv(&valid, Some("label")).unwrap();
+            let auc = safe_stats::auc::auc(scored.column(0).unwrap(), labeled.labels().unwrap());
+            assert_eq!(
+                auc.to_bits(),
+                recorded_bits,
+                "threads={threads} batch={batch}: CLI score AUC diverged from the artifact's"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_commands_classify_errors() {
+        // Missing artifact file: io (3).
+        assert_eq!(
+            run(&argv("score --artifact /nonexistent.safeartifact --input x"))
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+        // Tampered artifact: plan-file class (5).
+        let train = tmp("serve_err_train.csv");
+        let plan = tmp("serve_err_plan.safeplan");
+        let artifact = tmp("serve_err.safeartifact");
+        write_training_csv(&train);
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "save-artifact --plan {} --input {} --artifact {} --rounds 5",
+            plan.display(),
+            train.display(),
+            artifact.display()
+        )))
+        .unwrap();
+        let mut text = std::fs::read_to_string(&artifact).unwrap();
+        text.push_str("TRAILING GARBAGE\n");
+        std::fs::write(&artifact, &text).unwrap();
+        let err = run(&argv(&format!(
+            "score --artifact {} --input {}",
+            artifact.display(),
+            train.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "tampering must fail checksum: {err}");
+        // Bad flags are usage errors (2).
+        assert_eq!(
+            run(&argv("score --artifact a --input b --batch-size 0")).unwrap_err().exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&argv("save-artifact --plan p --input i --artifact a --threads 9999999"))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

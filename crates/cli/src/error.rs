@@ -71,6 +71,24 @@ impl From<SafeError> for CliError {
     }
 }
 
+impl From<safe_serve::ServeError> for CliError {
+    fn from(e: safe_serve::ServeError) -> Self {
+        use safe_serve::ServeError;
+        match e {
+            // Filesystem trouble keeps the io exit code.
+            ServeError::Io { path, source } => CliError::Io(format!("{path}: {source}")),
+            // A corrupt or inconsistent artifact is a bad-plan-file failure,
+            // same class as a malformed .safeplan.
+            ServeError::Parse { .. } | ServeError::Checksum { .. } | ServeError::Schema(_) => {
+                CliError::Plan(e.to_string())
+            }
+            ServeError::Plan(inner) => CliError::Plan(inner.to_string()),
+            ServeError::Gbm(inner) => CliError::Data(inner.to_string()),
+            ServeError::Data(_) | ServeError::Worker(_) => CliError::Data(e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

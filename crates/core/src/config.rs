@@ -101,6 +101,14 @@ impl Default for SafeConfig {
 }
 
 impl SafeConfig {
+    /// Start a chainable [`SafeConfigBuilder`] seeded with the paper
+    /// defaults. Struct-literal construction
+    /// (`SafeConfig { gamma: 10, ..SafeConfig::default() }`) keeps working;
+    /// the builder adds validation at the end of the chain.
+    pub fn builder() -> SafeConfigBuilder {
+        SafeConfigBuilder::new()
+    }
+
     /// Paper-experiment configuration: four arithmetic operators, one
     /// iteration, 2M output cap.
     pub fn paper() -> Self {
@@ -165,6 +173,139 @@ impl SafeConfig {
     }
 }
 
+/// Chainable constructor for [`SafeConfig`].
+///
+/// Starts from the paper defaults; [`SafeConfigBuilder::build`] runs
+/// [`SafeConfig::validate`], so an impossible combination is caught at
+/// construction instead of deep inside `Safe::fit`:
+///
+/// ```
+/// use safe_core::SafeConfig;
+///
+/// let config = SafeConfig::builder()
+///     .alpha(0.05)
+///     .theta(0.9)
+///     .gamma(20)
+///     .threads(2)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.gamma, 20);
+/// assert!(SafeConfig::builder().gamma(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SafeConfigBuilder {
+    config: SafeConfig,
+}
+
+impl SafeConfigBuilder {
+    /// Builder seeded with [`SafeConfig::default`].
+    pub fn new() -> Self {
+        SafeConfigBuilder {
+            config: SafeConfig::default(),
+        }
+    }
+
+    /// α — Information Value threshold (features with IV ≤ α are dropped).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// θ — absolute Pearson redundancy threshold.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.config.theta = theta;
+        self
+    }
+
+    /// γ — top feature combinations kept per iteration.
+    pub fn gamma(mut self, gamma: usize) -> Self {
+        self.config.gamma = gamma;
+        self
+    }
+
+    /// β — equal-frequency bins for the IV computation.
+    pub fn beta(mut self, beta: usize) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Top-k output cap, expressed as a multiple of the original feature
+    /// count (the paper's 2M budget is `output_multiplier(2)`).
+    pub fn output_multiplier(mut self, multiplier: usize) -> Self {
+        self.config.output_multiplier = multiplier;
+        self
+    }
+
+    /// nIter — iteration budget.
+    pub fn n_iterations(mut self, n: usize) -> Self {
+        self.config.n_iterations = n;
+        self
+    }
+
+    /// tIter — wall-clock budget.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.config.time_budget = Some(budget);
+        self
+    }
+
+    /// SAFE / RAND / IMP generation strategy.
+    pub fn strategy(mut self, strategy: GenerationStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// The operator set O.
+    pub fn operators(mut self, operators: OperatorRegistry) -> Self {
+        self.config.operators = operators;
+        self
+    }
+
+    /// Booster used for combination mining.
+    pub fn miner(mut self, miner: GbmConfig) -> Self {
+        self.config.miner = miner;
+        self
+    }
+
+    /// Booster used for final feature ranking.
+    pub fn ranker(mut self, ranker: GbmConfig) -> Self {
+        self.config.ranker = ranker;
+        self
+    }
+
+    /// Pre-fit data audit policy.
+    pub fn audit(mut self, audit: AuditConfig) -> Self {
+        self.config.audit = audit;
+        self
+    }
+
+    /// Telemetry sink for all pipeline stages.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.config.sink = sink;
+        self
+    }
+
+    /// Worker-thread budget on the pipeline and both internal boosters
+    /// (`0` = auto-detect, `1` = serial) — same as
+    /// [`SafeConfig::with_threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
+    /// Seed for the randomized strategies and subsampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<SafeConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +358,58 @@ mod tests {
 
         let c = SafeConfig::default().with_threads(100_000);
         assert!(c.validate().is_err(), "absurd thread counts are rejected");
+    }
+
+    #[test]
+    fn builder_matches_struct_literal() {
+        let built = SafeConfig::builder()
+            .alpha(0.2)
+            .theta(0.7)
+            .gamma(12)
+            .beta(8)
+            .output_multiplier(3)
+            .n_iterations(2)
+            .seed(42)
+            .threads(2)
+            .build()
+            .unwrap();
+        let literal = SafeConfig {
+            alpha: 0.2,
+            theta: 0.7,
+            gamma: 12,
+            beta: 8,
+            output_multiplier: 3,
+            n_iterations: 2,
+            seed: 42,
+            ..SafeConfig::default()
+        }
+        .with_threads(2);
+        assert_eq!(built.alpha, literal.alpha);
+        assert_eq!(built.theta, literal.theta);
+        assert_eq!(built.gamma, literal.gamma);
+        assert_eq!(built.beta, literal.beta);
+        assert_eq!(built.output_multiplier, literal.output_multiplier);
+        assert_eq!(built.n_iterations, literal.n_iterations);
+        assert_eq!(built.seed, literal.seed);
+        assert_eq!(built.parallelism, literal.parallelism);
+        assert_eq!(built.miner.parallelism, literal.miner.parallelism);
+    }
+
+    #[test]
+    fn builder_build_runs_validation() {
+        assert!(SafeConfig::builder().gamma(0).build().is_err());
+        assert!(SafeConfig::builder().theta(1.5).build().is_err());
+        assert!(SafeConfig::builder().beta(1).build().is_err());
+        assert!(SafeConfig::builder().threads(100_000).build().is_err());
+        assert!(SafeConfig::builder()
+            .operators(OperatorRegistry::empty())
+            .build()
+            .is_err());
+        assert!(SafeConfig::builder()
+            .n_iterations(0)
+            .time_budget(Duration::from_secs(1))
+            .build()
+            .is_ok());
     }
 
     #[test]

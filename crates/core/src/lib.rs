@@ -49,9 +49,9 @@ pub mod plan;
 pub mod safe;
 pub mod select;
 
-pub use config::{GenerationStrategy, SafeConfig};
+pub use config::{GenerationStrategy, SafeConfig, SafeConfigBuilder};
 pub use engineer::{FeatureEngineer, Identity};
 pub use error::SafeError;
 pub use explain::{explain_plan, explanation_report, FeatureExplanation};
-pub use plan::FeaturePlan;
+pub use plan::{CompiledPlan, FeaturePlan, PlanError, RowScratch};
 pub use safe::{IterationReport, IterationStatus, Safe, SafeOutcome};

@@ -190,6 +190,15 @@ impl FeaturePlan {
 
     /// Convenience: compile against the standard registry and transform a
     /// dataset.
+    ///
+    /// # Errors — shape-mismatch contract
+    ///
+    /// Shares the exact error contract of [`CompiledPlan::apply`] (it
+    /// delegates to it): a dataset lacking a required input column yields
+    /// [`PlanError::MissingInput`] carrying the column name; internal slot
+    /// inconsistencies (corrupted plan) yield [`PlanError::Data`].
+    /// Compilation failures additionally surface as
+    /// [`PlanError::UnknownOperator`] / [`PlanError::UnknownFeature`].
     pub fn apply(&self, ds: &Dataset) -> Result<Dataset, PlanError> {
         self.compile(&OperatorRegistry::standard())?.apply(ds)
     }
@@ -298,6 +307,19 @@ struct CompiledStep {
     out_slot: usize,
 }
 
+/// Reusable scratch space for the per-row inference path.
+///
+/// [`CompiledPlan::apply_row_into`] needs one working slot per feature and a
+/// small argument buffer per step; allocating those per call is measurable at
+/// serving rates. Create one `RowScratch` per worker (it is plan-agnostic —
+/// buffers are resized to fit whichever plan uses them) and reuse it across
+/// rows.
+#[derive(Debug, Default, Clone)]
+pub struct RowScratch {
+    slots: Vec<f64>,
+    args: Vec<f64>,
+}
+
 /// An executable plan: operators rehydrated, names resolved to slots.
 #[derive(Debug)]
 pub struct CompiledPlan {
@@ -320,6 +342,15 @@ impl CompiledPlan {
 
     /// Transform a whole dataset (columns located by name; label carried
     /// over).
+    ///
+    /// # Errors — shape-mismatch contract
+    ///
+    /// Shared with [`FeaturePlan::apply`] and the row-path variants
+    /// ([`CompiledPlan::apply_row`], [`CompiledPlan::apply_row_into`],
+    /// [`CompiledPlan::apply_rows`]): an input of the wrong shape — a
+    /// missing column here, a wrong value count on the row paths — yields
+    /// [`PlanError::MissingInput`]; structurally inconsistent input (ragged
+    /// batch, corrupted plan slots) yields [`PlanError::Data`].
     pub fn apply(&self, ds: &Dataset) -> Result<Dataset, PlanError> {
         let n_slots = self.input_names.len() + self.steps.len();
         let mut slots: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_slots);
@@ -357,7 +388,37 @@ impl CompiledPlan {
 
     /// Transform one record (values aligned with the plan's input order) —
     /// the real-time inference path.
+    ///
+    /// Convenience wrapper over [`CompiledPlan::apply_row_into`] that pays
+    /// two allocations per call (scratch + output). Hot loops should hold a
+    /// [`RowScratch`] and an output buffer and call `apply_row_into`
+    /// directly.
+    ///
+    /// Errors follow the shape-mismatch contract documented on
+    /// [`CompiledPlan::apply`].
     pub fn apply_row(&self, row: &[f64]) -> Result<Vec<f64>, PlanError> {
+        let mut scratch = RowScratch::default();
+        let mut out = Vec::with_capacity(self.outputs.len());
+        self.apply_row_into(row, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Transform one record into a caller-owned buffer, reusing scratch
+    /// space across calls — the allocation-free serving path.
+    ///
+    /// `out` is cleared and filled with the [`CompiledPlan::n_outputs`]
+    /// feature values. Output bits are identical to [`CompiledPlan::apply`]
+    /// on the same values: every operator's column path is defined as the
+    /// per-row map of its row path.
+    ///
+    /// Errors follow the shape-mismatch contract documented on
+    /// [`CompiledPlan::apply`].
+    pub fn apply_row_into(
+        &self,
+        row: &[f64],
+        scratch: &mut RowScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), PlanError> {
         if row.len() != self.input_names.len() {
             return Err(PlanError::MissingInput(format!(
                 "expected {} input values, got {}",
@@ -365,16 +426,73 @@ impl CompiledPlan {
                 row.len()
             )));
         }
+        self.eval_row(row, scratch);
+        out.clear();
+        out.extend(self.outputs.iter().map(|&s| scratch.slots[s]));
+        Ok(())
+    }
+
+    /// Transform a row-major batch without per-row allocation.
+    ///
+    /// `rows` holds `rows.len() / n_cols` records of `n_cols` values each,
+    /// aligned with the plan's input order; `out` is cleared and filled
+    /// row-major with [`CompiledPlan::n_outputs`] values per record.
+    ///
+    /// Errors follow the shape-mismatch contract documented on
+    /// [`CompiledPlan::apply`]: `n_cols` differing from
+    /// [`CompiledPlan::n_inputs`] yields [`PlanError::MissingInput`], a
+    /// ragged batch (`rows.len()` not a multiple of `n_cols`) yields
+    /// [`PlanError::Data`].
+    pub fn apply_rows(
+        &self,
+        rows: &[f64],
+        n_cols: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), PlanError> {
+        if n_cols != self.input_names.len() {
+            return Err(PlanError::MissingInput(format!(
+                "expected {} input columns, got {}",
+                self.input_names.len(),
+                n_cols
+            )));
+        }
+        out.clear();
+        if n_cols == 0 {
+            if !rows.is_empty() {
+                return Err(PlanError::Data(
+                    "non-empty batch for a zero-input plan".into(),
+                ));
+            }
+            return Ok(());
+        }
+        if !rows.len().is_multiple_of(n_cols) {
+            return Err(PlanError::Data(format!(
+                "ragged batch: {} values is not a multiple of {} columns",
+                rows.len(),
+                n_cols
+            )));
+        }
+        let mut scratch = RowScratch::default();
+        out.reserve((rows.len() / n_cols) * self.outputs.len());
+        for row in rows.chunks_exact(n_cols) {
+            self.eval_row(row, &mut scratch);
+            out.extend(self.outputs.iter().map(|&s| scratch.slots[s]));
+        }
+        Ok(())
+    }
+
+    /// Core row evaluation. Caller guarantees `row.len() == n_inputs`.
+    fn eval_row(&self, row: &[f64], scratch: &mut RowScratch) {
+        let RowScratch { slots, args } = scratch;
         let n_slots = self.input_names.len() + self.steps.len();
-        let mut slots = vec![f64::NAN; n_slots];
+        slots.clear();
+        slots.resize(n_slots, f64::NAN);
         slots[..row.len()].copy_from_slice(row);
-        let mut args = Vec::new();
         for step in &self.steps {
             args.clear();
             args.extend(step.parents.iter().map(|&p| slots[p]));
-            slots[step.out_slot] = step.fitted.apply_row(&args);
+            slots[step.out_slot] = step.fitted.apply_row(args);
         }
-        Ok(self.outputs.iter().map(|&s| slots[s]).collect())
     }
 
     /// Input feature names, in expected order.
@@ -451,6 +569,105 @@ mod tests {
             for (c, &v) in row_out.iter().enumerate() {
                 assert!((batch.column(c).unwrap()[i] - v).abs() < 1e-15);
             }
+        }
+    }
+
+    /// 10k-row no-regression check for the `apply_row` reimplementation on
+    /// top of `apply_row_into`: the row path, the buffer-reuse path, and the
+    /// flat-batch path must all match the column path bit-for-bit.
+    #[test]
+    fn row_paths_match_batch_on_10k_rows() {
+        let plan = sample_plan();
+        let compiled = plan.compile(&OperatorRegistry::standard()).unwrap();
+        let n = 10_000usize;
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f64;
+            a.push((x * 0.37).sin() * 10.0);
+            b.push((x * 0.11).cos() * 5.0 + 0.25);
+        }
+        let ds = Dataset::from_columns(vec!["a".into(), "b".into()], vec![a, b], None).unwrap();
+        let batch = compiled.apply(&ds).unwrap();
+
+        let mut scratch = RowScratch::default();
+        let mut row_out = Vec::new();
+        let mut flat = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            let row = ds.row(i);
+            flat.extend_from_slice(&row);
+            // Allocating path.
+            let alloc_out = compiled.apply_row(&row).unwrap();
+            // Buffer-reuse path.
+            compiled.apply_row_into(&row, &mut scratch, &mut row_out).unwrap();
+            assert_eq!(alloc_out.len(), compiled.n_outputs());
+            for c in 0..compiled.n_outputs() {
+                let want = batch.column(c).unwrap()[i].to_bits();
+                assert_eq!(alloc_out[c].to_bits(), want, "apply_row row {i} col {c}");
+                assert_eq!(row_out[c].to_bits(), want, "apply_row_into row {i} col {c}");
+            }
+        }
+        // Flat-batch path.
+        let mut flat_out = Vec::new();
+        compiled.apply_rows(&flat, 2, &mut flat_out).unwrap();
+        assert_eq!(flat_out.len(), n * compiled.n_outputs());
+        for i in 0..n {
+            for c in 0..compiled.n_outputs() {
+                assert_eq!(
+                    flat_out[i * compiled.n_outputs() + c].to_bits(),
+                    batch.column(c).unwrap()[i].to_bits(),
+                    "apply_rows row {i} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_shape_mismatches_share_the_apply_contract() {
+        let compiled = sample_plan()
+            .compile(&OperatorRegistry::standard())
+            .unwrap();
+        assert!(matches!(
+            compiled.apply_row(&[1.0]).unwrap_err(),
+            PlanError::MissingInput(_)
+        ));
+        let mut out = Vec::new();
+        assert!(matches!(
+            compiled
+                .apply_row_into(&[1.0, 2.0, 3.0], &mut RowScratch::default(), &mut out)
+                .unwrap_err(),
+            PlanError::MissingInput(_)
+        ));
+        // Wrong column count → MissingInput, like a missing dataset column.
+        assert!(matches!(
+            compiled.apply_rows(&[1.0, 2.0, 3.0], 3, &mut out).unwrap_err(),
+            PlanError::MissingInput(_)
+        ));
+        // Ragged flat batch → Data, like a corrupted plan.
+        assert!(matches!(
+            compiled.apply_rows(&[1.0, 2.0, 3.0], 2, &mut out).unwrap_err(),
+            PlanError::Data(_)
+        ));
+    }
+
+    #[test]
+    fn scratch_is_plan_agnostic() {
+        // One scratch serves two plans of different sizes in alternation.
+        let small = FeaturePlan {
+            input_names: vec!["a".into()],
+            steps: vec![],
+            outputs: vec!["a".into()],
+        };
+        let small = small.compile(&OperatorRegistry::standard()).unwrap();
+        let big = sample_plan().compile(&OperatorRegistry::standard()).unwrap();
+        let mut scratch = RowScratch::default();
+        let mut out = Vec::new();
+        for i in 0..4 {
+            big.apply_row_into(&[1.0 + i as f64, 2.0], &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out.len(), 3);
+            small.apply_row_into(&[7.0], &mut scratch, &mut out).unwrap();
+            assert_eq!(out, vec![7.0]);
         }
     }
 

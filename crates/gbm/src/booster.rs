@@ -37,10 +37,10 @@ pub struct Gbm {
 /// A trained ensemble.
 #[derive(Debug, Clone)]
 pub struct GbmModel {
-    trees: Vec<Tree>,
-    base: f64,
-    objective: Objective,
-    n_features: usize,
+    pub(crate) trees: Vec<Tree>,
+    pub(crate) base: f64,
+    pub(crate) objective: Objective,
+    pub(crate) n_features: usize,
     /// Validation AUC per round when a validation set was supplied.
     pub eval_history: Vec<f64>,
 }
@@ -220,6 +220,16 @@ impl GbmModel {
         self.n_features
     }
 
+    /// Base margin (the prior added before any tree contribution).
+    pub fn base_margin(&self) -> f64 {
+        self.base
+    }
+
+    /// Training objective; determines the prediction transform.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
     /// The trees themselves (read-only).
     pub fn trees(&self) -> &[Tree] {
         &self.trees
@@ -255,6 +265,29 @@ impl GbmModel {
             .into_iter()
             .map(|m| transform(self.objective, m))
             .collect()
+    }
+
+    /// Transformed predictions for a row-major flat batch (`n_cols` values
+    /// per record; `rows.len()` must be a multiple of `n_cols`). `out` is
+    /// cleared and filled with one score per record.
+    ///
+    /// Tree-outer iteration keeps each tree's nodes cache-hot across the
+    /// batch; every record's margin still accumulates base-then-trees in
+    /// ensemble order, so results are **bit-identical** to calling
+    /// [`GbmModel::predict_row`] on each record.
+    pub fn predict_rows_into(&self, rows: &[f64], n_cols: usize, out: &mut Vec<f64>) {
+        let n_rows = rows.len().checked_div(n_cols).unwrap_or(0);
+        out.clear();
+        if n_rows == 0 {
+            return;
+        }
+        out.resize(n_rows, self.base);
+        for t in &self.trees {
+            t.predict_rows_into(rows, n_cols, out);
+        }
+        for m in out.iter_mut() {
+            *m = transform(self.objective, *m);
+        }
     }
 
     /// All root→leaf-parent paths across the ensemble (Section IV-B1's `P`).
@@ -317,6 +350,40 @@ mod tests {
         let preds = model.predict(&test);
         let a = auc(&preds, test.labels().unwrap());
         assert!(a > 0.95, "auc = {a}");
+    }
+
+    #[test]
+    fn predict_rows_into_matches_row_path_bitwise() {
+        let train = toy(400, 9);
+        let model = Gbm::new(GbmConfig {
+            n_rounds: 40,
+            ..GbmConfig::default()
+        })
+        .fit(&train, None)
+        .unwrap();
+        // Row-major batch including some non-finite cells (routed by
+        // default_left, so they exercise the missing-value path).
+        let mut rows = Vec::new();
+        for i in 0..train.n_rows() {
+            rows.extend_from_slice(&train.row(i));
+        }
+        rows[4] = f64::NAN;
+        rows[10] = f64::INFINITY;
+        let mut batch = Vec::new();
+        model.predict_rows_into(&rows, 3, &mut batch);
+        assert_eq!(batch.len(), train.n_rows());
+        for (i, (chunk, got)) in rows.chunks_exact(3).zip(&batch).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                model.predict_row(chunk).to_bits(),
+                "row {i}: tree-outer batch diverged from the row path"
+            );
+        }
+        // Reused output buffer is cleared, and the zero-column case is sane.
+        model.predict_rows_into(&[], 3, &mut batch);
+        assert!(batch.is_empty());
+        model.predict_rows_into(&[], 0, &mut batch);
+        assert!(batch.is_empty());
     }
 
     #[test]

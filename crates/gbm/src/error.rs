@@ -25,6 +25,13 @@ pub enum GbmError {
     },
     /// A data-layer failure (binning, column access).
     Data(DataError),
+    /// A serialized model (see [`crate::codec`]) failed to parse.
+    Parse {
+        /// 1-based line in the text (0 = whole-document check).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// A fault-injection point fired (tests only; see the `failpoints`
     /// feature of `safe-data`). Carries the failpoint name.
     Injected(&'static str),
@@ -40,6 +47,9 @@ impl fmt::Display for GbmError {
                 write!(f, "validation has {valid} features, train has {train}")
             }
             GbmError::Data(e) => write!(f, "data error during training: {e}"),
+            GbmError::Parse { line, message } => {
+                write!(f, "model text line {line}: {message}")
+            }
             GbmError::Injected(name) => write!(f, "injected fault at '{name}'"),
         }
     }

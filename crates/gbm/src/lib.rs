@@ -38,6 +38,7 @@
 
 pub mod binner;
 pub mod booster;
+pub mod codec;
 pub mod dump;
 pub mod config;
 pub mod error;

@@ -143,6 +143,17 @@ impl Tree {
         }
     }
 
+    /// Margin contribution per record of a row-major flat batch (`n_cols`
+    /// values per record), accumulated into `out`. Scoring a whole batch
+    /// through one tree at a time keeps this tree's nodes hot in cache —
+    /// the ensemble is typically far larger than L2, so the row-at-a-time
+    /// loop that walks every tree per record thrashes where this does not.
+    pub fn predict_rows_into(&self, rows: &[f64], n_cols: usize, out: &mut [f64]) {
+        for (slot, row) in out.iter_mut().zip(rows.chunks_exact(n_cols)) {
+            *slot += self.predict_row(row);
+        }
+    }
+
     /// Enumerate root→leaf-parent paths (Fig. 2 semantics). Each internal
     /// node with at least one leaf child contributes one path consisting of
     /// the split features from the root down to *and including* that node.

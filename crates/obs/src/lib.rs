@@ -72,6 +72,8 @@ pub mod stages {
     pub const AUDIT: &str = "audit";
     /// Feature-count waterfall gauges emitted at iteration end.
     pub const WATERFALL: &str = "waterfall";
+    /// Batch scoring through a saved artifact (serving side, `safe-serve`).
+    pub const SCORE: &str = "score";
 
     /// The seven core stages every completed iteration runs, in order.
     pub const CORE: [&str; 7] = [

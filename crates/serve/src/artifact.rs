@@ -1,0 +1,410 @@
+//! The versioned serving artifact: plan + booster + schema in one file.
+//!
+//! Format (version 1) — line-oriented, tab-separated, zero dependencies:
+//!
+//! ```text
+//! SAFEARTIFACT\t1
+//! CHECKSUM\t<fnv1a-64 hex of everything below this line>
+//! INPUT\t<raw column name>                       (one per expected input)
+//! OUTPUT\t<name>\toriginal
+//! OUTPUT\t<name>\tgenerated\t<op>\t<n>\t<parents…>
+//! VAL_AUC\t<hex f64>                             (optional)
+//! PLAN_BEGIN
+//! <embedded SAFEPLAN v1 text>
+//! PLAN_END
+//! BOOSTER_BEGIN
+//! <embedded SAFEGBM v1 text>
+//! BOOSTER_END
+//! ```
+//!
+//! Versioning/compat rules: the major format version in the header is
+//! bumped on any change a v1 reader cannot ignore; unknown *record kinds*
+//! within a version are an error (the checksum already guarantees the file
+//! is exactly what was written, so leniency would only mask corruption).
+//! All floats are 16-hex-digit IEEE-754 bit patterns — a save/load round
+//! trip is bit-exact, which is what makes the serving-side AUC reproduce
+//! the training-side AUC bit for bit.
+
+use std::path::Path;
+
+use safe_core::plan::FeaturePlan;
+use safe_data::dataset::{Dataset, FeatureMeta, FeatureOrigin};
+use safe_gbm::{Gbm, GbmConfig, GbmModel};
+use safe_ops::registry::OperatorRegistry;
+use safe_stats::auc::auc;
+
+use crate::error::ServeError;
+
+/// Current artifact format version.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the checksum the artifact header carries. Not
+/// cryptographic; it exists to catch truncation and accidental edits.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the serving side needs, bundled and versioned: the learned
+/// feature plan Ψ, the fitted scoring booster, the expected raw input
+/// schema, and per-output feature metadata.
+#[derive(Debug, Clone)]
+pub struct SafeArtifact {
+    /// The learned feature-generation function.
+    pub plan: FeaturePlan,
+    /// The fitted booster scoring the plan's output features.
+    pub model: GbmModel,
+    /// Raw input columns the scorer expects, in plan order (the audit
+    /// schema for incoming data).
+    pub input_schema: Vec<String>,
+    /// Name + provenance of each scored feature, in model-feature order.
+    pub output_meta: Vec<FeatureMeta>,
+    /// Validation AUC recorded at train time, when a validation set was
+    /// supplied. Stored bit-exactly so the serving side can be checked
+    /// against it.
+    pub val_auc: Option<f64>,
+}
+
+impl SafeArtifact {
+    /// Train the serving bundle for a learned plan: engineer `train` (and
+    /// `valid`) through the plan, fit `config` on the engineered features,
+    /// and record the validation AUC bit-exactly.
+    pub fn train(
+        plan: &FeaturePlan,
+        registry: &OperatorRegistry,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        config: &GbmConfig,
+    ) -> Result<SafeArtifact, ServeError> {
+        let compiled = plan.compile(registry)?;
+        let eng_train = compiled.apply(train)?;
+        let eng_valid = match valid {
+            Some(v) => Some(compiled.apply(v)?),
+            None => None,
+        };
+        let model = Gbm::new(config.clone()).fit(&eng_train, eng_valid.as_ref())?;
+        let val_auc = match &eng_valid {
+            Some(v) => {
+                let labels = v
+                    .labels()
+                    .ok_or_else(|| ServeError::Data("validation set has no labels".into()))?;
+                Some(auc(&model.predict(v), labels))
+            }
+            None => None,
+        };
+        Ok(SafeArtifact {
+            plan: plan.clone(),
+            model,
+            input_schema: plan.input_names.clone(),
+            output_meta: compiled.output_meta().to_vec(),
+            val_auc,
+        })
+    }
+
+    /// Internal consistency: schema lines must agree with the embedded
+    /// plan, and the booster's feature count with the plan's output count.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.input_schema != self.plan.input_names {
+            return Err(ServeError::Schema(
+                "INPUT schema does not match the embedded plan's inputs".into(),
+            ));
+        }
+        if self.output_meta.len() != self.plan.outputs.len() {
+            return Err(ServeError::Schema(format!(
+                "{} OUTPUT records for a plan with {} outputs",
+                self.output_meta.len(),
+                self.plan.outputs.len()
+            )));
+        }
+        for (meta, name) in self.output_meta.iter().zip(&self.plan.outputs) {
+            if &meta.name != name {
+                return Err(ServeError::Schema(format!(
+                    "OUTPUT '{}' does not match plan output '{}'",
+                    meta.name, name
+                )));
+            }
+        }
+        if self.model.n_features() != self.plan.outputs.len() {
+            return Err(ServeError::Schema(format!(
+                "booster expects {} features, plan produces {}",
+                self.model.n_features(),
+                self.plan.outputs.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the versioned text format (checksum included).
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        for name in &self.input_schema {
+            body.push_str("INPUT\t");
+            body.push_str(name);
+            body.push('\n');
+        }
+        for meta in &self.output_meta {
+            body.push_str("OUTPUT\t");
+            body.push_str(&meta.name);
+            match &meta.origin {
+                FeatureOrigin::Original => body.push_str("\toriginal"),
+                FeatureOrigin::Generated { op, parents } => {
+                    body.push_str("\tgenerated\t");
+                    body.push_str(op);
+                    body.push('\t');
+                    body.push_str(&parents.len().to_string());
+                    for p in parents {
+                        body.push('\t');
+                        body.push_str(p);
+                    }
+                }
+            }
+            body.push('\n');
+        }
+        if let Some(a) = self.val_auc {
+            body.push_str(&format!("VAL_AUC\t{:016x}\n", a.to_bits()));
+        }
+        body.push_str("PLAN_BEGIN\n");
+        body.push_str(&self.plan.to_text());
+        body.push_str("PLAN_END\n");
+        body.push_str("BOOSTER_BEGIN\n");
+        body.push_str(&self.model.to_text());
+        body.push_str("BOOSTER_END\n");
+
+        let mut out = String::from("SAFEARTIFACT\t1\n");
+        out.push_str(&format!("CHECKSUM\t{:016x}\n", fnv1a64(body.as_bytes())));
+        out.push_str(&body);
+        out
+    }
+
+    /// Parse the text format: header and checksum verified first, then the
+    /// sections, then cross-section consistency ([`SafeArtifact::validate`]).
+    pub fn from_text(text: &str) -> Result<SafeArtifact, ServeError> {
+        let parse_err = |line: usize, message: &str| ServeError::Parse {
+            line: line + 1,
+            message: message.to_string(),
+        };
+        let mut it = text.splitn(3, '\n');
+        let header = it.next().unwrap_or("");
+        if header != "SAFEARTIFACT\t1" {
+            return Err(parse_err(0, "bad header (expected SAFEARTIFACT v1)"));
+        }
+        let checksum_line = it
+            .next()
+            .ok_or_else(|| parse_err(1, "missing CHECKSUM line"))?;
+        let expected = checksum_line
+            .strip_prefix("CHECKSUM\t")
+            .ok_or_else(|| parse_err(1, "second line must be CHECKSUM"))?;
+        let body = it.next().unwrap_or("");
+        let actual = format!("{:016x}", fnv1a64(body.as_bytes()));
+        if expected != actual {
+            return Err(ServeError::Checksum {
+                expected: expected.to_string(),
+                actual,
+            });
+        }
+
+        let mut input_schema = Vec::new();
+        let mut output_meta = Vec::new();
+        let mut val_auc = None;
+        let mut plan_text: Option<String> = None;
+        let mut booster_text: Option<String> = None;
+        // Section being accumulated: None = top level.
+        let mut section: Option<(&str, String)> = None;
+
+        // Line numbers are offset by the 2 header lines for error messages.
+        for (i, line) in body.lines().enumerate() {
+            let i = i + 2;
+            if let Some((kind, acc)) = section.as_mut() {
+                let end = if *kind == "plan" { "PLAN_END" } else { "BOOSTER_END" };
+                if line == end {
+                    let (kind, acc) = section.take().unwrap_or(("", String::new()));
+                    if kind == "plan" {
+                        plan_text = Some(acc);
+                    } else {
+                        booster_text = Some(acc);
+                    }
+                } else {
+                    acc.push_str(line);
+                    acc.push('\n');
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "INPUT" if fields.len() == 2 => input_schema.push(fields[1].to_string()),
+                "OUTPUT" if fields.len() >= 3 => match fields[2] {
+                    "original" if fields.len() == 3 => {
+                        output_meta.push(FeatureMeta::original(fields[1]))
+                    }
+                    "generated" if fields.len() >= 5 => {
+                        let n: usize = fields[4]
+                            .parse()
+                            .map_err(|_| parse_err(i, "bad parent count"))?;
+                        if fields.len() != 5 + n {
+                            return Err(parse_err(i, "parent count mismatch"));
+                        }
+                        let parents = fields[5..].iter().map(|s| s.to_string()).collect();
+                        output_meta.push(FeatureMeta::generated(fields[1], fields[3], parents));
+                    }
+                    other => {
+                        return Err(parse_err(i, &format!("bad OUTPUT origin '{other}'")))
+                    }
+                },
+                "VAL_AUC" if fields.len() == 2 => {
+                    let bits = u64::from_str_radix(fields[1], 16)
+                        .map_err(|_| parse_err(i, "bad VAL_AUC hex"))?;
+                    val_auc = Some(f64::from_bits(bits));
+                }
+                "PLAN_BEGIN" => section = Some(("plan", String::new())),
+                "BOOSTER_BEGIN" => section = Some(("booster", String::new())),
+                other => return Err(parse_err(i, &format!("unrecognized record '{other}'"))),
+            }
+        }
+        if section.is_some() {
+            return Err(parse_err(0, "unterminated PLAN/BOOSTER section"));
+        }
+        let plan_text = plan_text.ok_or_else(|| parse_err(0, "missing PLAN section"))?;
+        let booster_text =
+            booster_text.ok_or_else(|| parse_err(0, "missing BOOSTER section"))?;
+
+        let artifact = SafeArtifact {
+            plan: FeaturePlan::from_text(&plan_text)?,
+            model: GbmModel::from_text(&booster_text)?,
+            input_schema,
+            output_meta,
+            val_auc,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Write the artifact to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_text()).map_err(|source| ServeError::Io {
+            path: path.display().to_string(),
+            source,
+        })
+    }
+
+    /// Read an artifact back from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<SafeArtifact, ServeError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|source| ServeError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        SafeArtifact::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{toy_artifact, toy_split};
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let artifact = toy_artifact(11);
+        let back = SafeArtifact::from_text(&artifact.to_text()).unwrap();
+        assert_eq!(back.plan, artifact.plan);
+        assert_eq!(back.input_schema, artifact.input_schema);
+        assert_eq!(back.output_meta, artifact.output_meta);
+        assert_eq!(
+            back.val_auc.map(f64::to_bits),
+            artifact.val_auc.map(f64::to_bits),
+            "stored AUC must survive bit-exactly"
+        );
+        assert_eq!(back.model.n_trees(), artifact.model.n_trees());
+        // Same bytes out again.
+        assert_eq!(back.to_text(), artifact.to_text());
+    }
+
+    #[test]
+    fn round_trip_preserves_score_bits() {
+        let artifact = toy_artifact(12);
+        let (_, valid) = toy_split(12);
+        let eng = artifact.plan.apply(&valid).unwrap();
+        let direct = artifact.model.predict(&eng);
+        let back = SafeArtifact::from_text(&artifact.to_text()).unwrap();
+        let replayed = back.model.predict(&back.plan.apply(&valid).unwrap());
+        assert_eq!(direct.len(), replayed.len());
+        for (a, b) in direct.iter().zip(&replayed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("safe-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.safe");
+        let artifact = toy_artifact(13);
+        artifact.save(&path).unwrap();
+        let back = SafeArtifact::load(&path).unwrap();
+        assert_eq!(back.to_text(), artifact.to_text());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let text = toy_artifact(14).to_text();
+        // Flip one byte in the body.
+        let tampered = text.replacen("INPUT", "INPUX", 1);
+        match SafeArtifact::from_text(&tampered) {
+            Err(ServeError::Checksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // Truncation loses the booster end marker → checksum fails first.
+        let truncated = &text[..text.len() - 20];
+        assert!(SafeArtifact::from_text(truncated).is_err());
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        assert!(SafeArtifact::from_text("").is_err());
+        assert!(SafeArtifact::from_text("NOTANARTIFACT\t1\n").is_err());
+        assert!(SafeArtifact::from_text("SAFEARTIFACT\t1\nBODY\n").is_err());
+        // Version 2 does not exist yet.
+        assert!(SafeArtifact::from_text("SAFEARTIFACT\t2\nCHECKSUM\t0\n").is_err());
+    }
+
+    #[test]
+    fn cross_section_disagreement_rejected() {
+        let mut artifact = toy_artifact(15);
+        artifact.input_schema.push("phantom".into());
+        let err = SafeArtifact::from_text(&artifact.to_text()).unwrap_err();
+        assert!(matches!(err, ServeError::Schema(_)), "{err:?}");
+    }
+
+    #[test]
+    fn missing_validation_set_leaves_auc_unset() {
+        let (train, _) = toy_split(16);
+        let artifact = SafeArtifact::train(
+            &toy_artifact(16).plan,
+            &OperatorRegistry::standard(),
+            &train,
+            None,
+            &GbmConfig::miner(),
+        )
+        .unwrap();
+        assert!(artifact.val_auc.is_none());
+        let back = SafeArtifact::from_text(&artifact.to_text()).unwrap();
+        assert!(back.val_auc.is_none());
+    }
+}

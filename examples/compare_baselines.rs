@@ -29,7 +29,9 @@ fn main() {
         Box::new(AutoLearn { seed: 9, ..AutoLearn::default() }),
         Box::new(Safe::new(SafeConfig::rand_baseline(9))),
         Box::new(Safe::new(SafeConfig::imp_baseline(9))),
-        Box::new(Safe::new(SafeConfig { seed: 9, ..SafeConfig::paper() })),
+        Box::new(Safe::new(
+            SafeConfig::builder().seed(9).build().expect("valid config"),
+        )),
     ];
 
     println!(

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ingest, split, engineer.
     let table = read_csv(&input_path, Some("label"))?;
     let (train, test) = train_test_split(&table, 0.3, 21)?;
-    let outcome = Safe::new(SafeConfig { seed: 21, ..SafeConfig::paper() }).fit(&train, None)?;
+    let config = SafeConfig::builder().seed(21).build()?;
+    let outcome = Safe::new(config).fit(&train, None)?;
     println!(
         "plan: {} steps, {} outputs ({} generated)",
         outcome.plan.steps.len(),

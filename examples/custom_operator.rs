@@ -63,13 +63,12 @@ fn main() {
     operators.register(Arc::new(LogRatio));
     println!("operator set: {:?}", operators.names());
 
-    let outcome = Safe::new(SafeConfig {
-        operators: operators.clone(),
-        seed: 11,
-        ..SafeConfig::paper()
-    })
-    .fit(&ds, None)
-    .expect("SAFE fits");
+    let config = SafeConfig::builder()
+        .operators(operators.clone())
+        .seed(11)
+        .build()
+        .expect("valid config");
+    let outcome = Safe::new(config).fit(&ds, None).expect("SAFE fits");
 
     println!("selected features:");
     for name in &outcome.plan.outputs {

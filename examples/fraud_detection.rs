@@ -27,12 +27,12 @@ fn main() {
 
     // SAFE with the full operator set (ratios matter for fraud: amount /
     // historical average, etc.).
-    let config = SafeConfig {
-        operators: OperatorRegistry::arithmetic(),
-        gamma: 40,
-        seed: 7,
-        ..SafeConfig::paper()
-    };
+    let config = SafeConfig::builder()
+        .operators(OperatorRegistry::arithmetic())
+        .gamma(40)
+        .seed(7)
+        .build()
+        .expect("valid config");
     let start = Instant::now();
     let outcome = Safe::new(config)
         .fit(&split.train, split.valid.as_ref())

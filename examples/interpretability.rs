@@ -24,9 +24,8 @@ fn main() {
         ..Default::default()
     });
 
-    let outcome = Safe::new(SafeConfig { seed: 33, ..SafeConfig::paper() })
-        .fit(&ds, None)
-        .expect("SAFE fits");
+    let config = SafeConfig::builder().seed(33).build().expect("valid config");
+    let outcome = Safe::new(config).fit(&ds, None).expect("SAFE fits");
 
     // 1. Feature report: formula + construction depth + IV on the train set.
     println!("=== engineered feature report ===");

@@ -17,11 +17,11 @@ fn main() {
         split.train.n_cols()
     );
 
-    let config = SafeConfig {
-        n_iterations: 5,
-        seed: 3,
-        ..SafeConfig::paper()
-    };
+    let config = SafeConfig::builder()
+        .n_iterations(5)
+        .seed(3)
+        .build()
+        .expect("valid config");
     let outcome = Safe::new(config)
         .fit(&split.train, split.valid.as_ref())
         .expect("SAFE fits");

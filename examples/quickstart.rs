@@ -35,7 +35,12 @@ fn main() {
 
     // 2. Learn the feature-generation function Ψ (one SAFE iteration,
     //    arithmetic operators, IV/Pearson/gain selection — paper defaults).
-    let safe_engine = Safe::new(SafeConfig { sink, ..SafeConfig::paper() });
+    let safe_engine = Safe::new(
+        SafeConfig::builder()
+            .sink(sink)
+            .build()
+            .expect("valid config"),
+    );
     let outcome = safe_engine
         .fit(&split.train, split.valid.as_ref())
         .expect("SAFE fits");

@@ -17,7 +17,8 @@ use safe::ops::registry::OperatorRegistry;
 fn main() {
     // --- offline: learn Ψ and persist it ---------------------------------
     let split = generate_benchmark_scaled(BenchmarkId::Wind, 0.2, 5);
-    let outcome = Safe::new(SafeConfig { seed: 5, ..SafeConfig::paper() })
+    let config = SafeConfig::builder().seed(5).build().expect("valid config");
+    let outcome = Safe::new(config)
         .fit(&split.train, split.valid.as_ref())
         .expect("SAFE fits");
     let text = outcome.plan.to_text();

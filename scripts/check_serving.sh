@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Verify the serving determinism contract (DESIGN.md, "Serving: artifacts
+# & the batch scorer"):
+#   1. SafeArtifact text/disk round trips preserve score bits (including
+#      property tests over arbitrary plans with NaN params and unicode
+#      feature names).
+#   2. The batch Scorer is bit-identical to the in-process column path for
+#      threads in {1,2,4,7} and across batch sizes.
+#   3. The CLI end-to-end path (fit -> save-artifact -> score) reproduces
+#      the validation AUC recorded inside the artifact bit-for-bit, and a
+#      tampered artifact is rejected by its checksum.
+#
+# Usage: scripts/check_serving.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "check_serving: artifact + scorer unit and property suites"
+cargo test --quiet -p safe-serve
+
+echo "check_serving: serial-vs-parallel scorer differential on a real fit"
+cargo test --quiet --test serving_differential
+
+echo "check_serving: CLI end-to-end (fit -> save-artifact -> score)"
+cargo test --quiet -p safe-cli save_artifact_then_score_reproduces_validation_auc_bitwise
+cargo test --quiet -p safe-cli serving_commands_classify_errors
+
+echo "check_serving: OK — artifacts round-trip and scoring is bit-stable"

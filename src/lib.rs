@@ -8,6 +8,7 @@
 //! - [`models`] — the nine downstream classifiers from the paper's evaluation
 //! - [`ops`] — extensible unary/binary/ternary operator registry
 //! - [`core`] — the SAFE pipeline (generation + selection + iteration)
+//! - [`serve`] — versioned artifacts + deterministic batch scorer
 //! - [`obs`] — telemetry: tracing spans, per-stage metrics, run reports
 //! - [`baselines`] — TFC and FCTree comparison methods
 //! - [`datagen`] — synthetic benchmark and business dataset generators
@@ -33,4 +34,5 @@ pub use safe_gbm as gbm;
 pub use safe_models as models;
 pub use safe_obs as obs;
 pub use safe_ops as ops;
+pub use safe_serve as serve;
 pub use safe_stats as stats;

@@ -1,0 +1,141 @@
+//! Serving differential suite: the serving subsystem must reproduce the
+//! in-process pipeline exactly. Three contracts are pinned here, each over
+//! a *real* SAFE fit (not a hand-built toy plan):
+//!
+//! 1. **Artifact round trip** — `SafeArtifact` text/disk round trips
+//!    preserve every score bit and the recorded validation AUC bits.
+//! 2. **Scorer vs. column path** — the micro-batching `Scorer` is
+//!    bit-identical to `plan.apply(ds)` + `model.predict(ds)`.
+//! 3. **Thread/batch invariance** — scores are bit-identical for threads
+//!    in {1,2,4,7} and across batch sizes, including ragged tails.
+//!
+//! See `DESIGN.md`, "Serving: artifacts & the batch scorer".
+
+use std::sync::OnceLock;
+
+use safe::core::{Safe, SafeConfig};
+use safe::data::split::train_test_split;
+use safe::data::Dataset;
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::gbm::GbmConfig;
+use safe::ops::registry::OperatorRegistry;
+use safe::serve::{SafeArtifact, Scorer};
+
+/// Thread budgets under test: serial, even splits, and a prime that does
+/// not divide most item counts (ragged chunk boundaries).
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+struct Fixture {
+    artifact: SafeArtifact,
+    valid: Dataset,
+}
+
+/// One real SAFE fit shared by every test: interaction-heavy synthetic
+/// data, a full pipeline run, then a scoring booster over the fitted plan.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 700,
+            dim: 6,
+            n_signal: 4,
+            n_interactions: 3,
+            noise: 0.2,
+            seed: 29,
+            ..Default::default()
+        });
+        let (train, valid) = train_test_split(&ds, 0.3, 29).expect("split");
+        let config = SafeConfig::builder()
+            .seed(29)
+            .operators(OperatorRegistry::standard())
+            .build()
+            .expect("valid config");
+        let outcome = Safe::new(config).fit(&train, Some(&valid)).expect("SAFE fit");
+        let artifact = SafeArtifact::train(
+            &outcome.plan,
+            &OperatorRegistry::standard(),
+            &train,
+            Some(&valid),
+            &GbmConfig::classifier(),
+        )
+        .expect("artifact training");
+        Fixture { artifact, valid }
+    })
+}
+
+fn column_path_scores(artifact: &SafeArtifact, ds: &Dataset) -> Vec<f64> {
+    let engineered = artifact.plan.apply(ds).expect("plan applies");
+    artifact.model.predict(&engineered)
+}
+
+fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: row {i} diverged");
+    }
+}
+
+#[test]
+fn artifact_text_round_trip_preserves_real_fit_bits() {
+    let fx = fixture();
+    let back = SafeArtifact::from_text(&fx.artifact.to_text()).expect("parse back");
+    assert_bits_equal(
+        &column_path_scores(&fx.artifact, &fx.valid),
+        &column_path_scores(&back, &fx.valid),
+        "text round trip",
+    );
+    assert_eq!(
+        fx.artifact.val_auc.map(f64::to_bits),
+        back.val_auc.map(f64::to_bits),
+        "recorded validation AUC must survive the round trip bit-for-bit"
+    );
+    assert!(fx.artifact.val_auc.is_some(), "fit supplied a validation set");
+}
+
+#[test]
+fn artifact_disk_round_trip_preserves_real_fit_bits() {
+    let fx = fixture();
+    let dir = std::env::temp_dir().join(format!("safe_serving_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("real_fit.safeartifact");
+    fx.artifact.save(&path).expect("save");
+    let back = SafeArtifact::load(&path).expect("load");
+    assert_bits_equal(
+        &column_path_scores(&fx.artifact, &fx.valid),
+        &column_path_scores(&back, &fx.valid),
+        "disk round trip",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scorer_matches_in_process_column_path_bitwise() {
+    let fx = fixture();
+    let expected = column_path_scores(&fx.artifact, &fx.valid);
+    let scorer = Scorer::new(&fx.artifact, &OperatorRegistry::standard()).expect("scorer");
+    let (scores, report) = scorer.score_dataset(&fx.valid).expect("scoring");
+    assert_bits_equal(&expected, &scores, "scorer vs column path");
+    assert_eq!(report.rows as usize, fx.valid.n_rows());
+}
+
+#[test]
+fn scorer_is_thread_and_batch_invariant_on_a_real_fit() {
+    let fx = fixture();
+    let expected = column_path_scores(&fx.artifact, &fx.valid);
+    for threads in THREADS {
+        // Batch 37 leaves a ragged tail on almost any row count.
+        for batch in [37usize, 1024] {
+            let scorer = Scorer::new(&fx.artifact, &OperatorRegistry::standard())
+                .expect("scorer")
+                .with_threads(threads)
+                .with_batch_size(batch);
+            let (scores, report) = scorer.score_dataset(&fx.valid).expect("scoring");
+            assert_eq!(report.threads, threads);
+            assert_bits_equal(
+                &expected,
+                &scores,
+                &format!("threads={threads} batch={batch}"),
+            );
+        }
+    }
+}
