@@ -25,6 +25,7 @@ use safe_data::split::shuffled_indices;
 use safe_ops::op::Operator;
 use safe_ops::regression::{QuadRidgeResidual, RidgePrediction, RidgeResidual};
 use safe_stats::entropy::information_gain;
+use safe_stats::par::{par_map_slice, Parallelism};
 use safe_stats::pearson::pearson;
 
 /// AutoLearn configuration.
@@ -43,6 +44,8 @@ pub struct AutoLearn {
     pub beta: usize,
     /// RNG seed for the bootstrap halves.
     pub seed: u64,
+    /// Worker budget for pair mining (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 impl Default for AutoLearn {
@@ -54,6 +57,7 @@ impl Default for AutoLearn {
             cap_multiplier: 2,
             beta: 10,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -82,7 +86,7 @@ impl AutoLearn {
             .flat_map(|i| (0..m).filter(move |&j| j != i).map(move |j| (i, j)))
             .collect();
         let per_pair: Vec<Vec<Candidate>> =
-            safe_stats::parallel::par_map_slice(&pairs, |&(i, j)| {
+            par_map_slice(self.parallelism, &pairs, |&(i, j)| {
                 let a = train.column(i).expect("in range");
                 let b = train.column(j).expect("in range");
                 let linear = pearson(a, b).abs();

@@ -21,6 +21,7 @@ use safe_data::binning::{bin_column, BinStrategy};
 use safe_data::dataset::Dataset;
 use safe_ops::registry::OperatorRegistry;
 use safe_stats::entropy::information_gain;
+use safe_stats::par::{par_map, Parallelism};
 
 /// TFC configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +33,8 @@ pub struct Tfc {
     pub beta: usize,
     /// Operator set (the experiments use the four arithmetic operators).
     pub operators: OperatorRegistry,
+    /// Worker budget for candidate scoring (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Tfc {
@@ -40,6 +43,7 @@ impl Default for Tfc {
             cap_multiplier: 2,
             beta: 10,
             operators: OperatorRegistry::arithmetic(),
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -138,7 +142,7 @@ impl FeatureEngineer for Tfc {
         for op in self.operators.all() {
             let tuples = Self::tuples(m, op.arity(), op.commutative());
             let candidates: Vec<Option<Scored>> =
-                safe_stats::parallel::par_map_indexed(tuples.len(), |t| {
+                par_map(self.parallelism, tuples.len(), |t| {
                     let tuple = &tuples[t];
                     let cols: Vec<&[f64]> = tuple
                         .iter()

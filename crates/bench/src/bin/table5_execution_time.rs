@@ -6,8 +6,9 @@
 //! dwarf SAFE's path-bounded search.
 
 use safe_bench::{
-    bench_pipeline_path, engineer_split, fmt_secs, pipeline_json, pipeline_rows,
-    timed_safe_fit, traced_safe_report, Flags, Method, ParallelRow, PipelineRow, TablePrinter,
+    bench_pipeline_path, cache_rows, engineer_split, fmt_secs, pipeline_json, pipeline_rows,
+    timed_safe_fit, traced_safe_cache_report, traced_safe_report, CacheRow, Flags, Method,
+    ParallelRow, PipelineRow, TablePrinter,
 };
 use safe_datagen::benchmarks::generate_benchmark_scaled;
 use safe_datagen::synth::{generate, SyntheticConfig};
@@ -118,16 +119,49 @@ fn main() {
         }
     }
 
+    // Cold-vs-warm cache sweep: the same multi-iteration SAFE fit with the
+    // cross-iteration cache off, then on. The outcome is bit-identical
+    // (tests/cache_differential.rs); the rows show how many columns each
+    // iteration re-binned and what the booster stages cost. Rows land in
+    // the `cache` section of BENCH_pipeline.json.
+    let cache_iters: usize = flags.get_or("cache-iterations", 3);
+    let cache_data = generate(&SyntheticConfig {
+        n_rows: (sweep_rows / 2).max(500),
+        dim: 10,
+        n_signal: 5,
+        n_interactions: 4,
+        noise: 0.2,
+        seed,
+        ..Default::default()
+    });
+    println!("\nCache sweep on synth-cache ({cache_iters} iterations, cold vs warm):");
+    let mut cache_sweep: Vec<CacheRow> = Vec::new();
+    let cold = traced_safe_cache_report(&cache_data, seed, cache_iters, false);
+    let warm = traced_safe_cache_report(&cache_data, seed, cache_iters, true);
+    match (cold, warm) {
+        (Ok(cold), Ok(warm)) => {
+            cache_sweep = cache_rows("synth-cache", &warm, &cold);
+            for r in &cache_sweep {
+                println!(
+                    "  iteration {}: rebinned {} cold vs {} warm ({}us cold vs {}us warm)",
+                    r.iteration, r.cold_rebinned, r.warm_rebinned, r.cold_micros, r.warm_micros
+                );
+            }
+        }
+        (Err(err), _) | (_, Err(err)) => eprintln!("  cache sweep failed: {err}"),
+    }
+
     let out_path = flags
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    // This binary owns `stages` and `parallel`; carry any existing
-    // `serving` rows (written by serving_throughput) through untouched.
+    // This binary owns `stages`, `parallel`, and `cache`; carry any
+    // existing `serving` rows (written by serving_throughput) through
+    // untouched.
     let existing = safe_bench::read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
-        pipeline_json(&bench_rows, &parallel_rows, &existing.serving),
+        pipeline_json(&bench_rows, &parallel_rows, &existing.serving, &cache_sweep),
     ) {
         Ok(()) => println!(
             "\nper-stage SAFE timings ({} rows) -> {out_path}",

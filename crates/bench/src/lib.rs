@@ -350,6 +350,90 @@ pub fn timed_safe_fit(data: &Dataset, seed: u64, threads: usize) -> Result<f64, 
     Ok(start.elapsed().as_secs_f64())
 }
 
+/// One row of the `cache` section of `BENCH_pipeline.json`: one SAFE
+/// iteration's binning work with the cross-iteration cache on (`warm`)
+/// versus off (`cold`), on the sweep dataset.
+///
+/// `cold_rebinned` is the number of columns the booster stages quantize
+/// from scratch without a cache; `warm_rebinned` is how many the cached run
+/// actually re-binned (its misses). From the second iteration on the warm
+/// count is strictly below the cold one: survivors of the previous
+/// selection are cache hits.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Sweep dataset name.
+    pub dataset: String,
+    /// SAFE iteration index.
+    pub iteration: usize,
+    /// Wall micros of the booster stages (miner + ranker) in the cold run.
+    pub cold_micros: u64,
+    /// Wall micros of the same stages in the warm run.
+    pub warm_micros: u64,
+    /// Columns a cache-less run quantizes in those stages (hits + misses).
+    pub cold_rebinned: u64,
+    /// Columns the cached run re-binned (misses only).
+    pub warm_rebinned: u64,
+}
+
+/// Build `cache` rows from a warm (cached) and a cold (`cache: false`) run
+/// report of the same fit. For each iteration, every stage that recorded
+/// bin-cache telemetry contributes its hit/miss split and wall time; the
+/// cold run contributes the matching stage's wall time. The two runs are
+/// bit-identical in outcome (`tests/cache_differential.rs`), so the rows
+/// compare like against like.
+pub fn cache_rows(
+    dataset: &str,
+    warm: &safe_obs::RunReport,
+    cold: &safe_obs::RunReport,
+) -> Vec<CacheRow> {
+    warm.iterations
+        .iter()
+        .zip(&cold.iterations)
+        .map(|(w, c)| {
+            let mut row = CacheRow {
+                dataset: dataset.to_string(),
+                iteration: w.iteration,
+                cold_micros: 0,
+                warm_micros: 0,
+                cold_rebinned: 0,
+                warm_rebinned: 0,
+            };
+            for ws in &w.stages {
+                let (Some(hits), Some(misses)) =
+                    (ws.counter("cache_bin_hits"), ws.counter("cache_bin_misses"))
+                else {
+                    continue;
+                };
+                row.cold_rebinned += hits + misses;
+                row.warm_rebinned += misses;
+                row.warm_micros += ws.micros;
+                row.cold_micros += c.stage(&ws.stage).map_or(0, |cs| cs.micros);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Fit SAFE on a dataset with telemetry engaged and the cross-iteration
+/// cache toggled, returning the run report (the toggle never alters the fit
+/// outcome, only how repeated binning/stats work is resolved).
+pub fn traced_safe_cache_report(
+    data: &Dataset,
+    seed: u64,
+    n_iterations: usize,
+    cache: bool,
+) -> Result<safe_obs::RunReport, String> {
+    let config = SafeConfig::builder()
+        .seed(seed)
+        .n_iterations(n_iterations)
+        .cache(cache)
+        .build()?;
+    Safe::new(config)
+        .fit(data, None)
+        .map(|outcome| outcome.report)
+        .map_err(|e| e.to_string())
+}
+
 /// One row of the `serving` section of `BENCH_pipeline.json`: one scoring
 /// configuration (method × threads × batch size) over the serving dataset.
 #[derive(Debug, Clone)]
@@ -374,25 +458,28 @@ pub struct ServingRow {
 }
 
 /// Serialize the `BENCH_pipeline.json` document: an object holding the
-/// per-stage rows (`stages`), the thread-sweep rows (`parallel`), and the
-/// scoring-throughput rows (`serving`).
+/// per-stage rows (`stages`), the thread-sweep rows (`parallel`), the
+/// scoring-throughput rows (`serving`), and the cold-vs-warm cache sweep
+/// rows (`cache`).
 ///
 /// Schema:
 /// `{"stages": [{dataset, iteration, stage, millis, features_in,
 /// features_out}], "parallel": [{dataset, threads, secs,
 /// speedup_vs_serial}], "serving": [{dataset, method, rows, threads,
-/// batch_size, secs, rows_per_sec, speedup_vs_naive}]}`
+/// batch_size, secs, rows_per_sec, speedup_vs_naive}], "cache": [{dataset,
+/// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}]}`
 ///
-/// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`,
-/// `serving_throughput` owns `serving`) each re-read the document first via
-/// [`read_pipeline_document`] and pass the other sections through, so
-/// running either binary never clobbers the other's results.
+/// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
+/// `cache`, `serving_throughput` owns `serving`) each re-read the document
+/// first via [`read_pipeline_document`] and pass the other sections
+/// through, so running either binary never clobbers the other's results.
 ///
 /// [t5]: ../safe_bench/index.html
 pub fn pipeline_json(
     stages: &[PipelineRow],
     parallel: &[ParallelRow],
     serving: &[ServingRow],
+    cache: &[CacheRow],
 ) -> String {
     let mut out = String::from("{\n\"stages\": [\n");
     for (i, r) in stages.iter().enumerate() {
@@ -442,6 +529,22 @@ pub fn pipeline_json(
         }
         out.push('\n');
     }
+    out.push_str("],\n\"cache\": [\n");
+    for (i, r) in cache.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"iteration\":{},\"cold_micros\":{},\"warm_micros\":{},\"cold_rebinned\":{},\"warm_rebinned\":{}}}",
+            safe_obs::json::escape(&r.dataset),
+            r.iteration,
+            r.cold_micros,
+            r.warm_micros,
+            r.cold_rebinned,
+            r.warm_rebinned,
+        ));
+        if i + 1 < cache.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("]\n}\n");
     out
 }
@@ -456,6 +559,8 @@ pub struct PipelineDocument {
     pub parallel: Vec<ParallelRow>,
     /// Scoring throughput rows.
     pub serving: Vec<ServingRow>,
+    /// Cold-vs-warm cross-iteration cache sweep rows.
+    pub cache: Vec<CacheRow>,
 }
 
 /// Re-read an existing `BENCH_pipeline.json`. A missing file, unparsable
@@ -513,7 +618,20 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
-    PipelineDocument { stages, parallel, serving }
+    let cache = rows_of("cache")
+        .iter()
+        .filter_map(|r| {
+            Some(CacheRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                iteration: r.get("iteration")?.as_u64()? as usize,
+                cold_micros: r.get("cold_micros")?.as_u64()?,
+                warm_micros: r.get("warm_micros")?.as_u64()?,
+                cold_rebinned: r.get("cold_rebinned")?.as_u64()?,
+                warm_rebinned: r.get("warm_rebinned")?.as_u64()?,
+            })
+        })
+        .collect();
+    PipelineDocument { stages, parallel, serving, cache }
 }
 
 /// Default output path for `BENCH_pipeline.json`: the repository root.
@@ -599,7 +717,15 @@ mod tests {
             rows_per_sec: 200_000.0,
             speedup_vs_naive: 2.5,
         }];
-        let text = pipeline_json(&stages, &parallel, &serving);
+        let cache = vec![CacheRow {
+            dataset: "synth-cache".into(),
+            iteration: 1,
+            cold_micros: 900,
+            warm_micros: 400,
+            cold_rebinned: 40,
+            warm_rebinned: 12,
+        }];
+        let text = pipeline_json(&stages, &parallel, &serving, &cache);
         let v = safe_obs::json::parse(&text).unwrap();
         let s = v.get("stages").unwrap().as_array().unwrap();
         assert_eq!(s.len(), 1);
@@ -611,8 +737,11 @@ mod tests {
         let sv = v.get("serving").unwrap().as_array().unwrap();
         assert_eq!(sv[0].get("method").unwrap().as_str(), Some("batch-scorer"));
         assert_eq!(sv[0].get("rows").unwrap().as_u64(), Some(100_000));
+        let cc = v.get("cache").unwrap().as_array().unwrap();
+        assert_eq!(cc[0].get("cold_rebinned").unwrap().as_u64(), Some(40));
+        assert_eq!(cc[0].get("warm_rebinned").unwrap().as_u64(), Some(12));
         // All sections empty must still be valid JSON.
-        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[])).is_ok());
+        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[], &[])).is_ok());
     }
 
     #[test]
@@ -625,6 +754,7 @@ mod tests {
         // Missing file: all sections empty, no error.
         let empty = read_pipeline_document(path_s);
         assert!(empty.stages.is_empty() && empty.parallel.is_empty() && empty.serving.is_empty());
+        assert!(empty.cache.is_empty());
 
         // Simulate the serving benchmark writing first...
         let serving = vec![ServingRow {
@@ -637,12 +767,20 @@ mod tests {
             rows_per_sec: 5.0,
             speedup_vs_naive: 1.0,
         }];
-        std::fs::write(&path, pipeline_json(&[], &[], &serving)).unwrap();
+        std::fs::write(&path, pipeline_json(&[], &[], &serving, &[])).unwrap();
         // ...then table5 re-reading and writing its own sections.
         let doc = read_pipeline_document(path_s);
         let parallel =
             vec![ParallelRow { dataset: "m".into(), threads: 2, secs: 1.0, speedup_vs_serial: 1.5 }];
-        std::fs::write(&path, pipeline_json(&doc.stages, &parallel, &doc.serving)).unwrap();
+        let cache = vec![CacheRow {
+            dataset: "m".into(),
+            iteration: 0,
+            cold_micros: 10,
+            warm_micros: 10,
+            cold_rebinned: 8,
+            warm_rebinned: 8,
+        }];
+        std::fs::write(&path, pipeline_json(&doc.stages, &parallel, &doc.serving, &cache)).unwrap();
 
         // Both survive.
         let back = read_pipeline_document(path_s);
@@ -651,12 +789,31 @@ mod tests {
         assert_eq!(back.serving[0].rows, 5);
         assert_eq!(back.parallel.len(), 1);
         assert_eq!(back.parallel[0].threads, 2);
+        assert_eq!(back.cache.len(), 1);
+        assert_eq!(back.cache[0].cold_rebinned, 8);
 
         // Garbage never panics the readers.
         std::fs::write(&path, "not json at all").unwrap();
         let garbled = read_pipeline_document(path_s);
         assert!(garbled.serving.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_sweep_reports_warm_reuse() {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.15, 3);
+        let cold = traced_safe_cache_report(&split.train, 3, 2, false).unwrap();
+        let warm = traced_safe_cache_report(&split.train, 3, 2, true).unwrap();
+        let rows = cache_rows("banknote", &warm, &cold);
+        assert_eq!(rows.len(), 2);
+        // Iteration 0 has no history to reuse; by iteration 1 the miner
+        // retrains on already-binned survivors, so the warm run re-bins
+        // strictly fewer columns than the cold run quantizes.
+        assert!(
+            rows[1].warm_rebinned < rows[1].cold_rebinned,
+            "iteration 1 must reuse cached columns: {:?}",
+            rows[1]
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Cross-iteration training caches (see `DESIGN.md` §12).
+//!
+//! SAFE's iteration loop re-examines mostly the *same* columns every
+//! iteration: the miner trains on the previous selection, the candidate set
+//! is that selection plus the newly generated X̃, and the selection stages
+//! re-score every candidate. Column **names are stable provenance** — a
+//! generated name encodes its operator and parents, [`Dataset`] rejects
+//! duplicate names, and `select_columns` copies values verbatim — so a
+//! name-keyed cache can safely reuse per-column work across iterations.
+//!
+//! Two caches cover the repeated work:
+//!
+//! - [`BinCache`] (re-exported from [`safe_gbm`]): quantized `u16` bin
+//!   columns + mappers, shared by the miner and ranker boosters.
+//! - [`StatsCache`]: finalized IV values per `(column, β)` and Pearson
+//!   correlations per unordered column pair. Caching the *finalized value*
+//!   (not intermediate moment sums) makes reuse trivially bit-identical to
+//!   recomputation: the cold path would produce the exact same `f64`.
+//!
+//! Pearson values may be stored under either argument order: [`pearson`]
+//! only combines its inputs through commutative products
+//! (`Σ cᵃcᵇ`, `√dx·√dy`), so swapping the arguments yields a bit-identical
+//! result.
+//!
+//! [`Dataset`]: safe_data::dataset::Dataset
+//! [`pearson`]: safe_stats::pearson::pearson
+
+use std::collections::HashMap;
+
+pub use safe_gbm::binner::BinCache;
+
+/// Value-level cache for the selection statistics: IV per `(column name, β)`
+/// and Pearson per unordered name pair. Hit/miss counts accumulate over the
+/// cache's lifetime; stage telemetry reports per-stage deltas.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    iv: HashMap<(String, usize), f64>,
+    pearson: HashMap<(String, String), f64>,
+    iv_hits: u64,
+    iv_misses: u64,
+    pearson_hits: u64,
+    pearson_misses: u64,
+}
+
+impl StatsCache {
+    /// An empty cache.
+    pub fn new() -> StatsCache {
+        StatsCache::default()
+    }
+
+    /// Cached IV of `name` at `beta` bins. Counts a hit or a miss.
+    pub fn iv_lookup(&mut self, name: &str, beta: usize) -> Option<f64> {
+        match self.iv.get(&(name.to_string(), beta)) {
+            Some(&v) => {
+                self.iv_hits += 1;
+                Some(v)
+            }
+            None => {
+                self.iv_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the IV of `name` at `beta` bins.
+    pub fn iv_insert(&mut self, name: &str, beta: usize, value: f64) {
+        self.iv.insert((name.to_string(), beta), value);
+    }
+
+    /// Cached Pearson correlation of the unordered pair `{a, b}`. Counts a
+    /// hit or a miss.
+    pub fn pearson_lookup(&mut self, a: &str, b: &str) -> Option<f64> {
+        match self.pearson.get(&Self::pair_key(a, b)) {
+            Some(&v) => {
+                self.pearson_hits += 1;
+                Some(v)
+            }
+            None => {
+                self.pearson_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the Pearson correlation of the unordered pair `{a, b}`.
+    pub fn pearson_insert(&mut self, a: &str, b: &str, value: f64) {
+        self.pearson.insert(Self::pair_key(a, b), value);
+    }
+
+    /// IV lookups answered from the cache so far.
+    pub fn iv_hits(&self) -> u64 {
+        self.iv_hits
+    }
+
+    /// IV lookups that had to be computed so far.
+    pub fn iv_misses(&self) -> u64 {
+        self.iv_misses
+    }
+
+    /// Pearson lookups answered from the cache so far.
+    pub fn pearson_hits(&self) -> u64 {
+        self.pearson_hits
+    }
+
+    /// Pearson lookups that had to be computed so far.
+    pub fn pearson_misses(&self) -> u64 {
+        self.pearson_misses
+    }
+
+    fn pair_key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iv_is_keyed_by_name_and_beta() {
+        let mut c = StatsCache::new();
+        assert_eq!(c.iv_lookup("x", 10), None);
+        c.iv_insert("x", 10, 0.25);
+        assert_eq!(c.iv_lookup("x", 10), Some(0.25));
+        assert_eq!(c.iv_lookup("x", 20), None, "different β is a different key");
+        assert_eq!(c.iv_lookup("y", 10), None);
+        assert_eq!(c.iv_hits(), 1);
+        assert_eq!(c.iv_misses(), 3);
+    }
+
+    #[test]
+    fn pearson_pair_is_unordered() {
+        let mut c = StatsCache::new();
+        c.pearson_insert("b", "a", -0.5);
+        assert_eq!(c.pearson_lookup("a", "b"), Some(-0.5));
+        assert_eq!(c.pearson_lookup("b", "a"), Some(-0.5));
+        assert_eq!(c.pearson_hits(), 2);
+        assert_eq!(c.pearson_misses(), 0);
+    }
+
+    #[test]
+    fn pearson_is_bitwise_symmetric() {
+        // The unordered pair key is only sound because pearson(x, y) and
+        // pearson(y, x) are the same f64 to the last bit.
+        let x: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0 + 0.1).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64).cos() - 2.0).collect();
+        let a = safe_stats::pearson::pearson(&x, &y);
+        let b = safe_stats::pearson::pearson(&y, &x);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -76,6 +76,13 @@ pub struct SafeConfig {
     /// knob in [`GbmConfig`]; use [`SafeConfig::with_threads`] to set all
     /// three at once.
     pub parallelism: Parallelism,
+    /// Reuse per-column work across iterations: binned `u16` columns for the
+    /// miner/ranker boosters ([`crate::cache::BinCache`]) and finalized
+    /// IV/Pearson statistics ([`crate::cache::StatsCache`]), keyed by stable
+    /// column names. Results are **bit-identical** with the cache on or off
+    /// (`tests/cache_differential.rs` pins this); disabling only exists for
+    /// benchmarking the cold path. Default `true`.
+    pub cache: bool,
 }
 
 impl Default for SafeConfig {
@@ -96,6 +103,7 @@ impl Default for SafeConfig {
             audit: AuditConfig::default(),
             sink: SinkHandle::null(),
             parallelism: Parallelism::auto(),
+            cache: true,
         }
     }
 }
@@ -296,6 +304,13 @@ impl SafeConfigBuilder {
     /// Seed for the randomized strategies and subsampling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Toggle the cross-iteration training caches (bin columns, IV/Pearson
+    /// values). On by default; results are bit-identical either way.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.config.cache = cache;
         self
     }
 

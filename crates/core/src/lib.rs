@@ -39,6 +39,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod combine;
 pub mod engineer;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod plan;
 pub mod safe;
 pub mod select;
 
+pub use cache::{BinCache, StatsCache};
 pub use config::{GenerationStrategy, SafeConfig, SafeConfigBuilder};
 pub use engineer::{FeatureEngineer, Identity};
 pub use error::SafeError;

@@ -1,6 +1,12 @@
 //! The three-step feature selection pipeline (Section IV-C).
+//!
+//! Each step has a `_cached` variant that reuses finalized IV / Pearson
+//! values (and binned booster columns) from the [`crate::cache`] module
+//! across iterations. Cached results are bit-identical to recomputation —
+//! the cache stores exactly the `f64` the cold path would produce.
 
 use safe_data::dataset::Dataset;
+use safe_gbm::binner::BinCache;
 use safe_gbm::booster::Gbm;
 use safe_gbm::config::GbmConfig;
 use safe_gbm::error::GbmError;
@@ -8,6 +14,8 @@ use safe_gbm::importance::ImportanceKind;
 use safe_stats::iv::information_value;
 use safe_stats::par::{ParPanic, Parallelism};
 use safe_stats::pearson::pearson;
+
+use crate::cache::StatsCache;
 
 /// Algorithm 3: compute the IV of every candidate column (β equal-frequency
 /// bins, in parallel) and keep those with `IV > α`. Returns the surviving
@@ -32,17 +40,49 @@ pub fn iv_filter_par(
     beta: usize,
     par: Parallelism,
 ) -> Result<Vec<(usize, f64)>, ParPanic> {
+    iv_filter_cached(train, alpha, beta, par, None)
+}
+
+/// [`iv_filter_par`] with an optional [`StatsCache`]: columns whose IV is
+/// already cached (keyed by name + β) skip the computation; only the misses
+/// run through the parallel map, and their values are stored back. The kept
+/// set is bit-identical with and without a cache.
+pub fn iv_filter_cached(
+    train: &Dataset,
+    alpha: f64,
+    beta: usize,
+    par: Parallelism,
+    cache: Option<&mut StatsCache>,
+) -> Result<Vec<(usize, f64)>, ParPanic> {
     safe_data::failpoint!("select/iv-empty" => return Ok(Vec::new()));
     let Some(labels) = train.labels() else {
         return Ok(Vec::new());
     };
     let cols: Vec<&[f64]> = train.columns().collect();
-    let ivs = safe_stats::par::try_par_map(par, cols.len(), |f| {
+    let compute = |f: usize| {
         safe_data::failpoint!(
             "select/iv-worker-panic" => panic!("injected worker panic: select/iv-worker-panic")
         );
         information_value(cols[f], labels, beta).unwrap_or(0.0)
-    })?;
+    };
+    let ivs: Vec<f64> = match cache {
+        None => safe_stats::par::try_par_map(par, cols.len(), compute)?,
+        Some(cache) => {
+            let names = train.feature_names();
+            let mut resolved: Vec<Option<f64>> =
+                names.iter().map(|n| cache.iv_lookup(n, beta)).collect();
+            let miss_idx: Vec<usize> = (0..cols.len())
+                .filter(|&f| resolved[f].is_none())
+                .collect();
+            let computed =
+                safe_stats::par::try_par_map(par, miss_idx.len(), |k| compute(miss_idx[k]))?;
+            for (&f, &iv) in miss_idx.iter().zip(&computed) {
+                cache.iv_insert(names[f], beta, iv);
+                resolved[f] = Some(iv);
+            }
+            resolved.into_iter().map(|v| v.unwrap_or(0.0)).collect()
+        }
+    };
     Ok(ivs
         .into_iter()
         .enumerate()
@@ -83,6 +123,22 @@ pub fn redundancy_filter_observed(
     theta: f64,
     par: Parallelism,
 ) -> Result<(Vec<usize>, u64), ParPanic> {
+    redundancy_filter_cached(train, survivors, theta, par, None)
+}
+
+/// [`redundancy_filter_observed`] with an optional [`StatsCache`]: pair
+/// correlations already cached (keyed by the unordered column-name pair) are
+/// reused; only the missing pairs are computed (in parallel) and stored
+/// back. `pairs_compared` counts every pair examined, hit or miss, so the
+/// telemetry flow is identical with and without a cache — and so is the
+/// kept set, bitwise.
+pub fn redundancy_filter_cached(
+    train: &Dataset,
+    survivors: &[(usize, f64)],
+    theta: f64,
+    par: Parallelism,
+    mut cache: Option<&mut StatsCache>,
+) -> Result<(Vec<usize>, u64), ParPanic> {
     let mut pairs_compared: u64 = 0;
     let mut order: Vec<(usize, f64)> = survivors.to_vec();
     order.sort_by(|a, b| {
@@ -91,6 +147,7 @@ pub fn redundancy_filter_observed(
             .then(a.0.cmp(&b.0))
     });
     let cols: Vec<&[f64]> = train.columns().collect();
+    let names = train.feature_names();
     let mut kept: Vec<usize> = Vec::new();
     for &(candidate, _) in &order {
         // Out-of-range survivor indices cannot be kept (defensive: survivor
@@ -100,10 +157,31 @@ pub fn redundancy_filter_observed(
         };
         // Compare against all kept features in parallel; any hit disqualifies.
         pairs_compared += kept.len() as u64;
-        let hits = safe_stats::par::try_par_map(par, kept.len(), |i| {
-            pearson(col, cols[kept[i]]).abs() > theta
-        })?;
-        if !hits.iter().any(|&h| h) {
+        let redundant = match cache.as_mut() {
+            None => {
+                let hits = safe_stats::par::try_par_map(par, kept.len(), |i| {
+                    pearson(col, cols[kept[i]]).abs() > theta
+                })?;
+                hits.into_iter().any(|h| h)
+            }
+            Some(cache) => {
+                let mut rho: Vec<Option<f64>> = kept
+                    .iter()
+                    .map(|&k| cache.pearson_lookup(names[candidate], names[k]))
+                    .collect();
+                let miss_idx: Vec<usize> =
+                    (0..kept.len()).filter(|&i| rho[i].is_none()).collect();
+                let computed = safe_stats::par::try_par_map(par, miss_idx.len(), |j| {
+                    pearson(col, cols[kept[miss_idx[j]]])
+                })?;
+                for (&i, &r) in miss_idx.iter().zip(&computed) {
+                    cache.pearson_insert(names[candidate], names[kept[i]], r);
+                    rho[i] = Some(r);
+                }
+                rho.into_iter().any(|r| r.unwrap_or(0.0).abs() > theta)
+            }
+        };
+        if !redundant {
             kept.push(candidate);
         }
     }
@@ -136,6 +214,25 @@ pub fn rank_and_cap_observed(
     sink: &dyn safe_obs::EventSink,
     iteration: Option<usize>,
 ) -> Result<(Vec<usize>, safe_gbm::GbmFitStats), GbmError> {
+    rank_and_cap_cached(train, valid, survivors, ranker, cap, None, sink, iteration)
+}
+
+/// [`rank_and_cap_observed`] with an optional [`BinCache`] for the internal
+/// ranking booster. Column selection preserves names and values, so binned
+/// columns cached by the miner (or a previous iteration's ranker) are reused
+/// directly; the trained model — and therefore the returned ranking — is
+/// bit-identical with and without the cache.
+#[allow(clippy::too_many_arguments)]
+pub fn rank_and_cap_cached(
+    train: &Dataset,
+    valid: Option<&Dataset>,
+    survivors: &[usize],
+    ranker: &GbmConfig,
+    cap: usize,
+    cache: Option<&mut BinCache>,
+    sink: &dyn safe_obs::EventSink,
+    iteration: Option<usize>,
+) -> Result<(Vec<usize>, safe_gbm::GbmFitStats), GbmError> {
     safe_data::failpoint!("select/rank", GbmError::Injected("select/rank"));
     if survivors.is_empty() {
         return Ok((Vec::new(), safe_gbm::GbmFitStats::default()));
@@ -149,9 +246,10 @@ pub fn rank_and_cap_observed(
         Some(v) => Some(v.select_columns(survivors)?),
         None => None,
     };
-    let (model, stats) = Gbm::new(ranker.clone()).fit_observed(
+    let (model, stats) = Gbm::new(ranker.clone()).fit_cached_observed(
         &sub_train,
         sub_valid.as_ref(),
+        cache,
         sink,
         safe_obs::stages::RANK_TOPK,
         iteration,

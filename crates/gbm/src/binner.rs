@@ -6,9 +6,37 @@
 //! and gives cache-friendly access. With `max_bins` at least the number of
 //! distinct values, the quantization is lossless and split finding is exact
 //! greedy.
+//!
+//! # Incremental binning and the cross-iteration cache
+//!
+//! SAFE retrains a GBM every iteration on a matrix that is mostly *unchanged*:
+//! survivors of the previous selection keep their exact values (selection
+//! copies columns, it never rewrites them), and only the freshly generated
+//! candidates X̃ are new. [`BinnedDataset`] therefore exposes an incremental
+//! surface — [`BinnedDataset::fit`] for a whole dataset,
+//! [`BinnedDataset::extend_with`] to append further columns — and a
+//! [`BinCache`] that keys finished `(mapper, bin column)` pairs by **column
+//! provenance** (the column name: generated names encode operator + parents,
+//! names are unique within a dataset, and a name's values are immutable
+//! within a run). A cache hit hands back shared [`Arc`]s, so re-binning a
+//! surviving column costs a map lookup instead of an `O(n_rows)` quantile
+//! fit — and is *bit-identical* to refitting, because quantization is a
+//! deterministic function of the (unchanged) values.
+//!
+//! The cache is guarded by row count: entries are keyed by `(name,
+//! max_bins)` and the whole cache self-invalidates when a fit arrives with a
+//! different `n_rows` (a different dataset, not a different iteration).
+//! Fields of [`BinnedDataset`] are module-private so these invariants cannot
+//! be bypassed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use safe_data::binning::{BinEdges, BinStrategy};
 use safe_data::dataset::Dataset;
+use safe_stats::par::{par_map, Parallelism};
+
+use crate::error::GbmError;
 
 /// Per-feature mapping between raw values and bin indices.
 #[derive(Debug, Clone)]
@@ -70,58 +98,218 @@ impl BinMapper {
     }
 }
 
-/// A dataset quantized for training: column-major `u16` bin indices plus the
-/// per-feature mappers.
+/// One finished column of a [`BinnedDataset`]: the fitted mapper plus the
+/// quantized `u16` column, shareable between the cache and any number of
+/// binned datasets.
 #[derive(Debug, Clone)]
-pub struct BinnedMatrix {
-    /// `bins[f][row]` = bin index of feature `f` at `row`.
-    pub bins: Vec<Vec<u16>>,
-    /// Per-feature mappers (same order as `bins`).
-    pub mappers: Vec<BinMapper>,
-    /// Number of rows.
-    pub n_rows: usize,
+struct BinnedColumn {
+    mapper: Arc<BinMapper>,
+    bins: Arc<Vec<u16>>,
 }
 
-impl BinnedMatrix {
-    /// Quantize every feature of a dataset with auto-detected parallelism.
-    pub fn from_dataset(ds: &Dataset, max_bins: usize) -> BinnedMatrix {
-        Self::from_dataset_par(ds, max_bins, safe_stats::par::Parallelism::auto())
+fn quantize(values: &[f64], max_bins: usize) -> BinnedColumn {
+    let mapper = BinMapper::fit(values, max_bins);
+    let bins = values.iter().map(|&v| mapper.bin(v)).collect();
+    BinnedColumn { mapper: Arc::new(mapper), bins: Arc::new(bins) }
+}
+
+/// Cross-iteration cache of quantized columns, keyed by column provenance.
+///
+/// The key is `(column name, max_bins)`. Within one SAFE run a column name
+/// is a stable identity: generated names encode the operator and parent
+/// names, [`Dataset`] rejects duplicate names, and selection copies column
+/// values verbatim — so equal name ⇒ equal values ⇒ the cached quantization
+/// is exactly what a fresh fit would produce. The cache self-invalidates
+/// (drops every entry) when asked to bin a dataset with a different row
+/// count, which is the one observable way "same name, different column" can
+/// happen across runs.
+#[derive(Debug, Default)]
+pub struct BinCache {
+    entries: HashMap<(String, usize), BinnedColumn>,
+    n_rows: Option<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BinCache {
+    /// An empty cache.
+    pub fn new() -> BinCache {
+        BinCache::default()
     }
 
+    /// Cumulative cache hits (columns reused instead of re-binned).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative cache misses (columns quantized fresh).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (counters are kept — they describe the run, not the
+    /// current contents).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.n_rows = None;
+    }
+
+    /// Guard an incoming fit: a row-count change means a different dataset,
+    /// so every cached column is stale.
+    fn guard_rows(&mut self, n_rows: usize) {
+        if self.n_rows != Some(n_rows) {
+            if self.n_rows.is_some() {
+                self.invalidate();
+            }
+            self.n_rows = Some(n_rows);
+        }
+    }
+}
+
+/// A dataset quantized for training: column-major `u16` bin indices plus the
+/// per-feature mappers. Construct with [`BinnedDataset::fit`] (optionally
+/// through a [`BinCache`]) and grow with [`BinnedDataset::extend_with`];
+/// fields are private so the cache-sharing and shape invariants hold by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    columns: Vec<BinnedColumn>,
+    n_rows: usize,
+    max_bins: usize,
+}
+
+impl BinnedDataset {
     /// Quantize every feature of a dataset. Mapper fitting and column
     /// quantization run across up to `par.resolve()` scoped threads;
     /// per-feature results are merged in column order, so the matrix is
     /// identical for any thread count.
-    pub fn from_dataset_par(
+    pub fn fit(ds: &Dataset, max_bins: usize, par: Parallelism) -> BinnedDataset {
+        let mut out = BinnedDataset {
+            columns: Vec::new(),
+            n_rows: ds.n_rows(),
+            max_bins,
+        };
+        out.extend_columns(ds, par, None);
+        out
+    }
+
+    /// [`BinnedDataset::fit`] through a cross-iteration cache: columns whose
+    /// `(name, max_bins)` key is cached are shared (no work); the rest are
+    /// quantized fresh (in parallel) and inserted. Bit-identical to an
+    /// uncached [`BinnedDataset::fit`] of the same dataset.
+    pub fn fit_cached(
         ds: &Dataset,
         max_bins: usize,
-        par: safe_stats::par::Parallelism,
-    ) -> BinnedMatrix {
-        let n_cols = ds.n_cols();
-        let cols: Vec<&[f64]> = ds.columns().collect();
-        let per_feature: Vec<(BinMapper, Vec<u16>)> =
-            safe_stats::par::par_map(par, n_cols, |f| {
-                let col = cols[f];
-                let mapper = BinMapper::fit(col, max_bins);
-                let binned = col.iter().map(|&v| mapper.bin(v)).collect();
-                (mapper, binned)
-            });
-        let mut mappers = Vec::with_capacity(n_cols);
-        let mut bins = Vec::with_capacity(n_cols);
-        for (m, b) in per_feature {
-            mappers.push(m);
-            bins.push(b);
-        }
-        BinnedMatrix {
-            bins,
-            mappers,
+        par: Parallelism,
+        cache: &mut BinCache,
+    ) -> BinnedDataset {
+        cache.guard_rows(ds.n_rows());
+        let mut out = BinnedDataset {
+            columns: Vec::new(),
             n_rows: ds.n_rows(),
+            max_bins,
+        };
+        out.extend_columns(ds, par, Some(cache));
+        out
+    }
+
+    /// Append every column of `ds` (same rows, new features) to this binned
+    /// dataset — the incremental path for SAFE's per-iteration candidates
+    /// X̃, which re-bins **only** the appended columns. Equals a fresh
+    /// [`BinnedDataset::fit`] of the concatenated matrix.
+    pub fn extend_with(&mut self, ds: &Dataset, par: Parallelism) -> Result<(), GbmError> {
+        if ds.n_rows() != self.n_rows {
+            return Err(GbmError::Config(format!(
+                "extend_with row mismatch: binned dataset has {} rows, appended columns have {}",
+                self.n_rows,
+                ds.n_rows()
+            )));
+        }
+        self.extend_columns(ds, par, None);
+        Ok(())
+    }
+
+    /// Shared tail of `fit`/`fit_cached`/`extend_with`: quantize (or look
+    /// up) each column of `ds` and append in column order.
+    fn extend_columns(&mut self, ds: &Dataset, par: Parallelism, cache: Option<&mut BinCache>) {
+        let cols: Vec<&[f64]> = ds.columns().collect();
+        match cache {
+            None => {
+                let fitted = par_map(par, cols.len(), |f| quantize(cols[f], self.max_bins));
+                self.columns.extend(fitted);
+            }
+            Some(cache) => {
+                let names = ds.feature_names();
+                // Resolve hits serially (map lookups), quantize the misses in
+                // parallel, then merge back in column order.
+                let mut resolved: Vec<Option<BinnedColumn>> = Vec::with_capacity(cols.len());
+                let mut miss_idx: Vec<usize> = Vec::new();
+                for (f, name) in names.iter().enumerate() {
+                    match cache.entries.get(&(name.to_string(), self.max_bins)) {
+                        Some(hit) => {
+                            cache.hits += 1;
+                            resolved.push(Some(hit.clone()));
+                        }
+                        None => {
+                            miss_idx.push(f);
+                            resolved.push(None);
+                        }
+                    }
+                }
+                let fitted = par_map(par, miss_idx.len(), |i| {
+                    quantize(cols[miss_idx[i]], self.max_bins)
+                });
+                for (&f, col) in miss_idx.iter().zip(fitted) {
+                    cache.misses += 1;
+                    cache
+                        .entries
+                        .insert((names[f].to_string(), self.max_bins), col.clone());
+                    resolved[f] = Some(col);
+                }
+                for (f, col) in resolved.into_iter().enumerate() {
+                    self.columns.push(match col {
+                        Some(col) => col,
+                        // Unreachable: every index is a hit or in miss_idx.
+                        None => quantize(cols[f], self.max_bins),
+                    });
+                }
+            }
         }
     }
 
     /// Number of features.
     pub fn n_features(&self) -> usize {
-        self.bins.len()
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Quantization budget the columns were fitted with.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// The `u16` bin column of feature `f` (`bins(f)[row]` = bin index).
+    pub fn bins(&self, f: usize) -> &[u16] {
+        &self.columns[f].bins
+    }
+
+    /// The fitted mapper of feature `f`.
+    pub fn mapper(&self, f: usize) -> &BinMapper {
+        &self.columns[f].mapper
     }
 }
 
@@ -184,18 +372,22 @@ mod tests {
         }
     }
 
-    #[test]
-    fn binned_matrix_shape() {
-        let ds = Dataset::from_columns(
+    fn two_col_dataset() -> Dataset {
+        Dataset::from_columns(
             vec!["a".into(), "b".into()],
             vec![vec![1.0, 2.0, 3.0], vec![9.0, 8.0, 7.0]],
             None,
         )
-        .unwrap();
-        let bm = BinnedMatrix::from_dataset(&ds, 16);
+        .unwrap()
+    }
+
+    #[test]
+    fn binned_dataset_shape() {
+        let bm = BinnedDataset::fit(&two_col_dataset(), 16, Parallelism::auto());
         assert_eq!(bm.n_features(), 2);
-        assert_eq!(bm.n_rows, 3);
-        assert_eq!(bm.bins[0].len(), 3);
+        assert_eq!(bm.n_rows(), 3);
+        assert_eq!(bm.bins(0).len(), 3);
+        assert_eq!(bm.max_bins(), 16);
     }
 
     #[test]
@@ -203,5 +395,117 @@ mod tests {
         let m = BinMapper::fit(&[5.0; 20], 8);
         assert_eq!(m.n_split_candidates(), 0);
         assert_eq!(m.n_value_bins(), 1);
+    }
+
+    fn assert_binned_eq(a: &BinnedDataset, b: &BinnedDataset) {
+        assert_eq!(a.n_features(), b.n_features());
+        assert_eq!(a.n_rows(), b.n_rows());
+        for f in 0..a.n_features() {
+            assert_eq!(a.bins(f), b.bins(f), "bin column {f} differs");
+            assert_eq!(
+                a.mapper(f).n_value_bins(),
+                b.mapper(f).n_value_bins(),
+                "mapper {f} differs"
+            );
+            for s in 0..a.mapper(f).n_split_candidates() as u16 {
+                assert_eq!(
+                    a.mapper(f).threshold(s).to_bits(),
+                    b.mapper(f).threshold(s).to_bits(),
+                    "threshold {s} of feature {f} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_with_equals_fresh_fit_of_concatenation() {
+        let base = two_col_dataset();
+        let extra = Dataset::from_columns(
+            vec!["c".into()],
+            vec![vec![0.5, f64::NAN, 2.5]],
+            None,
+        )
+        .unwrap();
+        let mut incremental = BinnedDataset::fit(&base, 16, Parallelism::auto());
+        incremental.extend_with(&extra, Parallelism::auto()).unwrap();
+
+        let concat = Dataset::from_columns(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![9.0, 8.0, 7.0], vec![0.5, f64::NAN, 2.5]],
+            None,
+        )
+        .unwrap();
+        let fresh = BinnedDataset::fit(&concat, 16, Parallelism::auto());
+        assert_binned_eq(&incremental, &fresh);
+    }
+
+    #[test]
+    fn extend_with_rejects_row_mismatch() {
+        let mut bm = BinnedDataset::fit(&two_col_dataset(), 16, Parallelism::auto());
+        let wrong = Dataset::from_columns(vec!["c".into()], vec![vec![1.0, 2.0]], None).unwrap();
+        assert!(bm.extend_with(&wrong, Parallelism::auto()).is_err());
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_cold_fits() {
+        let ds = two_col_dataset();
+        let mut cache = BinCache::new();
+        let first = BinnedDataset::fit_cached(&ds, 16, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        let second = BinnedDataset::fit_cached(&ds, 16, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.hits(), 2, "second fit must be all hits");
+        let cold = BinnedDataset::fit(&ds, 16, Parallelism::auto());
+        assert_binned_eq(&first, &cold);
+        assert_binned_eq(&second, &cold);
+    }
+
+    #[test]
+    fn cache_keys_by_max_bins() {
+        let ds = two_col_dataset();
+        let mut cache = BinCache::new();
+        let _ = BinnedDataset::fit_cached(&ds, 16, Parallelism::auto(), &mut cache);
+        let _ = BinnedDataset::fit_cached(&ds, 8, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.hits(), 0, "different max_bins must not hit");
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cache_invalidates_on_row_count_change() {
+        let ds = two_col_dataset();
+        let mut cache = BinCache::new();
+        let _ = BinnedDataset::fit_cached(&ds, 16, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.len(), 2);
+        let other = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            None,
+        )
+        .unwrap();
+        let _ = BinnedDataset::fit_cached(&other, 16, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.len(), 2, "stale 3-row entries dropped, 2-row entries in");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn cached_subset_selection_reuses_columns() {
+        // Selection drops/reorders columns but keeps values: binning the
+        // subset through the cache must be pure hits.
+        let ds = Dataset::from_columns(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![9.0, 8.0, 7.0], vec![4.0, 5.0, 6.0]],
+            None,
+        )
+        .unwrap();
+        let mut cache = BinCache::new();
+        let _ = BinnedDataset::fit_cached(&ds, 16, Parallelism::auto(), &mut cache);
+        let subset = ds.select_columns(&[2, 0]).unwrap();
+        let binned = BinnedDataset::fit_cached(&subset, 16, Parallelism::auto(), &mut cache);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 3);
+        let cold = BinnedDataset::fit(&subset, 16, Parallelism::auto());
+        assert_binned_eq(&binned, &cold);
     }
 }

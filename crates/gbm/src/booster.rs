@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use safe_data::dataset::Dataset;
 use safe_obs::EventSink;
 
-use crate::binner::BinnedMatrix;
+use crate::binner::{BinCache, BinnedDataset};
 use crate::config::{GbmConfig, Objective};
 use crate::error::GbmError;
 use crate::grow::{grow_tree_observed, GrowStats};
@@ -23,8 +23,15 @@ pub struct GbmFitStats {
     pub rounds_run: u64,
     /// Trees in the final model (after early-stopping truncation).
     pub trees_kept: u64,
-    /// Aggregated tree-construction telemetry (histogram builds, nodes
-    /// grown per depth).
+    /// Binned columns reused from a [`BinCache`] supplied to
+    /// [`Gbm::fit_cached`] (0 when training uncached).
+    pub cache_bin_hits: u64,
+    /// Columns quantized from raw values during this fit. Under a cache
+    /// this counts only the newly seen columns; uncached it equals the
+    /// feature count.
+    pub cache_bin_misses: u64,
+    /// Aggregated tree-construction telemetry (histogram builds and
+    /// subtractions, nodes grown per depth).
     pub grow: GrowStats,
 }
 
@@ -60,13 +67,28 @@ impl Gbm {
     /// AUC.
     pub fn fit(&self, train: &Dataset, valid: Option<&Dataset>) -> Result<GbmModel, GbmError> {
         let mut stats = GbmFitStats::default();
-        self.fit_inner(train, valid, &mut stats)
+        self.fit_inner(train, valid, None, &mut stats)
+    }
+
+    /// [`Gbm::fit`] reusing binned columns from `cache` across fits: columns
+    /// whose `(name, max_bins)` key is already cached skip quantization
+    /// entirely, and newly quantized columns are stored back for the next
+    /// fit. Results are bit-identical to an uncached [`Gbm::fit`].
+    pub fn fit_cached(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        cache: &mut BinCache,
+    ) -> Result<GbmModel, GbmError> {
+        let mut stats = GbmFitStats::default();
+        self.fit_inner(train, valid, Some(cache), &mut stats)
     }
 
     /// [`Gbm::fit`], additionally emitting training counters through `sink`
     /// (attributed to `stage`/`iteration`) and returning them. Emitted
     /// counters: `gbm_rounds`, `gbm_trees`, `histogram_builds`,
-    /// `nodes_grown`, and `nodes_depth<d>` per tree level.
+    /// `histogram_subtractions`, `nodes_grown`, and `nodes_depth<d>` per
+    /// tree level.
     pub fn fit_observed(
         &self,
         train: &Dataset,
@@ -75,14 +97,41 @@ impl Gbm {
         stage: &str,
         iteration: Option<usize>,
     ) -> Result<(GbmModel, GbmFitStats), GbmError> {
+        self.fit_cached_observed(train, valid, None, sink, stage, iteration)
+    }
+
+    /// [`Gbm::fit_observed`] with an optional [`BinCache`]. When a cache is
+    /// supplied the additional counters `cache_bin_hits` /
+    /// `cache_bin_misses` record how many binned columns were reused versus
+    /// quantized fresh during this fit.
+    pub fn fit_cached_observed(
+        &self,
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        cache: Option<&mut BinCache>,
+        sink: &dyn EventSink,
+        stage: &str,
+        iteration: Option<usize>,
+    ) -> Result<(GbmModel, GbmFitStats), GbmError> {
         let mut stats = GbmFitStats::default();
-        let model = self.fit_inner(train, valid, &mut stats)?;
+        let cached = cache.is_some();
+        let model = self.fit_inner(train, valid, cache, &mut stats)?;
         sink.counter(stage, iteration, "gbm_rounds", stats.rounds_run);
         sink.counter(stage, iteration, "gbm_trees", stats.trees_kept);
         sink.counter(stage, iteration, "histogram_builds", stats.grow.histogram_builds);
+        sink.counter(
+            stage,
+            iteration,
+            "histogram_subtractions",
+            stats.grow.histogram_subtractions,
+        );
         sink.counter(stage, iteration, "nodes_grown", stats.grow.total_nodes());
         for (depth, &n) in stats.grow.nodes_per_depth.iter().enumerate() {
             sink.counter(stage, iteration, &format!("nodes_depth{depth}"), n);
+        }
+        if cached {
+            sink.counter(stage, iteration, "cache_bin_hits", stats.cache_bin_hits);
+            sink.counter(stage, iteration, "cache_bin_misses", stats.cache_bin_misses);
         }
         Ok((model, stats))
     }
@@ -91,6 +140,7 @@ impl Gbm {
         &self,
         train: &Dataset,
         valid: Option<&Dataset>,
+        cache: Option<&mut BinCache>,
         stats: &mut GbmFitStats,
     ) -> Result<GbmModel, GbmError> {
         safe_data::failpoint!("gbm/fit-begin", GbmError::Injected("gbm/fit-begin"));
@@ -103,8 +153,21 @@ impl Gbm {
             return Err(GbmError::EmptyTraining);
         }
 
-        let binned =
-            BinnedMatrix::from_dataset_par(train, self.config.max_bins, self.config.parallelism);
+        let binned = match cache {
+            Some(cache) => {
+                let (h0, m0) = (cache.hits(), cache.misses());
+                let binned = BinnedDataset::fit_cached(
+                    train,
+                    self.config.max_bins,
+                    self.config.parallelism,
+                    cache,
+                );
+                stats.cache_bin_hits = cache.hits() - h0;
+                stats.cache_bin_misses = cache.misses() - m0;
+                binned
+            }
+            None => BinnedDataset::fit(train, self.config.max_bins, self.config.parallelism),
+        };
         let base = base_margin(self.config.objective, labels);
         let mut margins = vec![base; n];
         let train_cols: Vec<&[f64]> = train.columns().collect();
@@ -401,7 +464,7 @@ mod tests {
         let train = toy(300, 4);
         let labels = train.labels().unwrap().to_vec();
         let mut margins = vec![crate::loss::base_margin(Objective::Squared, &labels); 300];
-        let binned = BinnedMatrix::from_dataset(&train, 256);
+        let binned = BinnedDataset::fit(&train, 256, safe_stats::par::Parallelism::auto());
         let cols: Vec<&[f64]> = train.columns().collect();
         let config = GbmConfig {
             objective: Objective::Squared,
@@ -423,6 +486,31 @@ mod tests {
             let loss = crate::loss::mean_loss(Objective::Squared, &margins, &labels);
             assert!(loss <= last + 1e-9, "loss rose: {last} -> {loss}");
             last = loss;
+        }
+    }
+
+    #[test]
+    fn fit_cached_is_bit_identical_to_fit() {
+        let train = toy(400, 12);
+        let test = toy(150, 13);
+        let config = GbmConfig {
+            n_rounds: 15,
+            subsample: 0.8,
+            colsample: 0.8,
+            seed: 3,
+            ..GbmConfig::default()
+        };
+        let cold = Gbm::new(config.clone()).fit(&train, None).unwrap();
+        let mut cache = BinCache::new();
+        // First cached fit populates the cache, second one hits it fully.
+        let warm1 = Gbm::new(config.clone()).fit_cached(&train, None, &mut cache).unwrap();
+        assert_eq!(cache.misses(), 3);
+        let warm2 = Gbm::new(config).fit_cached(&train, None, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 3);
+        let reference: Vec<u64> = cold.predict(&test).iter().map(|p| p.to_bits()).collect();
+        for model in [&warm1, &warm2] {
+            let got: Vec<u64> = model.predict(&test).iter().map(|p| p.to_bits()).collect();
+            assert_eq!(got, reference, "cached fit diverged from uncached fit");
         }
     }
 

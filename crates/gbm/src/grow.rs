@@ -1,15 +1,29 @@
 //! Greedy tree construction over binned features.
+//!
+//! Split finding is histogram-based with the LightGBM-style **subtraction
+//! trick**: a node's histogram equals the per-bin sum of its children's, so
+//! after an in-place partition of the node's rows only the *smaller* child's
+//! histograms are accumulated from rows (`O(child_rows × features)`); the
+//! larger child's are derived as `parent − smaller` (`O(bins × features)`).
+//! [`GrowStats`] tracks how often each path ran (`histogram_builds` vs
+//! `histogram_subtractions`).
 
-use crate::binner::BinnedMatrix;
+use crate::binner::BinnedDataset;
 use crate::config::GbmConfig;
-use crate::histogram::{best_split_for_feature, build_histogram, leaf_weight, SplitInfo};
+use crate::histogram::{
+    best_split_for_feature, build_histogram, leaf_weight, subtract_sibling, HistBin, SplitInfo,
+};
 use crate::tree::{Tree, TreeNode};
 
 /// Construction telemetry for one (or several accumulated) grown trees.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GrowStats {
-    /// Per-feature histograms built during split finding.
+    /// Per-feature histograms accumulated from rows during split finding
+    /// (the root and every smaller child).
     pub histogram_builds: u64,
+    /// Per-feature histograms derived by `parent − sibling` subtraction
+    /// instead of accumulation (every larger child).
+    pub histogram_subtractions: u64,
     /// Nodes (internal + leaf) created at each depth; index = depth.
     pub nodes_per_depth: Vec<u64>,
 }
@@ -18,6 +32,7 @@ impl GrowStats {
     /// Fold another tree's stats into this accumulator.
     pub fn merge(&mut self, other: &GrowStats) {
         self.histogram_builds += other.histogram_builds;
+        self.histogram_subtractions += other.histogram_subtractions;
         if self.nodes_per_depth.len() < other.nodes_per_depth.len() {
             self.nodes_per_depth.resize(other.nodes_per_depth.len(), 0);
         }
@@ -39,6 +54,10 @@ impl GrowStats {
     }
 }
 
+/// Per-candidate-feature histograms of one node; `None` for features with
+/// no split candidates (constant columns), which are never histogrammed.
+type NodeHistograms = Vec<Option<Vec<HistBin>>>;
+
 /// Grow one regression tree on the given row/feature subsets.
 ///
 /// `grads`/`hesss` are full-length per-row derivative vectors; `rows` selects
@@ -46,7 +65,7 @@ impl GrowStats {
 /// column-subsampled) candidate split features. Leaf values are already
 /// multiplied by the learning rate.
 pub fn grow_tree(
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     grads: &[f64],
     hesss: &[f64],
     rows: Vec<u32>,
@@ -58,31 +77,51 @@ pub fn grow_tree(
 }
 
 /// [`grow_tree`], additionally accumulating construction telemetry into
-/// `stats` (histogram builds, nodes created per depth).
+/// `stats` (histogram builds and subtractions, nodes created per depth).
 pub fn grow_tree_observed(
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     grads: &[f64],
     hesss: &[f64],
-    rows: Vec<u32>,
+    mut rows: Vec<u32>,
     features: &[usize],
     config: &GbmConfig,
     stats: &mut GrowStats,
 ) -> Tree {
     let mut tree = Tree::default();
     tree.nodes.clear();
-    build_node(&mut tree, binned, grads, hesss, rows, features, config, 0, stats);
+    let root_hists = if splittable(0, rows.len(), config) {
+        build_feature_histograms(binned, &rows, grads, hesss, features, config, stats)
+    } else {
+        Vec::new()
+    };
+    let mut scratch = vec![0u32; rows.len()];
+    build_node(
+        &mut tree, binned, grads, hesss, &mut rows, &mut scratch, root_hists, features, config, 0,
+        stats,
+    );
     tree
 }
 
+/// Whether a node at `depth` with `n_rows` rows may attempt a split (and
+/// therefore needs histograms at all).
+fn splittable(depth: usize, n_rows: usize, config: &GbmConfig) -> bool {
+    depth < config.max_depth && n_rows >= 2
+}
+
 /// Recursively build the subtree rooted at the next free arena slot and
-/// return that slot's index.
+/// return that slot's index. `rows`/`scratch` are this node's slices of the
+/// tree-wide row and scratch buffers; `hists` are this node's per-feature
+/// histograms (empty when the node cannot split), *moved* in so the larger
+/// child can reuse the storage via subtraction.
 #[allow(clippy::too_many_arguments)]
 fn build_node(
     tree: &mut Tree,
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     grads: &[f64],
     hesss: &[f64],
-    rows: Vec<u32>,
+    rows: &mut [u32],
+    scratch: &mut [u32],
+    hists: NodeHistograms,
     features: &[usize],
     config: &GbmConfig,
     depth: usize,
@@ -94,10 +133,10 @@ fn build_node(
     });
     let totals = (g, h, rows.len() as u32);
 
-    let split = if depth >= config.max_depth || rows.len() < 2 {
+    let split = if hists.is_empty() {
         None
     } else {
-        find_best_split(binned, grads, hesss, &rows, features, totals, config, stats)
+        find_best_split(binned, &hists, features, totals, config)
     };
 
     match split {
@@ -107,16 +146,28 @@ fn build_node(
             tree.nodes.len() - 1
         }
         Some(split) => {
-            let (left_rows, right_rows) = partition_rows(binned, &rows, &split);
-            debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
-            let threshold = binned.mappers[split.feature].threshold(split.split_bin);
+            let n_left = partition_in_place(binned, rows, scratch, &split);
+            debug_assert!(n_left > 0 && n_left < rows.len());
+            let threshold = binned.mapper(split.feature).threshold(split.split_bin);
             // Reserve this node's slot before the children claim theirs.
             let idx = tree.nodes.len();
             tree.nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
-            let left =
-                build_node(tree, binned, grads, hesss, left_rows, features, config, depth + 1, stats);
-            let right =
-                build_node(tree, binned, grads, hesss, right_rows, features, config, depth + 1, stats);
+
+            let (left_rows, right_rows) = rows.split_at_mut(n_left);
+            let (left_scratch, right_scratch) = scratch.split_at_mut(n_left);
+            let (left_hists, right_hists) = child_histograms(
+                binned, grads, hesss, left_rows, right_rows, hists, features, config, depth + 1,
+                stats,
+            );
+
+            let left = build_node(
+                tree, binned, grads, hesss, left_rows, left_scratch, left_hists, features, config,
+                depth + 1, stats,
+            );
+            let right = build_node(
+                tree, binned, grads, hesss, right_rows, right_scratch, right_hists, features,
+                config, depth + 1, stats,
+            );
             tree.nodes[idx] = TreeNode::Internal {
                 feature: split.feature,
                 threshold,
@@ -130,35 +181,115 @@ fn build_node(
     }
 }
 
-/// Best split across the candidate features, histograms built in parallel.
+/// Histograms for the two children of a just-split node: accumulate the
+/// smaller child from its rows, derive the larger by subtracting it from the
+/// parent's histograms (consumed). Children that cannot split get empty
+/// histogram sets and cost nothing.
 #[allow(clippy::too_many_arguments)]
-fn find_best_split(
-    binned: &BinnedMatrix,
+fn child_histograms(
+    binned: &BinnedDataset,
     grads: &[f64],
     hesss: &[f64],
-    rows: &[u32],
+    left_rows: &[u32],
+    right_rows: &[u32],
+    parent: NodeHistograms,
     features: &[usize],
-    totals: (f64, f64, u32),
+    config: &GbmConfig,
+    child_depth: usize,
+    stats: &mut GrowStats,
+) -> (NodeHistograms, NodeHistograms) {
+    let left_needs = splittable(child_depth, left_rows.len(), config);
+    let right_needs = splittable(child_depth, right_rows.len(), config);
+    let smaller_is_left = left_rows.len() <= right_rows.len();
+    let (small_rows, small_needs, large_needs) = if smaller_is_left {
+        (left_rows, left_needs, right_needs)
+    } else {
+        (right_rows, right_needs, left_needs)
+    };
+
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    if small_needs || large_needs {
+        small = build_feature_histograms(binned, small_rows, grads, hesss, features, config, stats);
+        if large_needs {
+            large = subtract_histograms(parent, &small, stats);
+        }
+        if !small_needs {
+            small = Vec::new();
+        }
+    }
+    if smaller_is_left {
+        (small, large)
+    } else {
+        (large, small)
+    }
+}
+
+/// Accumulate one node's per-feature histograms from its rows, in parallel
+/// across features. Features without split candidates are skipped (`None`).
+fn build_feature_histograms(
+    binned: &BinnedDataset,
+    rows: &[u32],
+    grads: &[f64],
+    hesss: &[f64],
+    features: &[usize],
     config: &GbmConfig,
     stats: &mut GrowStats,
-) -> Option<SplitInfo> {
+) -> NodeHistograms {
     // Counted serially before the parallel map so no atomics are needed:
     // exactly the features with split candidates get a histogram below.
     stats.histogram_builds += features
         .iter()
-        .filter(|&&f| binned.mappers[f].n_split_candidates() > 0)
+        .filter(|&&f| binned.mapper(f).n_split_candidates() > 0)
         .count() as u64;
-    let candidates: Vec<Option<SplitInfo>> =
-        safe_stats::par::par_map_slice(config.parallelism, features, |&f| {
-            let mapper = &binned.mappers[f];
-            if mapper.n_split_candidates() == 0 {
-                return None;
+    safe_stats::par::par_map_slice(config.parallelism, features, |&f| {
+        let mapper = binned.mapper(f);
+        if mapper.n_split_candidates() == 0 {
+            return None;
+        }
+        Some(build_histogram(binned.bins(f), rows, grads, hesss, mapper.n_bins()))
+    })
+}
+
+/// `parent − child` per feature, in place on the parent's storage.
+fn subtract_histograms(
+    mut parent: NodeHistograms,
+    child: &NodeHistograms,
+    stats: &mut GrowStats,
+) -> NodeHistograms {
+    for (p, c) in parent.iter_mut().zip(child) {
+        match (p.as_mut(), c) {
+            (Some(p), Some(c)) => {
+                subtract_sibling(p, c);
+                stats.histogram_subtractions += 1;
             }
-            let hist = build_histogram(&binned.bins[f], rows, grads, hesss, mapper.n_bins());
+            // None-ness is a pure function of the mapper, so parent and
+            // child entries always align; nothing to subtract otherwise.
+            _ => {}
+        }
+    }
+    parent
+}
+
+/// Best split across the candidate features from the node's prebuilt
+/// histograms; the scan runs in parallel across features and ties resolve
+/// to the first feature in candidate order (deterministic for any thread
+/// count).
+fn find_best_split(
+    binned: &BinnedDataset,
+    hists: &NodeHistograms,
+    features: &[usize],
+    totals: (f64, f64, u32),
+    config: &GbmConfig,
+) -> Option<SplitInfo> {
+    let candidates: Vec<Option<SplitInfo>> =
+        safe_stats::par::par_map(config.parallelism, features.len(), |i| {
+            let hist = hists[i].as_ref()?;
+            let f = features[i];
             best_split_for_feature(
                 f,
-                &hist,
-                mapper.n_value_bins(),
+                hist,
+                binned.mapper(f).n_value_bins(),
                 totals,
                 config.lambda,
                 config.gamma,
@@ -171,13 +302,21 @@ fn find_best_split(
         .max_by(|a, b| a.gain.total_cmp(&b.gain))
 }
 
-/// Route each row left or right according to the chosen split.
-fn partition_rows(binned: &BinnedMatrix, rows: &[u32], split: &SplitInfo) -> (Vec<u32>, Vec<u32>) {
-    let bins = &binned.bins[split.feature];
-    let missing = binned.mappers[split.feature].missing_bin();
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &r in rows {
+/// Stable in-place partition: rows routed left keep their order at the
+/// front of `rows`, rows routed right keep theirs at the back (staged
+/// through `scratch`). Returns the left count.
+fn partition_in_place(
+    binned: &BinnedDataset,
+    rows: &mut [u32],
+    scratch: &mut [u32],
+    split: &SplitInfo,
+) -> usize {
+    let bins = binned.bins(split.feature);
+    let missing = binned.mapper(split.feature).missing_bin();
+    let mut n_left = 0usize;
+    let mut n_right = 0usize;
+    for i in 0..rows.len() {
+        let r = rows[i];
         let b = bins[r as usize];
         let go_left = if b == missing {
             split.default_left
@@ -185,12 +324,15 @@ fn partition_rows(binned: &BinnedMatrix, rows: &[u32], split: &SplitInfo) -> (Ve
             b <= split.split_bin
         };
         if go_left {
-            left.push(r);
+            rows[n_left] = r;
+            n_left += 1;
         } else {
-            right.push(r);
+            scratch[n_right] = r;
+            n_right += 1;
         }
     }
-    (left, right)
+    rows[n_left..].copy_from_slice(&scratch[..n_right]);
+    n_left
 }
 
 #[cfg(test)]
@@ -198,11 +340,12 @@ mod tests {
     use super::*;
     use crate::config::Objective;
     use safe_data::dataset::Dataset;
+    use safe_stats::par::Parallelism;
 
-    fn binned_of(cols: Vec<Vec<f64>>) -> BinnedMatrix {
+    fn binned_of(cols: Vec<Vec<f64>>) -> BinnedDataset {
         let names = (0..cols.len()).map(|i| format!("f{i}")).collect();
         let ds = Dataset::from_columns(names, cols, None).unwrap();
-        BinnedMatrix::from_dataset(&ds, 256)
+        BinnedDataset::fit(&ds, 256, Parallelism::auto())
     }
 
     fn grads_for(labels: &[u8]) -> (Vec<f64>, Vec<f64>) {
@@ -338,5 +481,37 @@ mod tests {
         let config = GbmConfig { gamma: 1e9, ..GbmConfig::default() };
         let tree = grow_tree(&binned, &g, &h, (0..100).collect(), &[0], &config);
         assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn subtraction_is_exercised_and_counted() {
+        // A depth-3 tree on splittable data must derive at least one larger
+        // child by subtraction, and every histogram either came from rows or
+        // from a subtraction — never both for the same node/feature.
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 31) % 200) as f64).collect();
+        let labels: Vec<u8> = (0..200).map(|i| ((i / 25) % 2) as u8).collect();
+        let binned = binned_of(vec![x, y]);
+        let (g, h) = grads_for(&labels);
+        let config = GbmConfig { max_depth: 3, ..GbmConfig::default() };
+        let mut stats = GrowStats::default();
+        let tree =
+            grow_tree_observed(&binned, &g, &h, (0..200).collect(), &[0, 1], &config, &mut stats);
+        assert!(tree.depth() >= 2, "need internal structure for this test");
+        assert!(stats.histogram_subtractions > 0, "{stats:?}");
+        assert!(stats.histogram_builds > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn stable_partition_preserves_relative_row_order() {
+        let x = vec![5.0, 1.0, 5.0, 1.0, 5.0, 1.0];
+        let binned = binned_of(vec![x]);
+        let split = SplitInfo { feature: 0, split_bin: 0, gain: 1.0, default_left: false };
+        let mut rows: Vec<u32> = vec![0, 1, 2, 3, 4, 5];
+        let mut scratch = vec![0u32; 6];
+        let n_left = partition_in_place(&binned, &mut rows, &mut scratch, &split);
+        assert_eq!(n_left, 3);
+        assert_eq!(&rows[..3], &[1, 3, 5], "left side keeps original order");
+        assert_eq!(&rows[3..], &[0, 2, 4], "right side keeps original order");
     }
 }

@@ -31,6 +31,25 @@ pub fn build_histogram(
     hist
 }
 
+/// Derive a sibling histogram by subtraction: `parent − child`, per bin, in
+/// place on the parent's storage (which becomes the sibling's histogram).
+///
+/// This is the histogram-subtraction trick: a node's histogram is exactly
+/// the per-bin sum of its children's, so after building only the *smaller*
+/// child the larger one costs `O(n_bins)` instead of `O(n_rows)`. The
+/// subtraction result is used consistently on both the cached and cold
+/// training paths, so differential bit-identity is unaffected by the
+/// floating-point difference between `parent − child` and direct
+/// accumulation.
+pub fn subtract_sibling(parent: &mut [HistBin], child: &[HistBin]) {
+    debug_assert_eq!(parent.len(), child.len());
+    for (p, c) in parent.iter_mut().zip(child) {
+        p.grad -= c.grad;
+        p.hess -= c.hess;
+        p.count -= c.count;
+    }
+}
+
 /// Leaf objective term `G² / (H + λ)`.
 #[inline]
 fn score(g: f64, h: f64, lambda: f64) -> f64 {
@@ -93,7 +112,14 @@ pub fn best_split_for_feature(
         h_left += cell.hess;
         n_left += cell.count;
 
-        for default_left in [false, true] {
+        // With no missing rows both default directions carry identical
+        // child statistics, and the strict `>` below would keep the first
+        // (`false`) candidate anyway — so scanning `true` is pure waste.
+        // An empty missing bin has exactly zero grad/hess (it is either a
+        // sum over zero rows or a subtraction of two bitwise-equal sums),
+        // so skipping it is bit-identical, not just approximately equal.
+        let directions: &[bool] = if missing.count == 0 { &[false] } else { &[false, true] };
+        for &default_left in directions {
             let (gl, hl, nl) = if default_left {
                 (g_left + missing.grad, h_left + missing.hess, n_left + missing.count)
             } else {
@@ -248,5 +274,121 @@ mod tests {
     fn leaf_weight_is_newton_step() {
         assert!((leaf_weight(4.0, 3.0, 1.0) + 1.0).abs() < 1e-15);
         assert_eq!(leaf_weight(0.0, 5.0, 1.0), 0.0);
+    }
+
+    /// Reference scan that always evaluates both default directions — the
+    /// pre-fix behavior. With an empty missing bin the fixed fast path must
+    /// pin the exact same split (bin, direction, gain bits).
+    fn reference_both_directions(
+        feature: usize,
+        hist: &[HistBin],
+        n_value_bins: usize,
+        totals: (f64, f64, u32),
+        lambda: f64,
+        gamma: f64,
+        min_child_weight: f64,
+    ) -> Option<SplitInfo> {
+        let (g_total, h_total, n_total) = totals;
+        let parent_score = g_total * g_total / (h_total + lambda);
+        let missing = hist.get(n_value_bins).copied().unwrap_or_default();
+        let mut best: Option<SplitInfo> = None;
+        let (mut g_left, mut h_left, mut n_left) = (0.0, 0.0, 0u32);
+        for b in 0..n_value_bins.saturating_sub(1) {
+            let cell = hist[b];
+            g_left += cell.grad;
+            h_left += cell.hess;
+            n_left += cell.count;
+            for default_left in [false, true] {
+                let (gl, hl, nl) = if default_left {
+                    (g_left + missing.grad, h_left + missing.hess, n_left + missing.count)
+                } else {
+                    (g_left, h_left, n_left)
+                };
+                let (gr, hr, nr) = (g_total - gl, h_total - hl, n_total - nl);
+                if nl == 0 || nr == 0 || hl < min_child_weight || hr < min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                    - gamma;
+                if gain <= 0.0 {
+                    continue;
+                }
+                if best.map(|s| gain > s.gain).unwrap_or(true) {
+                    best = Some(SplitInfo { feature, split_bin: b as u16, gain, default_left });
+                }
+            }
+        }
+        best
+    }
+
+    /// Regression: skipping the missing-direction rescan when a feature has
+    /// no NaNs must pin identical splits to the double-scan it replaced,
+    /// across a grid of histogram shapes.
+    #[test]
+    fn empty_missing_bin_skip_pins_identical_splits() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n_value_bins in [1usize, 2, 3, 8, 17] {
+            for trial in 0..50 {
+                let mut hist: Vec<HistBin> = (0..n_value_bins)
+                    .map(|_| HistBin {
+                        grad: next() * 5.0,
+                        hess: next().abs() + 0.01,
+                        count: 1 + (trial % 7) as u32,
+                    })
+                    .collect();
+                hist.push(HistBin::default()); // empty missing bin
+                let t = totals_of(&hist);
+                for (lambda, gamma, mcw) in
+                    [(1.0, 0.0, 0.0), (0.5, 0.1, 0.0), (1.0, 0.0, 0.5)]
+                {
+                    let fast = best_split_for_feature(2, &hist, n_value_bins, t, lambda, gamma, mcw);
+                    let slow =
+                        reference_both_directions(2, &hist, n_value_bins, t, lambda, gamma, mcw);
+                    match (fast, slow) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.split_bin, b.split_bin);
+                            assert_eq!(a.default_left, b.default_left);
+                            assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+                        }
+                        (a, b) => panic!("fast={a:?} slow={b:?} diverged"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_recovers_sibling_exactly_for_disjoint_rows() {
+        // Parent rows = left ∪ right with left ⊂ parent in parent order: the
+        // subtracted sibling must equal the directly built one bit-for-bit
+        // when every bin's mass moves wholesale (count reaches zero), and to
+        // within accumulation error otherwise.
+        let bins = vec![0u16, 1, 2, 0, 1, 2, 3, 3];
+        let rows: Vec<u32> = (0..8).collect();
+        let grads = vec![0.5, -1.25, 2.0, 0.125, -0.75, 1.5, -2.25, 0.0625];
+        let hesss = vec![0.25, 0.5, 0.125, 1.0, 0.75, 0.3125, 0.5, 0.25];
+        let left: Vec<u32> = vec![0, 3, 6, 7]; // bins 0,0,3,3 — full bins move
+        let right: Vec<u32> = vec![1, 2, 4, 5];
+        let parent = build_histogram(&bins, &rows, &grads, &hesss, 5);
+        let left_h = build_histogram(&bins, &left, &grads, &hesss, 5);
+        let right_h = build_histogram(&bins, &right, &grads, &hesss, 5);
+        let mut derived = parent.clone();
+        subtract_sibling(&mut derived, &left_h);
+        for (d, r) in derived.iter().zip(&right_h) {
+            assert_eq!(d.count, r.count);
+            assert!((d.grad - r.grad).abs() < 1e-12, "{} vs {}", d.grad, r.grad);
+            assert!((d.hess - r.hess).abs() < 1e-12);
+        }
+        // Bins fully drained by the child are exactly zero, not epsilon.
+        assert_eq!(derived[0].count, 0);
+        assert_eq!(derived[0].grad.to_bits(), 0.0f64.to_bits());
+        assert_eq!(derived[3].count, 0);
+        assert_eq!(derived[3].grad.to_bits(), 0.0f64.to_bits());
     }
 }

@@ -48,7 +48,7 @@ pub mod importance;
 pub mod loss;
 pub mod tree;
 
-pub use binner::{BinMapper, BinnedMatrix};
+pub use binner::{BinCache, BinMapper, BinnedDataset};
 pub use booster::{Gbm, GbmFitStats, GbmModel};
 pub use error::GbmError;
 pub use grow::GrowStats;

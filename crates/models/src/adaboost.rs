@@ -10,8 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use safe_data::dataset::Dataset;
-use safe_gbm::binner::BinnedMatrix;
+use safe_gbm::binner::BinnedDataset;
 use safe_gbm::tree::Tree;
+use safe_stats::par::Parallelism;
 
 use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
 use crate::tree::{grow_classification_tree, TreeConfig};
@@ -25,6 +26,8 @@ pub struct AdaBoostConfig {
     pub base_depth: usize,
     /// RNG seed (tie-breaking inside base trees).
     pub seed: u64,
+    /// Worker budget for feature quantization (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 impl Default for AdaBoostConfig {
@@ -33,6 +36,7 @@ impl Default for AdaBoostConfig {
             n_estimators: 50,
             base_depth: 1,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -70,7 +74,7 @@ impl Classifier for AdaBoost {
     fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
         let labels = training_labels(train)?.to_vec();
         let n = train.n_rows();
-        let binned = BinnedMatrix::from_dataset(train, 256);
+        let binned = BinnedDataset::fit(train, 256, self.config.parallelism);
         let tree_config = TreeConfig {
             max_depth: self.config.base_depth,
             ..TreeConfig::default()

@@ -6,8 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use safe_data::dataset::Dataset;
-use safe_gbm::binner::BinnedMatrix;
+use safe_gbm::binner::BinnedDataset;
 use safe_gbm::tree::Tree;
+use safe_stats::par::{par_map, Parallelism};
 
 use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
 use crate::tree::{grow_classification_tree, MaxFeatures, Splitter, TreeConfig};
@@ -29,6 +30,8 @@ pub struct ForestConfig {
     pub max_bins: usize,
     /// Seed; member `i` derives seed `seed + i`.
     pub seed: u64,
+    /// Worker budget for member training (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 impl ForestConfig {
@@ -41,6 +44,7 @@ impl ForestConfig {
             max_features: MaxFeatures::Sqrt,
             max_bins: 256,
             seed,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -59,17 +63,18 @@ fn fit_members(
     config: &ForestConfig,
 ) -> Result<Vec<Tree>, ModelError> {
     let labels = training_labels(train)?.to_vec();
-    let binned = BinnedMatrix::from_dataset(train, config.max_bins);
+    let binned = BinnedDataset::fit(train, config.max_bins, config.parallelism);
     let n = train.n_rows();
     let tree_config = TreeConfig {
         max_depth: config.max_depth,
         max_features: config.max_features,
         splitter: config.splitter,
         max_bins: config.max_bins,
+        parallelism: config.parallelism,
         ..TreeConfig::default()
     };
     let weights = vec![1.0; n];
-    let trees = safe_stats::parallel::par_map_indexed(config.n_trees, |i| {
+    let trees = par_map(config.parallelism, config.n_trees, |i| {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         let rows: Vec<u32> = if config.bootstrap {
             (0..n).map(|_| rng.gen_range(0..n as u32)).collect()

@@ -6,6 +6,7 @@
 //! (scikit-learn's `predict_proba` with uniform weights, k = 5).
 
 use safe_data::dataset::Dataset;
+use safe_stats::par::{par_map, Parallelism};
 
 use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
 use crate::scaler::StandardScaler;
@@ -15,6 +16,8 @@ use crate::scaler::StandardScaler;
 pub struct KnnConfig {
     /// Neighborhood size (scikit-learn default: 5).
     pub k: usize,
+    /// Worker budget for query scoring (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 /// The paper's "kNN" classifier.
@@ -27,15 +30,21 @@ impl KNearestNeighbors {
     /// k = 5, the scikit-learn default.
     pub fn default_k() -> Self {
         KNearestNeighbors {
-            config: KnnConfig { k: 5 },
+            config: KnnConfig { k: 5, parallelism: Parallelism::auto() },
         }
     }
 
     /// Custom k.
     pub fn with_k(k: usize) -> Self {
         KNearestNeighbors {
-            config: KnnConfig { k: k.max(1) },
+            config: KnnConfig { k: k.max(1), parallelism: Parallelism::auto() },
         }
+    }
+
+    /// Explicit worker budget for query scoring.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
     }
 }
 
@@ -45,6 +54,7 @@ pub struct FittedKnn {
     train_rows: Vec<Vec<f64>>,
     labels: Vec<u8>,
     k: usize,
+    parallelism: Parallelism,
 }
 
 impl Classifier for KNearestNeighbors {
@@ -60,6 +70,7 @@ impl Classifier for KNearestNeighbors {
             train_rows,
             labels,
             k: self.config.k,
+            parallelism: self.config.parallelism,
         }))
     }
 }
@@ -70,7 +81,7 @@ impl FittedClassifier for FittedKnn {
         let queries = self.scaler.transform_rows(ds);
         let k = self.k.min(self.train_rows.len());
         // One query per parallel task; each scans the training matrix.
-        let out = safe_stats::parallel::par_map_indexed(queries.len(), |qi| {
+        let out = par_map(self.parallelism, queries.len(), |qi| {
             let q = &queries[qi];
             // Max-heap of (dist, label) capped at k via simple insertion —
             // k is tiny (5), so linear maintenance beats a real heap.

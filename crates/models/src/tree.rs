@@ -11,8 +11,9 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use safe_data::dataset::Dataset;
-use safe_gbm::binner::BinnedMatrix;
+use safe_gbm::binner::BinnedDataset;
 use safe_gbm::tree::{Tree, TreeNode};
+use safe_stats::par::Parallelism;
 
 use crate::classifier::{training_labels, Classifier, FittedClassifier, ModelError};
 
@@ -64,6 +65,8 @@ pub struct TreeConfig {
     pub max_bins: usize,
     /// RNG seed (feature subsets, random splits).
     pub seed: u64,
+    /// Worker budget for feature quantization (0 = one worker per core).
+    pub parallelism: Parallelism,
 }
 
 impl Default for TreeConfig {
@@ -76,6 +79,7 @@ impl Default for TreeConfig {
             splitter: Splitter::Best,
             max_bins: 256,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -102,7 +106,7 @@ struct SplitChoice {
 /// Grow a classification tree. Exposed crate-wide so forests and AdaBoost
 /// reuse the same builder with different configs/weights.
 pub(crate) fn grow_classification_tree(
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     labels: &[u8],
     weights: &[f64],
     rows: Vec<u32>,
@@ -118,7 +122,7 @@ pub(crate) fn grow_classification_tree(
 #[allow(clippy::too_many_arguments)]
 fn build(
     tree: &mut Tree,
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     labels: &[u8],
     weights: &[f64],
     rows: Vec<u32>,
@@ -159,7 +163,7 @@ fn build(
                 tree.nodes.push(TreeNode::Leaf { value: leaf_value });
                 return tree.nodes.len() - 1;
             }
-            let threshold = binned.mappers[c.feature].threshold(c.split_bin);
+            let threshold = binned.mapper(c.feature).threshold(c.split_bin);
             let idx = tree.nodes.len();
             tree.nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
             let left = build(tree, binned, labels, weights, left_rows, config, rng, depth + 1);
@@ -178,7 +182,7 @@ fn build(
 }
 
 fn choose_split(
-    binned: &BinnedMatrix,
+    binned: &BinnedDataset,
     labels: &[u8],
     weights: &[f64],
     rows: &[u32],
@@ -202,7 +206,7 @@ fn choose_split(
     let mut best: Option<SplitChoice> = None;
 
     for f in candidates {
-        let mapper = &binned.mappers[f];
+        let mapper = binned.mapper(f);
         let n_splits = mapper.n_split_candidates();
         if n_splits == 0 {
             continue;
@@ -211,7 +215,7 @@ fn choose_split(
         let n_bins = mapper.n_bins();
         let mut wp = vec![0.0f64; n_bins];
         let mut wn = vec![0.0f64; n_bins];
-        let col = &binned.bins[f];
+        let col = binned.bins(f);
         for &r in rows {
             let r = r as usize;
             let b = col[r] as usize;
@@ -291,9 +295,9 @@ fn choose_split(
     best
 }
 
-fn partition(binned: &BinnedMatrix, rows: &[u32], c: &SplitChoice) -> (Vec<u32>, Vec<u32>) {
-    let bins = &binned.bins[c.feature];
-    let missing = binned.mappers[c.feature].missing_bin();
+fn partition(binned: &BinnedDataset, rows: &[u32], c: &SplitChoice) -> (Vec<u32>, Vec<u32>) {
+    let bins = binned.bins(c.feature);
+    let missing = binned.mapper(c.feature).missing_bin();
     let mut left = Vec::new();
     let mut right = Vec::new();
     for &r in rows {
@@ -345,7 +349,7 @@ impl Classifier for DecisionTree {
     }
     fn fit(&self, train: &Dataset) -> Result<Box<dyn FittedClassifier>, ModelError> {
         let labels = training_labels(train)?;
-        let binned = BinnedMatrix::from_dataset(train, self.config.max_bins);
+        let binned = BinnedDataset::fit(train, self.config.max_bins, self.config.parallelism);
         let weights = vec![1.0; train.n_rows()];
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let tree = grow_classification_tree(
@@ -446,7 +450,7 @@ mod tests {
         // Upweighting the positive rows must raise the positive leaf share.
         let ds = step_data(40);
         let labels = ds.labels().unwrap().to_vec();
-        let binned = BinnedMatrix::from_dataset(&ds, 256);
+        let binned = BinnedDataset::fit(&ds, 256, Parallelism::auto());
         let config = TreeConfig { max_depth: 1, ..TreeConfig::default() };
         let mut rng = StdRng::seed_from_u64(0);
         let uniform = vec![1.0; 40];

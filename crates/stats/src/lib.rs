@@ -14,10 +14,11 @@
 //! - [`chi`] — chi-square statistic backing the ChiMerge discretizer,
 //! - [`describe`] — means, variances, quantiles,
 //! - [`par`](mod@par) — the configurable `std::thread::scope` execution
-//!   layer ([`Parallelism`] knob, fixed-order chunk merging, panic capture),
-//! - [`parallel`] — auto-parallel wrappers over [`par`](mod@par) used to
-//!   parallelize per-column IV and per-pair Pearson work (the paper's
-//!   "distributed computing" requirement, realized as thread parallelism).
+//!   layer ([`Parallelism`] knob, fixed-order chunk merging, panic capture)
+//!   used to parallelize per-column IV and per-pair Pearson work (the
+//!   paper's "distributed computing" requirement, realized as thread
+//!   parallelism). Every caller passes its own explicit [`Parallelism`];
+//!   there is no implicit auto-parallel wrapper.
 
 #![warn(missing_docs)]
 
@@ -28,7 +29,6 @@ pub mod divergence;
 pub mod entropy;
 pub mod iv;
 pub mod par;
-pub mod parallel;
 pub mod pearson;
 
 pub use auc::auc;

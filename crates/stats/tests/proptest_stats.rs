@@ -1,10 +1,9 @@
-//! Property tests local to safe-stats: describe/quantile/chi/parallel.
+//! Property tests local to safe-stats: describe/quantile/chi/par.
 
 use proptest::prelude::*;
 
 use safe_stats::chi::{chi_square, chi_square_pair};
 use safe_stats::describe::{describe, quantile};
-use safe_stats::parallel::par_map_indexed;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -75,8 +74,9 @@ proptest! {
     }
 
     #[test]
-    fn par_map_matches_sequential(n in 0usize..2000) {
-        let parallel = par_map_indexed(n, |i| i * i + 1);
+    fn auto_parallelism_matches_sequential(n in 0usize..2000) {
+        use safe_stats::par::{par_map, Parallelism};
+        let parallel = par_map(Parallelism::auto(), n, |i| i * i + 1);
         let sequential: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
         prop_assert_eq!(parallel, sequential);
     }
