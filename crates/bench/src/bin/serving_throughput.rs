@@ -191,7 +191,13 @@ fn main() {
     let existing = read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
-        pipeline_json(&existing.stages, &existing.parallel, &serving, &existing.cache),
+        pipeline_json(
+            &existing.stages,
+            &existing.parallel,
+            &serving,
+            &existing.cache,
+            &existing.resilience,
+        ),
     ) {
         Ok(()) => println!("\nserving rows -> {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

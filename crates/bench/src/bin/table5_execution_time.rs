@@ -7,8 +7,9 @@
 
 use safe_bench::{
     bench_pipeline_path, cache_rows, engineer_split, fmt_secs, pipeline_json, pipeline_rows,
-    timed_safe_fit, traced_safe_cache_report, traced_safe_report, CacheRow, Flags, Method,
-    ParallelRow, PipelineRow, TablePrinter,
+    resilience_rows, timed_safe_fit, traced_checkpointed_report, traced_safe_cache_report,
+    traced_safe_report, CacheRow, Flags, Method, ParallelRow, PipelineRow, ResilienceRow,
+    TablePrinter,
 };
 use safe_datagen::benchmarks::generate_benchmark_scaled;
 use safe_datagen::synth::{generate, SyntheticConfig};
@@ -151,17 +152,45 @@ fn main() {
         (Err(err), _) | (_, Err(err)) => eprintln!("  cache sweep failed: {err}"),
     }
 
+    // Resilience sweep: the same multi-iteration fit with durable
+    // checkpoints on, measuring what each post-iteration snapshot costs
+    // (serialize + write + fsync + rename) against the iteration's wall
+    // time. Checkpoint telemetry is sink-only, so the rows come from the
+    // raw event stream; they land in the `resilience` section of
+    // BENCH_pipeline.json.
+    println!("\nResilience sweep on synth-cache ({cache_iters} iterations, checkpoint on):");
+    let mut resilience_sweep: Vec<ResilienceRow> = Vec::new();
+    let ckpt_dir = std::env::temp_dir().join(format!("safe_bench_ckpt_{}", std::process::id()));
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
+        eprintln!("  could not create checkpoint dir: {e}");
+    } else {
+        match traced_checkpointed_report(&cache_data, seed, cache_iters, &ckpt_dir) {
+            Ok((report, events)) => {
+                resilience_sweep = resilience_rows("synth-cache", &events, &report);
+                for r in &resilience_sweep {
+                    println!(
+                        "  iteration {}: {} bytes in {}us ({:.3}% of the {}us iteration)",
+                        r.iteration, r.ckpt_bytes, r.ckpt_micros, r.overhead_pct, r.iteration_micros
+                    );
+                }
+            }
+            Err(err) => eprintln!("  resilience sweep failed: {err}"),
+        }
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+    }
+
     let out_path = flags
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    // This binary owns `stages`, `parallel`, and `cache`; carry any
-    // existing `serving` rows (written by serving_throughput) through
-    // untouched.
+    // This binary owns `stages`, `parallel`, `cache`, and `resilience`;
+    // carry any existing `serving` rows (written by serving_throughput)
+    // through untouched.
     let existing = safe_bench::read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
-        pipeline_json(&bench_rows, &parallel_rows, &existing.serving, &cache_sweep),
+        pipeline_json(&bench_rows, &parallel_rows, &existing.serving, &cache_sweep, &resilience_sweep),
     ) {
         Ok(()) => println!(
             "\nper-stage SAFE timings ({} rows) -> {out_path}",

@@ -434,6 +434,98 @@ pub fn traced_safe_cache_report(
         .map_err(|e| e.to_string())
 }
 
+/// One row of the `resilience` section of `BENCH_pipeline.json`: what the
+/// durable checkpoint write after one SAFE iteration cost, against that
+/// iteration's total wall time. Checkpoint telemetry is sink-only (it never
+/// lands in the `RunReport`), so the rows come from the raw event stream of
+/// a checkpointed fit.
+#[derive(Debug, Clone)]
+pub struct ResilienceRow {
+    /// Sweep dataset name.
+    pub dataset: String,
+    /// SAFE iteration index the snapshot closed.
+    pub iteration: usize,
+    /// Serialized `SAFECKPT` document size on disk.
+    pub ckpt_bytes: u64,
+    /// Wall micros of the checkpoint span (serialize + write + fsync +
+    /// rename).
+    pub ckpt_micros: u64,
+    /// Wall micros of the whole iteration the snapshot covers.
+    pub iteration_micros: u64,
+    /// `100 · ckpt_micros / iteration_micros` — the durability tax.
+    pub overhead_pct: f64,
+}
+
+/// Fit SAFE with durable checkpoints and a memory sink attached, returning
+/// the run report plus the raw event stream (which carries the sink-only
+/// checkpoint spans and `ckpt_bytes` counters that [`resilience_rows`]
+/// needs).
+pub fn traced_checkpointed_report(
+    data: &Dataset,
+    seed: u64,
+    n_iterations: usize,
+    checkpoint_dir: &std::path::Path,
+) -> Result<(safe_obs::RunReport, Vec<safe_obs::Event>), String> {
+    let sink = std::sync::Arc::new(safe_obs::MemorySink::new());
+    let config = SafeConfig::builder()
+        .seed(seed)
+        .n_iterations(n_iterations)
+        .checkpoint_dir(checkpoint_dir)
+        .sink(safe_obs::SinkHandle::new(sink.clone()))
+        .build()?;
+    let report = Safe::new(config)
+        .fit(data, None)
+        .map(|outcome| outcome.report)
+        .map_err(|e| e.to_string())?;
+    Ok((report, sink.events()))
+}
+
+/// Build `resilience` rows from a checkpointed fit's event stream and run
+/// report: one row per checkpoint span, paired with the matching
+/// `ckpt_bytes` counter and the covered iteration's wall time.
+pub fn resilience_rows(
+    dataset: &str,
+    events: &[safe_obs::Event],
+    report: &safe_obs::RunReport,
+) -> Vec<ResilienceRow> {
+    use safe_obs::EventKind;
+    let ckpt = safe_obs::stages::CHECKPOINT;
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::StageEnd && e.stage == ckpt)
+        .filter_map(|e| {
+            let iteration = e.iteration?;
+            let ckpt_bytes = events
+                .iter()
+                .find(|b| {
+                    b.kind == EventKind::Counter
+                        && b.stage == ckpt
+                        && b.iteration == Some(iteration)
+                        && b.name == "ckpt_bytes"
+                })
+                .map_or(0, |b| b.value);
+            let iteration_micros = report
+                .iterations
+                .iter()
+                .find(|it| it.iteration == iteration)
+                .map_or(0, |it| it.micros);
+            let overhead_pct = if iteration_micros > 0 {
+                100.0 * e.value as f64 / iteration_micros as f64
+            } else {
+                0.0
+            };
+            Some(ResilienceRow {
+                dataset: dataset.to_string(),
+                iteration,
+                ckpt_bytes,
+                ckpt_micros: e.value,
+                iteration_micros,
+                overhead_pct,
+            })
+        })
+        .collect()
+}
+
 /// One row of the `serving` section of `BENCH_pipeline.json`: one scoring
 /// configuration (method × threads × batch size) over the serving dataset.
 #[derive(Debug, Clone)]
@@ -459,20 +551,23 @@ pub struct ServingRow {
 
 /// Serialize the `BENCH_pipeline.json` document: an object holding the
 /// per-stage rows (`stages`), the thread-sweep rows (`parallel`), the
-/// scoring-throughput rows (`serving`), and the cold-vs-warm cache sweep
-/// rows (`cache`).
+/// scoring-throughput rows (`serving`), the cold-vs-warm cache sweep rows
+/// (`cache`), and the checkpoint-overhead rows (`resilience`).
 ///
 /// Schema:
 /// `{"stages": [{dataset, iteration, stage, millis, features_in,
 /// features_out}], "parallel": [{dataset, threads, secs,
 /// speedup_vs_serial}], "serving": [{dataset, method, rows, threads,
 /// batch_size, secs, rows_per_sec, speedup_vs_naive}], "cache": [{dataset,
-/// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}]}`
+/// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}],
+/// "resilience": [{dataset, iteration, ckpt_bytes, ckpt_micros,
+/// iteration_micros, overhead_pct}]}`
 ///
 /// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
-/// `cache`, `serving_throughput` owns `serving`) each re-read the document
-/// first via [`read_pipeline_document`] and pass the other sections
-/// through, so running either binary never clobbers the other's results.
+/// `cache`/`resilience`, `serving_throughput` owns `serving`) each re-read
+/// the document first via [`read_pipeline_document`] and pass the other
+/// sections through, so running either binary never clobbers the other's
+/// results.
 ///
 /// [t5]: ../safe_bench/index.html
 pub fn pipeline_json(
@@ -480,6 +575,7 @@ pub fn pipeline_json(
     parallel: &[ParallelRow],
     serving: &[ServingRow],
     cache: &[CacheRow],
+    resilience: &[ResilienceRow],
 ) -> String {
     let mut out = String::from("{\n\"stages\": [\n");
     for (i, r) in stages.iter().enumerate() {
@@ -545,6 +641,22 @@ pub fn pipeline_json(
         }
         out.push('\n');
     }
+    out.push_str("],\n\"resilience\": [\n");
+    for (i, r) in resilience.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"iteration\":{},\"ckpt_bytes\":{},\"ckpt_micros\":{},\"iteration_micros\":{},\"overhead_pct\":{:.3}}}",
+            safe_obs::json::escape(&r.dataset),
+            r.iteration,
+            r.ckpt_bytes,
+            r.ckpt_micros,
+            r.iteration_micros,
+            r.overhead_pct,
+        ));
+        if i + 1 < resilience.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("]\n}\n");
     out
 }
@@ -561,6 +673,8 @@ pub struct PipelineDocument {
     pub serving: Vec<ServingRow>,
     /// Cold-vs-warm cross-iteration cache sweep rows.
     pub cache: Vec<CacheRow>,
+    /// Per-iteration checkpoint write overhead rows.
+    pub resilience: Vec<ResilienceRow>,
 }
 
 /// Re-read an existing `BENCH_pipeline.json`. A missing file, unparsable
@@ -631,7 +745,20 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
-    PipelineDocument { stages, parallel, serving, cache }
+    let resilience = rows_of("resilience")
+        .iter()
+        .filter_map(|r| {
+            Some(ResilienceRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                iteration: r.get("iteration")?.as_u64()? as usize,
+                ckpt_bytes: r.get("ckpt_bytes")?.as_u64()?,
+                ckpt_micros: r.get("ckpt_micros")?.as_u64()?,
+                iteration_micros: r.get("iteration_micros")?.as_u64()?,
+                overhead_pct: r.get("overhead_pct")?.as_f64()?,
+            })
+        })
+        .collect();
+    PipelineDocument { stages, parallel, serving, cache, resilience }
 }
 
 /// Default output path for `BENCH_pipeline.json`: the repository root.
@@ -725,7 +852,15 @@ mod tests {
             cold_rebinned: 40,
             warm_rebinned: 12,
         }];
-        let text = pipeline_json(&stages, &parallel, &serving, &cache);
+        let resilience = vec![ResilienceRow {
+            dataset: "synth-ckpt".into(),
+            iteration: 0,
+            ckpt_bytes: 2_048,
+            ckpt_micros: 150,
+            iteration_micros: 30_000,
+            overhead_pct: 0.5,
+        }];
+        let text = pipeline_json(&stages, &parallel, &serving, &cache, &resilience);
         let v = safe_obs::json::parse(&text).unwrap();
         let s = v.get("stages").unwrap().as_array().unwrap();
         assert_eq!(s.len(), 1);
@@ -740,8 +875,11 @@ mod tests {
         let cc = v.get("cache").unwrap().as_array().unwrap();
         assert_eq!(cc[0].get("cold_rebinned").unwrap().as_u64(), Some(40));
         assert_eq!(cc[0].get("warm_rebinned").unwrap().as_u64(), Some(12));
+        let rs = v.get("resilience").unwrap().as_array().unwrap();
+        assert_eq!(rs[0].get("ckpt_bytes").unwrap().as_u64(), Some(2_048));
+        assert_eq!(rs[0].get("overhead_pct").unwrap().as_f64(), Some(0.5));
         // All sections empty must still be valid JSON.
-        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[], &[])).is_ok());
+        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[], &[], &[])).is_ok());
     }
 
     #[test]
@@ -767,7 +905,7 @@ mod tests {
             rows_per_sec: 5.0,
             speedup_vs_naive: 1.0,
         }];
-        std::fs::write(&path, pipeline_json(&[], &[], &serving, &[])).unwrap();
+        std::fs::write(&path, pipeline_json(&[], &[], &serving, &[], &[])).unwrap();
         // ...then table5 re-reading and writing its own sections.
         let doc = read_pipeline_document(path_s);
         let parallel =
@@ -780,7 +918,19 @@ mod tests {
             cold_rebinned: 8,
             warm_rebinned: 8,
         }];
-        std::fs::write(&path, pipeline_json(&doc.stages, &parallel, &doc.serving, &cache)).unwrap();
+        let resilience = vec![ResilienceRow {
+            dataset: "m".into(),
+            iteration: 0,
+            ckpt_bytes: 512,
+            ckpt_micros: 90,
+            iteration_micros: 9_000,
+            overhead_pct: 1.0,
+        }];
+        std::fs::write(
+            &path,
+            pipeline_json(&doc.stages, &parallel, &doc.serving, &cache, &resilience),
+        )
+        .unwrap();
 
         // Both survive.
         let back = read_pipeline_document(path_s);
@@ -791,6 +941,8 @@ mod tests {
         assert_eq!(back.parallel[0].threads, 2);
         assert_eq!(back.cache.len(), 1);
         assert_eq!(back.cache[0].cold_rebinned, 8);
+        assert_eq!(back.resilience.len(), 1);
+        assert_eq!(back.resilience[0].ckpt_bytes, 512);
 
         // Garbage never panics the readers.
         std::fs::write(&path, "not json at all").unwrap();
@@ -814,6 +966,28 @@ mod tests {
             "iteration 1 must reuse cached columns: {:?}",
             rows[1]
         );
+    }
+
+    #[test]
+    fn resilience_sweep_measures_checkpoint_overhead() {
+        let split = generate_benchmark_scaled(BenchmarkId::Banknote, 0.15, 3);
+        let dir = std::env::temp_dir().join(format!("safe_bench_resil_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let (report, events) = traced_checkpointed_report(&split.train, 3, 2, &dir).unwrap();
+        let rows = resilience_rows("banknote", &events, &report);
+        assert!(!rows.is_empty(), "checkpointed fit must emit checkpoint spans");
+        for row in &rows {
+            assert!(row.ckpt_bytes > 0, "{row:?}");
+            assert!(row.iteration_micros > 0, "{row:?}");
+        }
+        // The report itself must stay free of checkpoint telemetry (the
+        // sink-only invariant the differential suites rely on).
+        assert!(report
+            .iterations
+            .iter()
+            .all(|it| it.stages.iter().all(|s| s.stage != safe_obs::stages::CHECKPOINT)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

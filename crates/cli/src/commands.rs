@@ -24,9 +24,12 @@ USAGE:
                    [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
                    [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
                    [--audit warn|repair|reject] [--threads N]
+                   [--checkpoint-dir DIR] [--checkpoint-every N]
                    [--trace-jsonl trace.jsonl] [--report-json report.json]
                    [--report]
                    ('train' is an alias for 'fit')
+  safe-cli resume  --checkpoint-dir DIR --input train.csv --plan out.safeplan
+                   [all 'fit' flags]     # continue an interrupted fit
   safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
                    [--label label]
   safe-cli explain --plan plan.safeplan [--input data.csv] [--label label]
@@ -61,16 +64,30 @@ THREADING:
                        the default; 1 = serial). Results are bit-identical
                        for every N — see DESIGN.md, \"Parallel execution\"
 
-EXIT CODES:
-  0 success   2 usage   3 file i/o   4 bad input data
-  5 bad plan  6 pipeline rejected the run
+CRASH SAFETY:
+  --checkpoint-dir DIR write a durable SAFECKPT snapshot after each
+                       completed iteration (atomic: temp file, fsync,
+                       rename); a killed fit resumes with 'resume'
+  --checkpoint-every N snapshot stride in iterations (default 1; the
+                       terminal snapshot is always written)
+  resume               continue from the newest loadable checkpoint to the
+                       same final plan, bit-identical to an uninterrupted
+                       run; torn/corrupt files are quarantined (*.corrupt)
+                       and the previous good snapshot is used
+
+EXIT CODES (authoritative table — DESIGN.md and README defer here):
+  0 success           2 usage             3 file i/o
+  4 bad input data    5 bad plan          6 pipeline rejected the run
+  7 unrecoverable checkpoint state (all candidates corrupt, fingerprint
+    mismatch, or missing checkpoint directory)
 ";
 
 /// Dispatch the parsed command line.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv).map_err(CliError::Usage)?;
     match args.command.as_deref() {
-        Some("fit") | Some("train") => fit(&args),
+        Some("fit") | Some("train") => fit(&args, false),
+        Some("resume") => fit(&args, true),
         Some("apply") => apply(&args),
         Some("explain") => explain(&args),
         Some("save-artifact") => save_artifact(&args),
@@ -126,16 +143,20 @@ fn audit_config(args: &Args) -> Result<safe_data::AuditConfig, CliError> {
     Ok(safe_data::AuditConfig { policy, ..safe_data::AuditConfig::default() })
 }
 
-fn fit(args: &Args) -> Result<(), CliError> {
+fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "valid", "plan", "label", "gamma", "alpha", "theta",
         "iterations", "multiplier", "seed", "full-ops", "audit",
-        "threads", "trace-jsonl", "report-json", "report",
+        "threads", "checkpoint-dir", "checkpoint-every",
+        "trace-jsonl", "report-json", "report",
     ])
     .map_err(CliError::Usage)?;
     let input = args.require("input").map_err(CliError::Usage)?;
     let plan_path = args.require("plan").map_err(CliError::Usage)?;
     let label = args.get("label").unwrap_or("label");
+    if resume && args.get("checkpoint-dir").is_none() {
+        return Err(CliError::Usage("resume requires --checkpoint-dir".into()));
+    }
 
     // Worker budget for the parallel stages; rejected up front so an
     // absurd request is a usage error, not a pipeline failure.
@@ -162,7 +183,7 @@ fn fit(args: &Args) -> Result<(), CliError> {
     }
     let fan: Arc<dyn EventSink> = Arc::new(FanoutSink::new(sinks));
 
-    let config = SafeConfig::builder()
+    let mut builder = SafeConfig::builder()
         .sink(SinkHandle::new(fan.clone()))
         .gamma(args.get_or("gamma", 30usize).map_err(CliError::Usage)?)
         .alpha(args.get_or("alpha", 0.1f64).map_err(CliError::Usage)?)
@@ -173,17 +194,26 @@ fn fit(args: &Args) -> Result<(), CliError> {
         .operators(registry(args))
         .audit(audit_config(args)?)
         .threads(threads)
-        .build()
-        .map_err(CliError::Usage)?;
+        .checkpoint_every(args.get_or("checkpoint-every", 1usize).map_err(CliError::Usage)?);
+    if let Some(dir) = args.get("checkpoint-dir") {
+        builder = builder.checkpoint_dir(dir);
+    }
+    let config = builder.build().map_err(CliError::Usage)?;
 
     eprintln!(
-        "fitting SAFE on {} ({} rows x {} features)...",
+        "{} SAFE on {} ({} rows x {} features)...",
+        if resume { "resuming" } else { "fitting" },
         input,
         train.n_rows(),
         train.n_cols()
     );
     let start = Instant::now();
-    let outcome = Safe::new(config).fit(&train, valid.as_ref())?;
+    let safe = Safe::new(config);
+    let outcome = if resume {
+        safe.fit_resumed(&train, valid.as_ref())?
+    } else {
+        safe.fit(&train, valid.as_ref())?
+    };
     fan.flush();
     eprintln!(
         "done in {:.2}s: {} features selected ({} generated)",
@@ -819,6 +849,98 @@ mod tests {
                 .unwrap_err()
                 .exit_code(),
             2
+        );
+    }
+
+    /// Crash-safe training through the CLI: a checkpointed fit leaves
+    /// snapshots behind; deleting the later ones simulates a crash and
+    /// `resume` must rebuild the byte-identical plan.
+    #[test]
+    fn checkpointed_fit_then_resume_reproduces_the_plan() {
+        let train = tmp("ckpt_train.csv");
+        let plan = tmp("ckpt_plan.safeplan");
+        let ckpt_dir = tmp("ckpt_dir");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        write_training_csv(&train);
+
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3 --iterations 2 --checkpoint-dir {}",
+            train.display(),
+            plan.display(),
+            ckpt_dir.display()
+        )))
+        .unwrap();
+        let baseline = std::fs::read_to_string(&plan).unwrap();
+        let mut snapshots: Vec<std::path::PathBuf> = std::fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snapshots.sort();
+        assert!(!snapshots.is_empty(), "fit must write checkpoints");
+
+        // Crash simulation: only the first snapshot survives.
+        for late in &snapshots[1..] {
+            std::fs::remove_file(late).unwrap();
+        }
+        let resumed_plan = tmp("ckpt_plan_resumed.safeplan");
+        run(&argv(&format!(
+            "resume --input {} --plan {} --seed 3 --iterations 2 --checkpoint-dir {}",
+            train.display(),
+            resumed_plan.display(),
+            ckpt_dir.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            baseline,
+            std::fs::read_to_string(&resumed_plan).unwrap(),
+            "resumed plan must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn resume_classifies_checkpoint_failures() {
+        let train = tmp("ckpt_err_train.csv");
+        let plan = tmp("ckpt_err_plan.safeplan");
+        write_training_csv(&train);
+        // Missing --checkpoint-dir: usage (2).
+        assert_eq!(
+            run(&argv(&format!(
+                "resume --input {} --plan {}",
+                train.display(),
+                plan.display()
+            )))
+            .unwrap_err()
+            .exit_code(),
+            2
+        );
+        // Nonexistent directory: checkpoint class (7).
+        assert_eq!(
+            run(&argv(&format!(
+                "resume --input {} --plan {} --checkpoint-dir /nonexistent/ckpts",
+                train.display(),
+                plan.display()
+            )))
+            .unwrap_err()
+            .exit_code(),
+            7
+        );
+        // A directory whose only candidate is corrupt: quarantined, then
+        // unrecoverable (7).
+        let bad_dir = tmp("ckpt_err_dir");
+        let _ = std::fs::remove_dir_all(&bad_dir);
+        std::fs::create_dir_all(&bad_dir).unwrap();
+        std::fs::write(bad_dir.join("ckpt-000001.safeckpt"), "SAFECKPT\t1\ngarbage\n").unwrap();
+        let err = run(&argv(&format!(
+            "resume --input {} --plan {} --checkpoint-dir {}",
+            train.display(),
+            plan.display(),
+            bad_dir.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        assert!(
+            bad_dir.join("ckpt-000001.safeckpt.corrupt").exists(),
+            "corrupt candidate must be quarantined"
         );
     }
 

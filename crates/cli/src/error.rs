@@ -18,10 +18,16 @@ pub enum CliError {
     Plan(String),
     /// The SAFE pipeline rejected the run (bad config, audit rejection…).
     Safe(Box<SafeError>),
+    /// Unrecoverable checkpoint state: every candidate file corrupt, a
+    /// fingerprint mismatch, or a missing checkpoint directory. Distinct
+    /// from ordinary i/o so operators can alert on durability loss.
+    Checkpoint(String),
 }
 
 impl CliError {
-    /// Process exit code: 2 usage, 3 io, 4 data, 5 plan, 6 pipeline.
+    /// Process exit code: 2 usage, 3 io, 4 data, 5 plan, 6 pipeline,
+    /// 7 checkpoint. The single authoritative table is the `EXIT CODES`
+    /// section of the CLI usage text (see `commands::USAGE`).
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -29,6 +35,7 @@ impl CliError {
             CliError::Data(_) => 4,
             CliError::Plan(_) => 5,
             CliError::Safe(_) => 6,
+            CliError::Checkpoint(_) => 7,
         }
     }
 
@@ -52,6 +59,7 @@ impl fmt::Display for CliError {
             CliError::Data(m) => write!(f, "{m}"),
             CliError::Plan(m) => write!(f, "{m}"),
             CliError::Safe(e) => write!(f, "{e}"),
+            CliError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
         }
     }
 }
@@ -67,7 +75,13 @@ impl std::error::Error for CliError {
 
 impl From<SafeError> for CliError {
     fn from(e: SafeError) -> Self {
-        CliError::Safe(Box::new(e))
+        match e {
+            // Checkpoint rejections get their own exit code (7) so a
+            // supervisor can tell "re-run from scratch" apart from "the
+            // pipeline rejected the data/config".
+            SafeError::Checkpoint(m) => CliError::Checkpoint(m),
+            other => CliError::Safe(Box::new(other)),
+        }
     }
 }
 
@@ -101,6 +115,7 @@ mod tests {
             CliError::Data("d".into()),
             CliError::Plan("p".into()),
             CliError::Safe(Box::new(SafeError::Config("c".into()))),
+            CliError::Checkpoint("k".into()),
         ];
         let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
         let mut unique = codes.clone();

@@ -4,6 +4,7 @@
 //! safe-cli fit     --input train.csv [--valid valid.csv] --plan out.safeplan
 //!                  [--label label] [--gamma 30] [--alpha 0.1] [--theta 0.8]
 //!                  [--iterations 1] [--multiplier 2] [--seed 0] [--full-ops]
+//! safe-cli resume  --checkpoint-dir DIR --input train.csv --plan out.safeplan
 //! safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
 //! safe-cli explain --plan plan.safeplan [--input data.csv]
 //! safe-cli score   --input data.csv [--label label]     # per-feature IV table
@@ -13,8 +14,10 @@
 //! (override with `--label`), empty/NA cells are missing.
 
 //! Exit codes: 0 success, 2 usage, 3 file i/o, 4 bad input data, 5 bad
-//! plan, 6 pipeline rejection. Errors print their full cause chain, one
-//! `caused by:` line per nested source.
+//! plan, 6 pipeline rejection, 7 unrecoverable checkpoint state (the
+//! authoritative table is the `EXIT CODES` section of `safe-cli help`).
+//! Errors print their full cause chain, one `caused by:` line per nested
+//! source.
 
 use std::process::ExitCode;
 

@@ -107,6 +107,16 @@ impl StatsCache {
         self.pearson_misses
     }
 
+    /// Number of cached IV values (checkpoint provenance metadata).
+    pub fn iv_len(&self) -> usize {
+        self.iv.len()
+    }
+
+    /// Number of cached Pearson pairs (checkpoint provenance metadata).
+    pub fn pearson_len(&self) -> usize {
+        self.pearson.len()
+    }
+
     fn pair_key(a: &str, b: &str) -> (String, String) {
         if a <= b {
             (a.to_string(), b.to_string())

@@ -10,6 +10,7 @@ use safe_gbm::config::GbmConfig;
 use safe_obs::SinkHandle;
 use safe_ops::registry::OperatorRegistry;
 use safe_stats::par::Parallelism;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// How candidate feature combinations are produced — SAFE proper plus the
@@ -83,6 +84,18 @@ pub struct SafeConfig {
     /// (`tests/cache_differential.rs` pins this); disabling only exists for
     /// benchmarking the cold path. Default `true`.
     pub cache: bool,
+    /// Directory for durable iteration checkpoints (`SAFECKPT` files, see
+    /// [`crate::checkpoint`]). `None` (the default) disables
+    /// checkpointing; `Some(dir)` makes `fit` persist a snapshot after
+    /// iterations (atomically: temp file → fsync → rename) and enables
+    /// [`crate::safe::Safe::fit_resumed`] to continue a killed run
+    /// bit-identically.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a durable checkpoint every N completed iterations (default 1
+    /// — every iteration). Terminal snapshots (convergence, degradation,
+    /// budget exhaustion) are always written regardless of cadence.
+    /// Must be ≥ 1; ignored when `checkpoint_dir` is `None`.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SafeConfig {
@@ -104,6 +117,8 @@ impl Default for SafeConfig {
             sink: SinkHandle::null(),
             parallelism: Parallelism::auto(),
             cache: true,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -173,6 +188,9 @@ impl SafeConfig {
         }
         if self.operators.is_empty() {
             return Err("operator registry is empty".into());
+        }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be at least 1".into());
         }
         self.parallelism.validate()?;
         self.miner.validate()?;
@@ -314,6 +332,20 @@ impl SafeConfigBuilder {
         self
     }
 
+    /// Directory for durable iteration checkpoints (enables crash-safe
+    /// training and [`crate::safe::Safe::fit_resumed`]).
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint cadence: write a snapshot every N completed iterations
+    /// (terminal snapshots are always written). Must be ≥ 1.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.config.checkpoint_every = every;
+        self
+    }
+
     /// Validate and return the finished configuration.
     pub fn build(self) -> Result<SafeConfig, String> {
         self.config.validate()?;
@@ -425,6 +457,22 @@ mod tests {
             .time_budget(Duration::from_secs(1))
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn checkpoint_settings_validate_and_build() {
+        let c = SafeConfig::builder()
+            .checkpoint_dir("/tmp/safe-ckpt")
+            .checkpoint_every(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.checkpoint_dir.as_deref(), Some(std::path::Path::new("/tmp/safe-ckpt")));
+        assert_eq!(c.checkpoint_every, 3);
+        assert!(SafeConfig::builder().checkpoint_every(0).build().is_err());
+        // Defaults: checkpointing off, cadence 1.
+        let d = SafeConfig::paper();
+        assert!(d.checkpoint_dir.is_none());
+        assert_eq!(d.checkpoint_every, 1);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum SafeError {
     /// An internal model failed to train (legacy string form, kept for
     /// stages without a typed error).
     Train(String),
+    /// Checkpoint/resume failure: no usable checkpoint (every candidate
+    /// file failed to load), a fingerprint mismatch between the checkpoint
+    /// and the resuming configuration, or a missing checkpoint directory.
+    /// Unlike mid-loop stage failures this is a *rejection* — the caller
+    /// asked to resume and the premise does not hold, so no training runs.
+    Checkpoint(String),
     /// A worker thread panicked inside a parallel stage. The execution
     /// layer ([`safe_stats::par`]) joins every worker and captures the
     /// panic, so this is an error — never a hang or an unwind across the
@@ -89,6 +95,7 @@ impl fmt::Display for SafeError {
                 write!(f, "booster failed at iteration {iteration}, stage '{stage}'")
             }
             SafeError::Train(m) => write!(f, "training error: {m}"),
+            SafeError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SafeError::WorkerPanic { stage, message } => {
                 write!(f, "worker thread panicked in stage '{stage}': {message}")
             }

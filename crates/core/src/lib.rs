@@ -40,6 +40,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod combine;
 pub mod engineer;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod safe;
 pub mod select;
 
 pub use cache::{BinCache, StatsCache};
+pub use checkpoint::{Checkpoint, CheckpointStore, CkptError, ConfigFingerprint, Terminal};
 pub use config::{GenerationStrategy, SafeConfig, SafeConfigBuilder};
 pub use engineer::{FeatureEngineer, Identity};
 pub use error::SafeError;

@@ -1,0 +1,38 @@
+//! FNV-1a/64 — the workspace's shared integrity checksum.
+//!
+//! Every durable text format in the workspace (the `SAFEARTIFACT` serving
+//! bundle, the `SAFECKPT` training checkpoint) carries a `CHECKSUM` line
+//! computed with this hash over everything below it. FNV-1a is not
+//! cryptographic; it exists to catch truncation, torn writes, and
+//! accidental edits, and it is trivially dependency-free. The function
+//! lives here — the lowest crate in the workspace — so both `safe-core`
+//! (checkpoints) and `safe-serve` (artifacts) can share one definition.
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_fnv1a64_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_the_hash() {
+        let a = fnv1a64(b"SAFECKPT body");
+        let b = fnv1a64(b"SAFECKPT bodz");
+        assert_ne!(a, b);
+    }
+}

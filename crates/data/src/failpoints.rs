@@ -127,6 +127,33 @@ mod imp {
 
 pub use imp::{arm, arm_once, armed, disarm, disarm_all, should_fail};
 
+/// Every failpoint name the workspace registers, in one place.
+///
+/// This roster is the anchor for the registry-drift test
+/// (`tests/failpoint_registry_drift.rs`): each name must appear at a
+/// `failpoint!` call site, in a fault-injection test, and in `DESIGN.md`'s
+/// failpoint table. Adding a point without extending all three is a test
+/// failure, so points can't land untested or undocumented.
+pub const ALL: &[&str] = &[
+    // Training pipeline (PR 1).
+    "ops/fit",
+    "binning/fit",
+    "gbm/fit-begin",
+    "gbm/train-round",
+    "select/iv-empty",
+    "select/iv-worker-panic",
+    "select/rank",
+    // Checkpoint durability (crash-safety subsystem).
+    "ckpt/write-fail",
+    "ckpt/fsync-fail",
+    "ckpt/rename-fail",
+    "ckpt/torn-write",
+    "ckpt/corrupt-byte",
+    "ckpt/kill-before-save",
+    "ckpt/kill-after-save",
+    "ckpt/load-fail",
+];
+
 /// Mark a fault-injection point.
 ///
 /// Two forms:

@@ -29,6 +29,7 @@
 
 pub mod audit;
 pub mod binning;
+pub mod checksum;
 pub mod csv;
 pub mod dataset;
 pub mod error;

@@ -157,6 +157,17 @@ impl BinCache {
         self.entries.is_empty()
     }
 
+    /// Cached entry keys `(column name, max_bins)`, sorted. Provenance
+    /// metadata for the `SAFECKPT` checkpoint — the keys say which columns
+    /// a resumed run will find warm, without persisting the binned values
+    /// themselves (they are rebuilt bit-identically from the data).
+    pub fn keys(&self) -> Vec<(String, usize)> {
+        let mut keys: Vec<(String, usize)> =
+            self.entries.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Drop every entry (counters are kept — they describe the run, not the
     /// current contents).
     pub fn invalidate(&mut self) {

@@ -74,6 +74,10 @@ pub mod stages {
     pub const WATERFALL: &str = "waterfall";
     /// Batch scoring through a saved artifact (serving side, `safe-serve`).
     pub const SCORE: &str = "score";
+    /// Durable checkpoint write after an iteration closes (crash safety).
+    /// Emitted sink-only, outside the iteration framing span, so the
+    /// report embedded in the checkpoint matches the uninterrupted run's.
+    pub const CHECKPOINT: &str = "checkpoint";
 
     /// The seven core stages every completed iteration runs, in order.
     pub const CORE: [&str; 7] = [

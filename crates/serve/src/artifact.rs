@@ -40,14 +40,9 @@ pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
 
 /// FNV-1a 64-bit hash — the checksum the artifact header carries. Not
 /// cryptographic; it exists to catch truncation and accidental edits.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Shared with the `SAFECKPT` training checkpoint via
+/// [`safe_data::checksum`]; re-exported here for API compatibility.
+pub use safe_data::checksum::fnv1a64;
 
 /// Everything the serving side needs, bundled and versioned: the learned
 /// feature plan Ψ, the fitted scoring booster, the expected raw input

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Run every repository gate in sequence: determinism, telemetry, serving,
+# caching, crash safety, and the no-panic clippy gate. This is the one
+# entry point CI (or a pre-merge human) needs; each sub-script prints its
+# own `OK` line and any failure aborts the aggregate immediately.
+#
+# Usage: scripts/check_all.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for check in \
+    check_determinism \
+    check_telemetry \
+    check_serving \
+    check_cache \
+    check_crash_safety \
+    check_panics; do
+    echo "==> scripts/${check}.sh"
+    sh "scripts/${check}.sh"
+done
+
+echo "check_all: OK — all gates passed"

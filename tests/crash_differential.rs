@@ -1,0 +1,390 @@
+//! Crash differential (chaos) suite: kill `Safe::fit` at each checkpoint
+//! I/O failpoint, resume with `Safe::fit_resumed`, and assert the final
+//! plan, per-iteration snapshots, funnel history, structural run report,
+//! and downstream AUC bits are *bit-identical* to an uninterrupted run —
+//! in serial and parallel alike (see `DESIGN.md` §13).
+//!
+//! Requires the `failpoints` feature:
+//!
+//! ```text
+//! cargo test --features failpoints --test crash_differential
+//! ```
+//!
+//! Failure modes exercised (the eight `ckpt/*` failpoints plus a manual
+//! torn-write sweep):
+//!
+//! - `ckpt/kill-after-save`  — crash after a durable snapshot: resume
+//!   continues from it.
+//! - `ckpt/kill-before-save` — crash before any snapshot: resume cold
+//!   starts.
+//! - `ckpt/write-fail`, `ckpt/fsync-fail`, `ckpt/rename-fail` — the save
+//!   fails but training must carry on (durability degrades, results
+//!   don't); with a crash on top, resume cold starts.
+//! - `ckpt/torn-write`, `ckpt/corrupt-byte` — the snapshot on disk is
+//!   damaged: resume quarantines it (`*.corrupt`) and walks down the
+//!   recovery ladder.
+//! - `ckpt/load-fail` — the newest snapshot is unreadable: resume falls
+//!   back to the previous good one.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use safe::core::checkpoint::CheckpointStore;
+use safe::core::{Safe, SafeConfig, SafeError, SafeOutcome};
+use safe::data::failpoints;
+use safe::data::split::train_test_split;
+use safe::data::Dataset;
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+
+/// Thread budgets under test: crash recovery must be bit-identical in
+/// serial and parallel runs alike.
+const THREADS: [usize; 2] = [1, 4];
+
+/// Serializes tests that mutate the global failpoint registry.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry lock and guarantees a clean slate before and after
+/// the test body, even if an assertion panics.
+struct FpGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+fn fp_guard() -> FpGuard<'static> {
+    let lock = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::disarm_all();
+    FpGuard { _lock: lock }
+}
+
+impl Drop for FpGuard<'_> {
+    fn drop(&mut self) {
+        failpoints::disarm_all();
+    }
+}
+
+/// Interaction-heavy synthetic data: the shape SAFE's generation stage is
+/// built for, so the pipeline completes with a non-trivial funnel.
+fn dataset() -> Dataset {
+    generate(&SyntheticConfig {
+        n_rows: 800,
+        dim: 6,
+        n_signal: 4,
+        n_interactions: 3,
+        marginal_weight: 0.1,
+        noise: 0.2,
+        seed: 11,
+        ..Default::default()
+    })
+}
+
+fn config(dir: Option<&Path>, threads: usize) -> SafeConfig {
+    SafeConfig {
+        seed: 5,
+        n_iterations: 2,
+        checkpoint_dir: dir.map(Path::to_path_buf),
+        ..SafeConfig::paper()
+    }
+    .with_threads(threads)
+}
+
+/// Fresh per-scenario checkpoint directory under the system temp dir.
+fn temp_dir(name: &str, threads: usize) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("safe_crash_diff")
+        .join(format!("{name}_t{threads}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The uninterrupted reference outcome per thread count, computed once.
+/// Checkpoint telemetry is sink-only, so an un-checkpointed run is a valid
+/// baseline for every scenario's plan/history/report comparison.
+fn baseline(threads: usize) -> SafeOutcome {
+    static CACHE: OnceLock<Mutex<HashMap<usize, SafeOutcome>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry(threads)
+        .or_insert_with(|| {
+            Safe::new(config(None, threads))
+                .fit(&dataset(), None)
+                .unwrap_or_else(|e| panic!("baseline fit at threads={threads} failed: {e}"))
+        })
+        .clone()
+}
+
+/// Per-iteration downstream AUC bits: apply each iteration's plan snapshot
+/// and evaluate a fixed-seed GBM on a held-out split, independently per
+/// run, so the comparison is end-to-end.
+fn per_iteration_aucs(data: &Dataset, outcome: &SafeOutcome) -> Vec<u64> {
+    let (train, test) = train_test_split(data, 0.3, 1).unwrap();
+    outcome
+        .plans_per_iteration
+        .iter()
+        .map(|plan| {
+            let tr = plan.apply(&train).unwrap();
+            let te = plan.apply(&test).unwrap();
+            evaluate_auc(ClassifierKind::Xgb, &tr, &te, 9).unwrap().to_bits()
+        })
+        .collect()
+}
+
+/// The crash-differential assertion: every observable output of the
+/// resumed run matches the uninterrupted baseline.
+fn assert_same_outcome(name: &str, threads: usize, got: &SafeOutcome, check_auc: bool) {
+    let want = baseline(threads);
+    assert!(
+        !want.plan.outputs.is_empty(),
+        "{name}: baseline selected nothing — dataset too weak to differentiate"
+    );
+    assert_eq!(
+        got.plan.to_text(),
+        want.plan.to_text(),
+        "{name}: final plan differs at threads={threads}"
+    );
+    assert_eq!(
+        got.plans_per_iteration, want.plans_per_iteration,
+        "{name}: per-iteration plans differ at threads={threads}"
+    );
+    assert_eq!(got.history.len(), want.history.len(), "{name}: threads={threads}");
+    for (a, b) in got.history.iter().zip(&want.history) {
+        assert!(
+            a.structural_eq(b),
+            "{name}: iteration {} history differs at threads={threads}:\n{a:?}\nvs\n{b:?}",
+            a.iteration
+        );
+    }
+    assert!(
+        got.report.structural_eq(&want.report),
+        "{name}: run report differs structurally at threads={threads}"
+    );
+    if check_auc {
+        let data = dataset();
+        assert_eq!(
+            per_iteration_aucs(&data, got),
+            per_iteration_aucs(&data, &want),
+            "{name}: downstream AUC bits differ at threads={threads}"
+        );
+    }
+}
+
+/// Arm each point once and run a fit that must die with the injected
+/// checkpoint error (the suite's stand-in for the process vanishing).
+fn killed_fit(dir: &Path, threads: usize, points: &[&'static str]) -> SafeError {
+    for p in points {
+        failpoints::arm_once(p);
+    }
+    let err = Safe::new(config(Some(dir), threads))
+        .fit(&dataset(), None)
+        .expect_err("armed kill failpoint must abort the fit");
+    failpoints::disarm_all();
+    assert!(matches!(err, SafeError::Checkpoint(_)), "unexpected kill error: {err}");
+    err
+}
+
+fn resume(dir: &Path, threads: usize) -> SafeOutcome {
+    Safe::new(config(Some(dir), threads))
+        .fit_resumed(&dataset(), None)
+        .unwrap_or_else(|e| panic!("resume at threads={threads} failed: {e}"))
+}
+
+fn snapshot_files(dir: &Path) -> Vec<PathBuf> {
+    CheckpointStore::new(dir.to_path_buf()).list().unwrap()
+}
+
+fn corrupt_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".corrupt"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn kill_after_save_resumes_from_the_snapshot_bit_identically() {
+    let _guard = fp_guard();
+    for &threads in &THREADS {
+        let dir = temp_dir("kill_after", threads);
+        let err = killed_fit(&dir, threads, &["ckpt/kill-after-save"]);
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        // The crash happened *after* iteration 0's durable snapshot.
+        assert_eq!(snapshot_files(&dir).len(), 1, "one snapshot must survive the crash");
+        let resumed = resume(&dir, threads);
+        assert_same_outcome("kill-after-save", threads, &resumed, true);
+        // The resumed segment finishes the run durably.
+        let latest = CheckpointStore::new(dir).load_latest().unwrap().checkpoint.unwrap();
+        assert!(latest.terminal.is_final());
+    }
+}
+
+#[test]
+fn kill_before_any_save_cold_starts_bit_identically() {
+    let _guard = fp_guard();
+    for &threads in &THREADS {
+        let dir = temp_dir("kill_before", threads);
+        killed_fit(&dir, threads, &["ckpt/kill-before-save"]);
+        assert!(snapshot_files(&dir).is_empty(), "no snapshot may exist before the save");
+        let resumed = resume(&dir, threads);
+        assert_same_outcome("kill-before-save", threads, &resumed, true);
+    }
+}
+
+/// A failed save must degrade durability, not training: the fit completes
+/// and its outputs match the baseline even though no snapshot landed.
+#[test]
+fn failed_saves_degrade_durability_not_training() {
+    let _guard = fp_guard();
+    for point in ["ckpt/write-fail", "ckpt/fsync-fail", "ckpt/rename-fail"] {
+        let dir = temp_dir(&point.replace('/', "_"), 1);
+        failpoints::arm_once(point);
+        let outcome = Safe::new(config(Some(&dir), 1))
+            .fit(&dataset(), None)
+            .unwrap_or_else(|e| panic!("{point}: failed save must not abort the fit: {e}"));
+        failpoints::disarm_all();
+        assert_same_outcome(point, 1, &outcome, false);
+        // Iteration 0's snapshot was lost, later ones still landed.
+        let files = snapshot_files(&dir);
+        assert!(
+            !files.iter().any(|p| p.ends_with("ckpt-000001.safeckpt")),
+            "{point}: the failed snapshot must not exist: {files:?}"
+        );
+        assert!(!files.is_empty(), "{point}: later snapshots must still land");
+    }
+}
+
+#[test]
+fn save_failure_then_crash_cold_starts_bit_identically() {
+    let _guard = fp_guard();
+    for point in ["ckpt/write-fail", "ckpt/fsync-fail", "ckpt/rename-fail"] {
+        for &threads in &THREADS {
+            let dir = temp_dir(&format!("{}_crash", point.replace('/', "_")), threads);
+            killed_fit(&dir, threads, &[point, "ckpt/kill-after-save"]);
+            assert!(
+                snapshot_files(&dir).is_empty(),
+                "{point}: the failed save must leave no loadable snapshot"
+            );
+            let resumed = resume(&dir, threads);
+            assert_same_outcome(point, threads, &resumed, false);
+        }
+    }
+}
+
+/// `rename-fail` aborts between the temp file and its final name; the
+/// stray `*.tmp` must be invisible to the recovery ladder.
+#[test]
+fn stray_tmp_files_from_a_failed_rename_are_ignored() {
+    let _guard = fp_guard();
+    let dir = temp_dir("stray_tmp", 1);
+    killed_fit(&dir, 1, &["ckpt/rename-fail", "ckpt/kill-after-save"]);
+    let has_tmp = std::fs::read_dir(&dir)
+        .unwrap()
+        .any(|e| e.unwrap().path().to_string_lossy().ends_with(".safeckpt.tmp"));
+    assert!(has_tmp, "the aborted rename must leave its temp file behind");
+    assert!(snapshot_files(&dir).is_empty(), "the temp file must not be listed");
+    let resumed = resume(&dir, 1);
+    assert_same_outcome("stray-tmp", 1, &resumed, false);
+}
+
+/// A damaged snapshot with no previous good one is *unrecoverable*: resume
+/// quarantines it and refuses (the CLI maps this to exit code 7) instead of
+/// silently discarding the crashed run's training time. The explicit cold
+/// refit then reproduces the baseline exactly.
+fn assert_damaged_only_snapshot_is_rejected(name: &str, points: &[&'static str]) {
+    for &threads in &THREADS {
+        let dir = temp_dir(&name.replace('/', "_"), threads);
+        // The damaged save reports success — the crash is what exposes it.
+        killed_fit(&dir, threads, points);
+        assert_eq!(snapshot_files(&dir).len(), 1, "{name}: the file looks like a snapshot");
+        let err = Safe::new(config(Some(&dir), threads))
+            .fit_resumed(&dataset(), None)
+            .expect_err("an all-corrupt ladder must be rejected, not silently cold-started");
+        assert!(matches!(err, SafeError::Checkpoint(_)), "{name}: {err}");
+        assert_eq!(corrupt_files(&dir).len(), 1, "{name}: the snapshot must be quarantined");
+        assert!(snapshot_files(&dir).is_empty(), "{name}: nothing loadable may remain");
+        // Operator-style recovery: an explicit fresh fit matches the baseline.
+        let refit = Safe::new(config(Some(&dir), threads)).fit(&dataset(), None).unwrap();
+        assert_same_outcome(name, threads, &refit, false);
+    }
+}
+
+#[test]
+fn torn_write_is_quarantined_and_rejected_without_a_previous_good() {
+    let _guard = fp_guard();
+    assert_damaged_only_snapshot_is_rejected("torn-write", &["ckpt/torn-write", "ckpt/kill-after-save"]);
+}
+
+#[test]
+fn corrupt_byte_fails_the_checksum_and_is_rejected_without_a_previous_good() {
+    let _guard = fp_guard();
+    assert_damaged_only_snapshot_is_rejected(
+        "corrupt-byte",
+        &["ckpt/corrupt-byte", "ckpt/kill-after-save"],
+    );
+}
+
+/// The newest snapshot fails to *read* (I/O error, not corruption): the
+/// ladder quarantines it and resumes from the previous good one.
+#[test]
+fn load_failure_falls_back_to_the_previous_good_snapshot() {
+    let _guard = fp_guard();
+    for &threads in &THREADS {
+        let dir = temp_dir("load_fail", threads);
+        // Uninterrupted checkpointed run: two snapshots (mid-run + terminal).
+        Safe::new(config(Some(&dir), threads)).fit(&dataset(), None).unwrap();
+        let files = snapshot_files(&dir);
+        assert!(files.len() >= 2, "need a snapshot ladder, got {files:?}");
+
+        failpoints::arm_once("ckpt/load-fail");
+        let resumed = resume(&dir, threads);
+        failpoints::disarm_all();
+        assert_same_outcome("load-fail", threads, &resumed, true);
+        assert_eq!(
+            corrupt_files(&dir).len(),
+            1,
+            "the unreadable newest snapshot must be quarantined"
+        );
+    }
+}
+
+/// Torn-write sweep without failpoints: truncate the newest snapshot at
+/// byte k for a spread of k and resume. Every prefix must fail closed
+/// (quarantine, fall back to the previous good snapshot) and reproduce the
+/// baseline exactly.
+#[test]
+fn truncation_at_any_byte_recovers_from_the_previous_good_snapshot() {
+    let _guard = fp_guard();
+    let dir = temp_dir("sweep", 1);
+    Safe::new(config(Some(&dir), 1)).fit(&dataset(), None).unwrap();
+    let files = snapshot_files(&dir);
+    assert!(files.len() >= 2, "need a snapshot ladder, got {files:?}");
+    let latest_path = files.last().unwrap().clone();
+    let originals: Vec<(PathBuf, Vec<u8>)> = files
+        .iter()
+        .map(|p| (p.clone(), std::fs::read(p).unwrap()))
+        .collect();
+    let latest = std::fs::read(&latest_path).unwrap();
+
+    let n = latest.len();
+    for k in [0, 1, n / 4, n / 2, (3 * n) / 4, n - 1] {
+        // Restore the pristine ladder, then tear the newest file at k.
+        for c in corrupt_files(&dir) {
+            std::fs::remove_file(c).unwrap();
+        }
+        for (path, bytes) in &originals {
+            std::fs::write(path, bytes).unwrap();
+        }
+        std::fs::write(&latest_path, &latest[..k]).unwrap();
+
+        let resumed = resume(&dir, 1);
+        assert_same_outcome(&format!("truncate@{k}"), 1, &resumed, false);
+        assert!(
+            !corrupt_files(&dir).is_empty(),
+            "truncate@{k}: the torn snapshot must be quarantined"
+        );
+    }
+}

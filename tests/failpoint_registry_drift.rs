@@ -1,0 +1,160 @@
+//! Registry-drift guard for the fault-injection roster.
+//!
+//! `safe_data::failpoints::ALL` is the single source of truth for every
+//! failpoint name in the workspace. This suite keeps four surfaces in
+//! lockstep, in both directions:
+//!
+//! 1. every registered name has a real `failpoint!` call site under
+//!    `crates/*/src`, and every call-site name is registered;
+//! 2. every registered name is exercised by a fault-injection suite
+//!    (`tests/fault_injection.rs`, `tests/parallel_differential.rs`, or
+//!    `tests/crash_differential.rs`);
+//! 3. every registered name appears in `DESIGN.md`'s §13 failpoint table.
+//!
+//! Purely textual — no `failpoints` feature needed — so it runs in the
+//! default tier-1 `cargo test` and a new point can never land untested or
+//! undocumented.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use safe::data::failpoints::ALL;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All `.rs` files under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {dir:?}: {e}"));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Source files that may legitimately contain `failpoint!` call sites:
+/// every crate's `src` tree, minus the registry module itself (its docs
+/// and unit tests use placeholder names like `test/macro`).
+fn call_site_files() -> Vec<PathBuf> {
+    let crates = repo_root().join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates).expect("read crates/") {
+        let src = entry.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files);
+        }
+    }
+    files.retain(|p| !p.ends_with("src/failpoints.rs"));
+    files.sort();
+    assert!(!files.is_empty(), "no source files found under crates/*/src");
+    files
+}
+
+/// Extract the name of every `failpoint!("...")` invocation in `text`,
+/// skipping comment lines (doc examples use placeholder names).
+fn call_site_names(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut rest = trimmed;
+        while let Some(at) = rest.find("failpoint!(") {
+            rest = &rest[at + "failpoint!(".len()..];
+            if let Some(open) = rest.find('"') {
+                let tail = &rest[open + 1..];
+                if let Some(close) = tail.find('"') {
+                    names.push(tail[..close].to_string());
+                    rest = &tail[close + 1..];
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+    names
+}
+
+fn read(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+#[test]
+fn every_registered_failpoint_has_a_call_site_and_vice_versa() {
+    let registered: BTreeSet<&str> = ALL.iter().copied().collect();
+    assert_eq!(registered.len(), ALL.len(), "duplicate names in ALL");
+
+    let mut in_source: BTreeSet<String> = BTreeSet::new();
+    for file in call_site_files() {
+        in_source.extend(call_site_names(&read(&file)));
+    }
+
+    let unregistered: Vec<&String> = in_source
+        .iter()
+        .filter(|n| !registered.contains(n.as_str()))
+        .collect();
+    assert!(
+        unregistered.is_empty(),
+        "failpoint! call sites missing from safe_data::failpoints::ALL: {unregistered:?}"
+    );
+
+    // Most points are declared through the macro; a few (the checkpoint
+    // store's I/O points) branch on `should_fail` directly because their
+    // effect is not a plain early `Err` return. Either way the quoted
+    // name must appear in real (non-registry) source.
+    let mut sources = String::new();
+    for file in call_site_files() {
+        sources.push_str(&read(&file));
+    }
+    let unimplemented: Vec<&&str> = ALL
+        .iter()
+        .filter(|n| !sources.contains(&format!("\"{n}\"")))
+        .collect();
+    assert!(
+        unimplemented.is_empty(),
+        "names in ALL with no call site under crates/*/src: {unimplemented:?}"
+    );
+}
+
+#[test]
+fn every_registered_failpoint_is_exercised_by_a_fault_suite() {
+    let root = repo_root();
+    let suites = [
+        read(&root.join("tests/fault_injection.rs")),
+        read(&root.join("tests/parallel_differential.rs")),
+        read(&root.join("tests/crash_differential.rs")),
+    ];
+    let untested: Vec<&&str> = ALL
+        .iter()
+        .filter(|n| {
+            let quoted = format!("\"{n}\"");
+            !suites.iter().any(|s| s.contains(&quoted))
+        })
+        .collect();
+    assert!(
+        untested.is_empty(),
+        "names in ALL never armed by a fault-injection suite \
+         (fault_injection / parallel_differential / crash_differential): \
+         {untested:?}"
+    );
+}
+
+#[test]
+fn every_registered_failpoint_is_documented_in_the_design_table() {
+    let design = read(&repo_root().join("DESIGN.md"));
+    let undocumented: Vec<&&str> = ALL
+        .iter()
+        .filter(|n| !design.contains(&format!("`{n}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "names in ALL absent from DESIGN.md's failpoint table: {undocumented:?}"
+    );
+}
