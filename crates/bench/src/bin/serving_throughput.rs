@@ -186,18 +186,12 @@ fn main() {
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    // This binary owns `serving`; carry `stages`/`parallel`/`cache` rows
-    // written by table5_execution_time through untouched.
+    // This binary owns `serving`; carry the sections written by
+    // table5_execution_time and unknown future sections through untouched.
     let existing = read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
-        pipeline_json(
-            &existing.stages,
-            &existing.parallel,
-            &serving,
-            &existing.cache,
-            &existing.resilience,
-        ),
+        pipeline_json(&safe_bench::PipelineDocument { serving, ..existing }),
     ) {
         Ok(()) => println!("\nserving rows -> {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

@@ -186,11 +186,17 @@ fn main() {
         .unwrap_or_else(bench_pipeline_path);
     // This binary owns `stages`, `parallel`, `cache`, and `resilience`;
     // carry any existing `serving` rows (written by serving_throughput)
-    // through untouched.
+    // and unknown future sections through untouched.
     let existing = safe_bench::read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
-        pipeline_json(&bench_rows, &parallel_rows, &existing.serving, &cache_sweep, &resilience_sweep),
+        pipeline_json(&safe_bench::PipelineDocument {
+            stages: bench_rows.clone(),
+            parallel: parallel_rows,
+            cache: cache_sweep,
+            resilience: resilience_sweep,
+            ..existing
+        }),
     ) {
         Ok(()) => println!(
             "\nper-stage SAFE timings ({} rows) -> {out_path}",

@@ -549,14 +549,22 @@ pub struct ServingRow {
     pub speedup_vs_naive: f64,
 }
 
+/// Schema version written into `BENCH_pipeline.json` by [`pipeline_json`].
+/// Bump when a section's row shape changes incompatibly; readers tolerate
+/// (and writers preserve) sections they don't know, so additions never
+/// need a bump.
+pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
+
 /// Serialize the `BENCH_pipeline.json` document: an object holding the
-/// per-stage rows (`stages`), the thread-sweep rows (`parallel`), the
-/// scoring-throughput rows (`serving`), the cold-vs-warm cache sweep rows
-/// (`cache`), and the checkpoint-overhead rows (`resilience`).
+/// schema version, the per-stage rows (`stages`), the thread-sweep rows
+/// (`parallel`), the scoring-throughput rows (`serving`), the cold-vs-warm
+/// cache sweep rows (`cache`), the checkpoint-overhead rows
+/// (`resilience`), and — verbatim — any sections a future harness wrote
+/// that this build doesn't know ([`PipelineDocument::extra`]).
 ///
 /// Schema:
-/// `{"stages": [{dataset, iteration, stage, millis, features_in,
-/// features_out}], "parallel": [{dataset, threads, secs,
+/// `{"schema_version": 2, "stages": [{dataset, iteration, stage, millis,
+/// features_in, features_out}], "parallel": [{dataset, threads, secs,
 /// speedup_vs_serial}], "serving": [{dataset, method, rows, threads,
 /// batch_size, secs, rows_per_sec, speedup_vs_naive}], "cache": [{dataset,
 /// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}],
@@ -566,18 +574,15 @@ pub struct ServingRow {
 /// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
 /// `cache`/`resilience`, `serving_throughput` owns `serving`) each re-read
 /// the document first via [`read_pipeline_document`] and pass the other
-/// sections through, so running either binary never clobbers the other's
-/// results.
+/// sections — known and unknown alike — through, so running either binary
+/// never clobbers anyone else's results.
 ///
 /// [t5]: ../safe_bench/index.html
-pub fn pipeline_json(
-    stages: &[PipelineRow],
-    parallel: &[ParallelRow],
-    serving: &[ServingRow],
-    cache: &[CacheRow],
-    resilience: &[ResilienceRow],
-) -> String {
-    let mut out = String::from("{\n\"stages\": [\n");
+pub fn pipeline_json(doc: &PipelineDocument) -> String {
+    let PipelineDocument { stages, parallel, serving, cache, resilience, extra, .. } = doc;
+    let mut out = format!(
+        "{{\n\"schema_version\": {PIPELINE_SCHEMA_VERSION},\n\"stages\": [\n"
+    );
     for (i, r) in stages.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"dataset\":{},\"iteration\":{},\"stage\":{},\"millis\":{:.3},\"features_in\":{},\"features_out\":{}}}",
@@ -657,7 +662,13 @@ pub fn pipeline_json(
         }
         out.push('\n');
     }
-    out.push_str("]\n}\n");
+    out.push_str("]");
+    // Unknown sections a newer harness wrote: preserved verbatim so this
+    // build never destroys data it doesn't understand.
+    for (name, value) in extra {
+        out.push_str(&format!(",\n{}: {}", safe_obs::json::escape(name), value.to_json()));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -665,6 +676,10 @@ pub fn pipeline_json(
 /// the sections they don't own (see [`pipeline_json`]).
 #[derive(Debug, Default, Clone)]
 pub struct PipelineDocument {
+    /// `schema_version` the document on disk declared (0 when absent —
+    /// pre-versioning files). Writers always emit
+    /// [`PIPELINE_SCHEMA_VERSION`].
+    pub schema_version: u64,
     /// Per-stage SAFE fit timings.
     pub stages: Vec<PipelineRow>,
     /// End-to-end fit thread sweep.
@@ -675,6 +690,9 @@ pub struct PipelineDocument {
     pub cache: Vec<CacheRow>,
     /// Per-iteration checkpoint write overhead rows.
     pub resilience: Vec<ResilienceRow>,
+    /// Top-level keys this build doesn't know, kept verbatim (name, value)
+    /// so re-writing the document preserves a future harness's sections.
+    pub extra: Vec<(String, safe_obs::json::Value)>,
 }
 
 /// Re-read an existing `BENCH_pipeline.json`. A missing file, unparsable
@@ -758,7 +776,20 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
-    PipelineDocument { stages, parallel, serving, cache, resilience }
+    let schema_version = v.get("schema_version").and_then(|s| s.as_u64()).unwrap_or(0);
+    const KNOWN: [&str; 6] =
+        ["schema_version", "stages", "parallel", "serving", "cache", "resilience"];
+    let extra: Vec<(String, safe_obs::json::Value)> = v
+        .as_object()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter(|(k, _)| !KNOWN.contains(&k.as_str()))
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default();
+    PipelineDocument { schema_version, stages, parallel, serving, cache, resilience, extra }
 }
 
 /// Default output path for `BENCH_pipeline.json`: the repository root.
@@ -860,8 +891,19 @@ mod tests {
             iteration_micros: 30_000,
             overhead_pct: 0.5,
         }];
-        let text = pipeline_json(&stages, &parallel, &serving, &cache, &resilience);
+        let text = pipeline_json(&PipelineDocument {
+            stages,
+            parallel,
+            serving,
+            cache,
+            resilience,
+            ..Default::default()
+        });
         let v = safe_obs::json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(PIPELINE_SCHEMA_VERSION)
+        );
         let s = v.get("stages").unwrap().as_array().unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].get("stage").unwrap().as_str(), Some("gbm-train"));
@@ -879,7 +921,7 @@ mod tests {
         assert_eq!(rs[0].get("ckpt_bytes").unwrap().as_u64(), Some(2_048));
         assert_eq!(rs[0].get("overhead_pct").unwrap().as_f64(), Some(0.5));
         // All sections empty must still be valid JSON.
-        assert!(safe_obs::json::parse(&pipeline_json(&[], &[], &[], &[], &[])).is_ok());
+        assert!(safe_obs::json::parse(&pipeline_json(&PipelineDocument::default())).is_ok());
     }
 
     #[test]
@@ -894,7 +936,8 @@ mod tests {
         assert!(empty.stages.is_empty() && empty.parallel.is_empty() && empty.serving.is_empty());
         assert!(empty.cache.is_empty());
 
-        // Simulate the serving benchmark writing first...
+        // Simulate the serving benchmark writing first — and a *future*
+        // harness having added a section this build doesn't know.
         let serving = vec![ServingRow {
             dataset: "synth-serving".into(),
             method: "naive-row-loop".into(),
@@ -905,9 +948,19 @@ mod tests {
             rows_per_sec: 5.0,
             speedup_vs_naive: 1.0,
         }];
-        std::fs::write(&path, pipeline_json(&[], &[], &serving, &[], &[])).unwrap();
+        let mut first = pipeline_json(&PipelineDocument { serving, ..Default::default() });
+        // Splice an unknown top-level section in by hand (a future writer).
+        first = first.replacen(
+            "\"stages\": [",
+            "\"gpu_sweep\": [{\"dataset\":\"m\",\"device\":\"mock\",\"secs\":0.25}],\n\"stages\": [",
+            1,
+        );
+        std::fs::write(&path, &first).unwrap();
         // ...then table5 re-reading and writing its own sections.
         let doc = read_pipeline_document(path_s);
+        assert_eq!(doc.schema_version, PIPELINE_SCHEMA_VERSION);
+        assert_eq!(doc.extra.len(), 1, "unknown section must be captured: {doc:?}");
+        assert_eq!(doc.extra[0].0, "gpu_sweep");
         let parallel =
             vec![ParallelRow { dataset: "m".into(), threads: 2, secs: 1.0, speedup_vs_serial: 1.5 }];
         let cache = vec![CacheRow {
@@ -928,11 +981,12 @@ mod tests {
         }];
         std::fs::write(
             &path,
-            pipeline_json(&doc.stages, &parallel, &doc.serving, &cache, &resilience),
+            pipeline_json(&PipelineDocument { parallel, cache, resilience, ..doc }),
         )
         .unwrap();
 
-        // Both survive.
+        // Everything survives: the other binary's section AND the unknown
+        // future section.
         let back = read_pipeline_document(path_s);
         assert_eq!(back.serving.len(), 1);
         assert_eq!(back.serving[0].method, "naive-row-loop");
@@ -943,6 +997,11 @@ mod tests {
         assert_eq!(back.cache[0].cold_rebinned, 8);
         assert_eq!(back.resilience.len(), 1);
         assert_eq!(back.resilience[0].ckpt_bytes, 512);
+        assert_eq!(back.extra.len(), 1);
+        assert_eq!(back.extra[0].0, "gpu_sweep");
+        let gpu_rows = back.extra[0].1.as_array().unwrap();
+        assert_eq!(gpu_rows[0].get("device").unwrap().as_str(), Some("mock"));
+        assert_eq!(gpu_rows[0].get("secs").unwrap().as_f64(), Some(0.25));
 
         // Garbage never panics the readers.
         std::fs::write(&path, "not json at all").unwrap();

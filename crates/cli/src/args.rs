@@ -3,7 +3,8 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--name value` pairs.
+/// Parsed command line: a subcommand, `--name value` pairs, and any extra
+/// positional operands (most commands take none; `bench-diff` takes two).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// First positional token (the subcommand).
@@ -11,6 +12,10 @@ pub struct Args {
     flags: HashMap<String, String>,
     /// Bare `--flag` switches with no value.
     switches: Vec<String>,
+    /// Positional operands after the subcommand. Commands that take none
+    /// reject them in [`Args::ensure_known`]; commands that do take them
+    /// declare the count via [`Args::ensure_known_with_positionals`].
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -37,10 +42,16 @@ impl Args {
                 out.command = Some(token.clone());
                 i += 1;
             } else {
-                return Err(format!("unexpected positional argument '{token}'"));
+                out.positionals.push(token.clone());
+                i += 1;
             }
         }
         Ok(out)
+    }
+
+    /// Positional operands after the subcommand.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// String flag.
@@ -69,12 +80,32 @@ impl Args {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// Reject flags outside the allowed set (catches typos early).
+    /// Reject flags outside the allowed set (catches typos early) and any
+    /// positional operand — the common case: most commands take none.
     pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        self.ensure_known_with_positionals(allowed, 0)
+    }
+
+    /// Like [`Args::ensure_known`], but the command takes exactly
+    /// `n_positionals` operands after the subcommand.
+    pub fn ensure_known_with_positionals(
+        &self,
+        allowed: &[&str],
+        n_positionals: usize,
+    ) -> Result<(), String> {
         for name in self.flags.keys().chain(self.switches.iter()) {
             if !allowed.contains(&name.as_str()) {
                 return Err(format!("unknown flag --{name}"));
             }
+        }
+        if self.positionals.len() != n_positionals {
+            return Err(match (n_positionals, self.positionals.first()) {
+                (0, Some(extra)) => format!("unexpected positional argument '{extra}'"),
+                _ => format!(
+                    "expected {n_positionals} positional argument(s), got {}",
+                    self.positionals.len()
+                ),
+            });
         }
         Ok(())
     }
@@ -113,7 +144,16 @@ mod tests {
 
     #[test]
     fn stray_positionals_rejected() {
-        assert!(Args::parse(&argv("fit extra")).is_err());
+        // Parsing collects operands; validation rejects them for commands
+        // that take none and enforces the count for commands that do.
+        let a = Args::parse(&argv("fit extra")).unwrap();
+        assert_eq!(a.positionals(), ["extra"]);
+        assert!(a.ensure_known(&[]).unwrap_err().contains("extra"));
+
+        let d = Args::parse(&argv("bench-diff old.json new.json --fail-over 20")).unwrap();
+        assert_eq!(d.positionals(), ["old.json", "new.json"]);
+        d.ensure_known_with_positionals(&["fail-over"], 2).unwrap();
+        assert!(d.ensure_known_with_positionals(&["fail-over"], 1).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use safe_core::safe::IterationStatus;
 use safe_core::{Safe, SafeConfig};
 use safe_data::csv::{read_csv, write_csv};
 use safe_gbm::GbmConfig;
-use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, SinkHandle};
+use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, SinkHandle};
 use safe_ops::registry::OperatorRegistry;
 use safe_serve::{SafeArtifact, Scorer};
 
@@ -41,7 +41,8 @@ USAGE:
                    [--valid valid.csv] --artifact model.safeartifact
                    [--label label] [--rounds 100] [--seed 0] [--threads N]
                    [--full-ops]
-  safe-cli trace-check --input trace.jsonl
+  safe-cli trace-check --input trace.jsonl [--format jsonl|chrome]
+  safe-cli bench-diff old.json new.json [--fail-over 20]
 
 SERVING:
   save-artifact        train a scoring booster on the plan's features and
@@ -56,8 +57,22 @@ TELEMETRY:
   --trace-jsonl PATH   stream pipeline events (one JSON object per line:
                        ts_us, event, stage, ...) to PATH during the fit
   --report-json PATH   write the per-stage/per-iteration run report as JSON
-  --report             print the run report as a table on stderr
-  trace-check          validate a --trace-jsonl file (schema + event kinds)
+  --report             print the run report as a table on stderr (the pct
+                       column is each stage's share of total wall time)
+  trace-check          validate a --trace-jsonl file (schema + event kinds);
+                       --format chrome validates a --trace-chrome JSON file
+
+METRICS & PROFILING:
+  --metrics-prom PATH  write fit metrics (counters, gauges, latency
+                       histograms with p50/p95/p99) in Prometheus text
+                       exposition format
+  --trace-chrome PATH  write the event stream as Chrome trace-event JSON
+                       (load in Perfetto: ui.perfetto.dev, 'Open trace')
+  --flame-folded PATH  write folded stacks (stage;substage self_us) for
+                       flamegraph.pl / inferno / speedscope
+  bench-diff           compare two BENCH_pipeline.json timing documents;
+                       exits 8 when any metric regressed past --fail-over
+                       percent (default 20)
 
 THREADING:
   --threads N          worker threads for the parallel stages (0 = auto,
@@ -80,6 +95,7 @@ EXIT CODES (authoritative table — DESIGN.md and README defer here):
   4 bad input data    5 bad plan          6 pipeline rejected the run
   7 unrecoverable checkpoint state (all candidates corrupt, fingerprint
     mismatch, or missing checkpoint directory)
+  8 bench-diff found a benchmark regression past the threshold
 ";
 
 /// Dispatch the parsed command line.
@@ -94,6 +110,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("score") if args.get("artifact").is_some() => score_artifact(&args),
         Some("score") => score(&args),
         Some("trace-check") => trace_check(&args),
+        Some("bench-diff") => bench_diff(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -149,6 +166,7 @@ fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
         "iterations", "multiplier", "seed", "full-ops", "audit",
         "threads", "checkpoint-dir", "checkpoint-every",
         "trace-jsonl", "report-json", "report",
+        "metrics-prom", "trace-chrome", "flame-folded",
     ])
     .map_err(CliError::Usage)?;
     let input = args.require("input").map_err(CliError::Usage)?;
@@ -174,13 +192,25 @@ fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
     };
 
     // Telemetry: warnings always stream to stderr; --trace-jsonl adds a
-    // machine-readable event stream.
+    // machine-readable event stream. The profiling exports (--metrics-prom,
+    // --trace-chrome, --flame-folded) replay the full event stream after
+    // the fit, so they share one in-memory sink.
     let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(StderrWarnSink)];
     if let Some(path) = args.get("trace-jsonl") {
         let jsonl =
             JsonlSink::to_file(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         sinks.push(Arc::new(jsonl));
     }
+    let wants_exports = ["metrics-prom", "trace-chrome", "flame-folded"]
+        .iter()
+        .any(|f| args.get(f).is_some());
+    let mem_sink = if wants_exports {
+        let mem = Arc::new(MemorySink::new());
+        sinks.push(mem.clone());
+        Some(mem)
+    } else {
+        None
+    };
     let fan: Arc<dyn EventSink> = Arc::new(FanoutSink::new(sinks));
 
     let mut builder = SafeConfig::builder()
@@ -245,17 +275,65 @@ fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
             .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         eprintln!("run report written to {path}");
     }
+    if let Some(mem) = &mem_sink {
+        let events = mem.events();
+        if let Some(path) = args.get("metrics-prom") {
+            // Builder-side histograms (stage_us, iteration_us) live in the
+            // report; sink-only observations (gbm_round_us, ckpt_write_us,
+            // ...) only exist in the event stream. The exposition carries
+            // both — the name sets are disjoint by construction.
+            let snapshot = outcome
+                .report
+                .metrics
+                .merge(&safe_obs::MetricsSnapshot::from_events(&events));
+            std::fs::write(path, safe_obs::render_prometheus(&snapshot))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            eprintln!("prometheus metrics written to {path}");
+        }
+        if let Some(path) = args.get("trace-chrome") {
+            std::fs::write(path, safe_obs::chrome_trace_json(&events))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            eprintln!("chrome trace written to {path} (open at ui.perfetto.dev)");
+        }
+        if let Some(path) = args.get("flame-folded") {
+            std::fs::write(path, safe_obs::folded_stacks(&events))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            eprintln!("folded stacks written to {path}");
+        }
+    }
     std::fs::write(plan_path, outcome.plan.to_text())
         .map_err(|e| CliError::Io(format!("{plan_path}: {e}")))?;
     eprintln!("plan written to {plan_path}");
     Ok(())
 }
 
-/// Validate a `--trace-jsonl` file: every non-empty line must parse as a
-/// JSON object carrying `ts_us`, `event` (a known kind), and `stage`.
+/// Validate a telemetry export. The default (`--format jsonl`) checks a
+/// `--trace-jsonl` file: every non-empty line must parse as a JSON object
+/// carrying `ts_us`, `event` (a known kind), and `stage`. With
+/// `--format chrome` the input is a `--trace-chrome` JSON document instead,
+/// validated structurally (Perfetto-loadable trace-event array).
 fn trace_check(args: &Args) -> Result<(), CliError> {
-    args.ensure_known(&["input"]).map_err(CliError::Usage)?;
+    args.ensure_known(&["input", "format"]).map_err(CliError::Usage)?;
     let input = args.require("input").map_err(CliError::Usage)?;
+    match args.get("format") {
+        None | Some("jsonl") => {}
+        Some("chrome") => {
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| CliError::Io(format!("{input}: {e}")))?;
+            let summary = safe_obs::validate_chrome_trace(&text)
+                .map_err(|e| CliError::Data(format!("{input}: {e}")))?;
+            println!(
+                "{input}: {} trace events OK ({} spans, {} counter samples, {} instants)",
+                summary.events, summary.spans, summary.counters, summary.instants
+            );
+            return Ok(());
+        }
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "flag --format: expected jsonl|chrome, got '{other}'"
+            )))
+        }
+    }
     let text =
         std::fs::read_to_string(input).map_err(|e| CliError::Io(format!("{input}: {e}")))?;
     let mut n_events = 0usize;
@@ -297,6 +375,20 @@ fn trace_check(args: &Args) -> Result<(), CliError> {
     }
     println!("{input}: {n_events} events OK ({n_warns} warnings)");
     Ok(())
+}
+
+/// `bench-diff old.json new.json [--fail-over pct]` — the bench regression
+/// gate over two `BENCH_pipeline.json` documents (see [`crate::benchdiff`]).
+fn bench_diff(args: &Args) -> Result<(), CliError> {
+    args.ensure_known_with_positionals(&["fail-over"], 2)
+        .map_err(|e| CliError::Usage(format!("bench-diff: {e} (want: old.json new.json)")))?;
+    let fail_over = args
+        .get_or("fail-over", crate::benchdiff::DEFAULT_FAIL_OVER_PCT)
+        .map_err(CliError::Usage)?;
+    if fail_over.is_nan() || fail_over < 0.0 {
+        return Err(CliError::Usage("flag --fail-over: must be >= 0".into()));
+    }
+    crate::benchdiff::run(&args.positionals()[0], &args.positionals()[1], fail_over)
 }
 
 fn load_plan(path: &str) -> Result<FeaturePlan, CliError> {
@@ -656,6 +748,157 @@ mod tests {
         assert_eq!(err.exit_code(), 4);
         std::fs::write(&bad, "not json\n").unwrap();
         assert!(run(&argv(&format!("trace-check --input {}", bad.display()))).is_err());
+    }
+
+    /// The profiling exports: one fit emits a Perfetto-loadable Chrome
+    /// trace (validated by `trace-check --format chrome`), a Prometheus
+    /// exposition with stage latency histograms, and folded flamegraph
+    /// stacks — and none of it changes the fitted plan.
+    #[test]
+    fn fit_with_profiling_exports() {
+        let train = tmp("train_profiling.csv");
+        let plan = tmp("plan_profiling.safeplan");
+        let plan_plain = tmp("plan_plain.safeplan");
+        let chrome = tmp("trace_chrome.json");
+        let prom = tmp("metrics.prom");
+        let folded = tmp("stacks.folded");
+        write_training_csv(&train);
+
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3 --trace-chrome {} --metrics-prom {} --flame-folded {}",
+            train.display(),
+            plan.display(),
+            chrome.display(),
+            prom.display(),
+            folded.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan_plain.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plan).unwrap(),
+            std::fs::read_to_string(&plan_plain).unwrap(),
+            "profiling exports must not change the fit"
+        );
+
+        // Chrome trace validates under the chrome checker and fails the
+        // jsonl checker (it is one JSON document, not JSONL events).
+        run(&argv(&format!(
+            "trace-check --input {} --format chrome",
+            chrome.display()
+        )))
+        .unwrap();
+        assert!(run(&argv(&format!("trace-check --input {}", chrome.display()))).is_err());
+
+        // Prometheus exposition carries the stage latency histograms with
+        // TYPE metadata and the mandatory +Inf bucket.
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("# TYPE safe_stage_us histogram"), "{prom_text}");
+        assert!(prom_text.contains("safe_stage_us_bucket{"), "{prom_text}");
+        assert!(prom_text.contains("le=\"+Inf\""), "{prom_text}");
+        assert!(prom_text.contains("safe_gbm_round_us"), "sink-only observations must export");
+
+        // Folded stacks nest stages under the iteration frame.
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        assert!(
+            folded_text.lines().any(|l| l.starts_with("iteration;") && l.contains("gbm-train")),
+            "{folded_text}"
+        );
+    }
+
+    #[test]
+    fn trace_check_format_flag_validates() {
+        let bad = tmp("bad_chrome.json");
+        std::fs::write(&bad, "{\"traceEvents\": [{\"ph\":\"X\"}]}").unwrap();
+        let err = run(&argv(&format!(
+            "trace-check --input {} --format chrome",
+            bad.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert_eq!(
+            run(&argv(&format!("trace-check --input {} --format yaml", bad.display())))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+    }
+
+    /// The bench regression gate: self-compare passes, an injected 50%
+    /// slowdown fails with exit code 8.
+    #[test]
+    fn bench_diff_gates_regressions() {
+        let old = tmp("bench_old.json");
+        let new_ok = tmp("bench_new_ok.json");
+        let new_bad = tmp("bench_new_bad.json");
+        let baseline = r#"{"schema_version": 2,
+            "stages": [{"dataset":"toy","iteration":0,"stage":"gbm-train","millis":100.0,"features_in":4,"features_out":4}],
+            "parallel": [{"dataset":"toy","threads":4,"secs":2.0,"speedup_vs_serial":2.0}]}"#;
+        std::fs::write(&old, baseline).unwrap();
+        std::fs::write(&new_ok, baseline).unwrap();
+        std::fs::write(&new_bad, baseline.replace("\"millis\":100.0", "\"millis\":150.0")).unwrap();
+
+        // Self-compare: clean exit.
+        run(&argv(&format!("bench-diff {} {}", old.display(), new_ok.display()))).unwrap();
+
+        // +50% on a metric above the noise floor: exit 8.
+        let err = run(&argv(&format!("bench-diff {} {}", old.display(), new_bad.display())))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+        assert!(matches!(err, CliError::BenchRegression(_)));
+        assert!(err.to_string().contains("gbm-train"), "{err}");
+
+        // A looser threshold waves the same change through.
+        run(&argv(&format!(
+            "bench-diff {} {} --fail-over 75",
+            old.display(),
+            new_bad.display()
+        )))
+        .unwrap();
+
+        // Wrong operand count is a usage error.
+        assert_eq!(
+            run(&argv(&format!("bench-diff {}", old.display()))).unwrap_err().exit_code(),
+            2
+        );
+        // Missing file is io.
+        assert_eq!(
+            run(&argv(&format!("bench-diff {} /nonexistent.json", old.display())))
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+    }
+
+    /// PR 2-era JSONL traces (no `observe` events) must still validate —
+    /// the checker accepts new event kinds without rejecting old streams.
+    #[test]
+    fn trace_check_accepts_pr2_era_jsonl() {
+        let old_trace = tmp("pr2_trace.jsonl");
+        std::fs::write(
+            &old_trace,
+            concat!(
+                "{\"ts_us\":1,\"event\":\"stage_start\",\"stage\":\"gbm-train\",\"iteration\":0}\n",
+                "{\"ts_us\":9,\"event\":\"counter\",\"stage\":\"gbm-train\",\"iteration\":0,\"name\":\"trees\",\"value\":3}\n",
+                "{\"ts_us\":12,\"event\":\"stage_end\",\"stage\":\"gbm-train\",\"iteration\":0,\"value\":11}\n",
+                "{\"ts_us\":14,\"event\":\"warn\",\"stage\":\"audit\",\"name\":\"konst\",\"message\":\"constant column\"}\n",
+            ),
+        )
+        .unwrap();
+        run(&argv(&format!("trace-check --input {}", old_trace.display()))).unwrap();
+
+        // And the modern stream with observe events also validates.
+        let new_trace = tmp("pr7_trace.jsonl");
+        std::fs::write(
+            &new_trace,
+            "{\"ts_us\":3,\"event\":\"observe\",\"stage\":\"gbm-train\",\"iteration\":0,\"name\":\"gbm_round_us\",\"value\":812}\n",
+        )
+        .unwrap();
+        run(&argv(&format!("trace-check --input {}", new_trace.display()))).unwrap();
     }
 
     #[test]

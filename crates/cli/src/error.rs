@@ -22,12 +22,17 @@ pub enum CliError {
     /// fingerprint mismatch, or a missing checkpoint directory. Distinct
     /// from ordinary i/o so operators can alert on durability loss.
     Checkpoint(String),
+    /// `bench-diff` found a benchmark metric regressed past the threshold.
+    /// Its own exit code so CI gates can tell "the comparison ran and
+    /// failed" apart from "the comparison could not run".
+    BenchRegression(String),
 }
 
 impl CliError {
     /// Process exit code: 2 usage, 3 io, 4 data, 5 plan, 6 pipeline,
-    /// 7 checkpoint. The single authoritative table is the `EXIT CODES`
-    /// section of the CLI usage text (see `commands::USAGE`).
+    /// 7 checkpoint, 8 bench regression. The single authoritative table is
+    /// the `EXIT CODES` section of the CLI usage text (see
+    /// `commands::USAGE`).
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -36,6 +41,7 @@ impl CliError {
             CliError::Plan(_) => 5,
             CliError::Safe(_) => 6,
             CliError::Checkpoint(_) => 7,
+            CliError::BenchRegression(_) => 8,
         }
     }
 
@@ -60,6 +66,7 @@ impl fmt::Display for CliError {
             CliError::Plan(m) => write!(f, "{m}"),
             CliError::Safe(e) => write!(f, "{e}"),
             CliError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            CliError::BenchRegression(m) => write!(f, "bench regression: {m}"),
         }
     }
 }
@@ -116,6 +123,7 @@ mod tests {
             CliError::Plan("p".into()),
             CliError::Safe(Box::new(SafeError::Config("c".into()))),
             CliError::Checkpoint("k".into()),
+            CliError::BenchRegression("b".into()),
         ];
         let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
         let mut unique = codes.clone();

@@ -14,16 +14,25 @@
 //! (override with `--label`), empty/NA cells are missing.
 
 //! Exit codes: 0 success, 2 usage, 3 file i/o, 4 bad input data, 5 bad
-//! plan, 6 pipeline rejection, 7 unrecoverable checkpoint state (the
-//! authoritative table is the `EXIT CODES` section of `safe-cli help`).
-//! Errors print their full cause chain, one `caused by:` line per nested
-//! source.
+//! plan, 6 pipeline rejection, 7 unrecoverable checkpoint state, 8 bench
+//! regression found by `bench-diff` (the authoritative table is the `EXIT
+//! CODES` section of `safe-cli help`). Errors print their full cause
+//! chain, one `caused by:` line per nested source.
 
 use std::process::ExitCode;
 
 mod args;
+mod benchdiff;
 mod commands;
 mod error;
+
+// With the alloc-metrics feature the whole binary runs under the counting
+// allocator, so --metrics-prom reports per-stage allocation counts/bytes
+// and the peak high-water mark. Off by default: the count is a few atomic
+// ops per allocation, but zero-overhead means zero-overhead.
+#[cfg(feature = "alloc-metrics")]
+#[global_allocator]
+static ALLOCATOR: safe_obs::alloc::CountingAllocator = safe_obs::alloc::CountingAllocator;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

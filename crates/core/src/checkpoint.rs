@@ -818,6 +818,7 @@ mod tests {
                 },
             }],
             warnings: vec![],
+            metrics: Default::default(),
         }
     }
 

@@ -90,6 +90,7 @@ fn make_report(n_iters: usize, warn_message: &str) -> RunReport {
             code: "finding".into(),
             message: warn_message.to_string(),
         }],
+        metrics: Default::default(),
     }
 }
 

@@ -16,7 +16,9 @@ use rand::{Rng, SeedableRng};
 use safe_core::safe::SafeOutcome;
 use safe_core::{Safe, SafeConfig};
 use safe_data::dataset::Dataset;
-use safe_obs::{stages, EventKind, MemorySink, RunReport, SinkHandle};
+use safe_obs::{
+    stages, EventKind, LatencyHisto, MemorySink, MetricsSnapshot, RunReport, SinkHandle,
+};
 
 /// Label depends on the product of two features — SAFE finds an (a,b)
 /// combination and completes its iterations.
@@ -185,6 +187,194 @@ fn report_from_events_matches_inline_assembly() {
     }
     assert_eq!(replayed.setup.len(), outcome.report.setup.len());
     assert_eq!(replayed.warnings, outcome.report.warnings);
+}
+
+/// The metrics layer's acceptance contract: latency *values* are
+/// wall-clock and vary run to run, but everything structural about the
+/// histograms is deterministic — observation counts don't depend on the
+/// worker budget, and sharding one run's real latency stream across any
+/// number of "threads" then merging in any order yields bit-identical
+/// quantiles.
+#[test]
+fn stage_latency_quantiles_bit_identical_across_thread_counts() {
+    let mut counts = Vec::new();
+    for threads in [1usize, 4] {
+        let sink = Arc::new(MemorySink::new());
+        let train = dataset(800, 7);
+        let config = SafeConfig {
+            sink: SinkHandle::new(sink.clone()),
+            seed: 7,
+            gamma: 10,
+            n_iterations: 2,
+            ..SafeConfig::paper()
+        }
+        .with_threads(threads);
+        let outcome = Safe::new(config).fit(&train, None).unwrap();
+
+        let gbm_histo = outcome
+            .report
+            .metrics
+            .histogram("stage_us", &[("stage", stages::GBM_TRAIN)])
+            .expect("report must carry the gbm-train latency histogram");
+        let iter_histo = outcome
+            .report
+            .metrics
+            .histogram("iteration_us", &[])
+            .expect("report must carry the iteration latency histogram");
+        assert_eq!(iter_histo.count(), outcome.report.iterations.len() as u64);
+        counts.push((gbm_histo.count(), iter_histo.count()));
+
+        // Shard this run's real per-round gbm latency stream 4 ways and
+        // merge in reverse order: bit-identical to serial recording.
+        let values: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Observe && e.name == "gbm_round_us")
+            .map(|e| e.value)
+            .collect();
+        assert!(!values.is_empty(), "fit must observe per-round gbm latencies");
+        let mut serial = LatencyHisto::new();
+        for &v in &values {
+            serial.record(v);
+        }
+        let mut shards = vec![LatencyHisto::new(); 4];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 4].record(v);
+        }
+        let mut merged = LatencyHisto::new();
+        for s in shards.iter().rev() {
+            merged.merge(s);
+        }
+        assert_eq!(merged, serial, "sharded merge must be exact");
+        assert_eq!(
+            (merged.p50(), merged.p95(), merged.p99()),
+            (serial.p50(), serial.p95(), serial.p99()),
+            "quantiles must be bit-identical under any merge order"
+        );
+    }
+    assert_eq!(counts[0], counts[1], "observation counts must not depend on threads");
+}
+
+/// Sink-only invariant (PR 6 extended by PR 7): `observe` events — per-round
+/// GBM timings, histogram-build timings, checkpoint write latency — exist in
+/// the event stream and the metrics snapshot, but never become stage
+/// counters in the report, so resumed and uninterrupted reports still
+/// compare equal.
+#[test]
+fn observe_events_are_sink_only_and_survive_kill_resume() {
+    let train = dataset(800, 7);
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("safe_telemetry_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+
+    let sink = Arc::new(MemorySink::new());
+    let config = SafeConfig {
+        sink: SinkHandle::new(sink.clone()),
+        seed: 7,
+        gamma: 10,
+        n_iterations: 2,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        ..SafeConfig::paper()
+    };
+    let baseline = Safe::new(config.clone()).fit(&train, None).unwrap();
+
+    // Observe events exist for the round timings and the checkpoint write.
+    let events = sink.events();
+    for name in ["gbm_round_us", "gbm_hist_build_us", "ckpt_write_us"] {
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Observe && e.name == name),
+            "missing observe events for {name}"
+        );
+    }
+    // They land in the snapshot assembled from events...
+    let snapshot = MetricsSnapshot::from_events(&events);
+    assert!(snapshot
+        .histogram("ckpt_write_us", &[("stage", stages::CHECKPOINT)])
+        .is_some());
+    // ...but never become stage counters in the report.
+    for it in &baseline.report.iterations {
+        for st in &it.stages {
+            for name in ["gbm_round_us", "gbm_hist_build_us", "ckpt_write_us"] {
+                assert!(
+                    st.counter(name).is_none(),
+                    "observe '{name}' leaked into stage counters of {}",
+                    st.stage
+                );
+            }
+        }
+    }
+
+    // Crash simulation: only the first snapshot survives; resume must
+    // rebuild the identical plan and a structurally identical report.
+    let mut snapshots: Vec<std::path::PathBuf> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    snapshots.sort();
+    assert!(!snapshots.is_empty());
+    for late in &snapshots[1..] {
+        std::fs::remove_file(late).unwrap();
+    }
+    let resumed = Safe::new(config).fit_resumed(&train, None).unwrap();
+    assert_eq!(resumed.plan.to_text(), baseline.plan.to_text());
+    assert!(
+        resumed.report.structural_eq(&baseline.report),
+        "resumed report must be structurally identical"
+    );
+    // The resumed run's registry is fresh (covers only the post-resume
+    // segment) yet still produces latency histograms.
+    assert!(!resumed.report.metrics.is_empty());
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+/// A NullSink run still records builder-side latency histograms (the report
+/// carries wall-clock spans anyway), and stays structurally identical to an
+/// instrumented run — histograms never perturb the pipeline.
+#[test]
+fn null_sink_run_structural_eq_and_still_has_histograms() {
+    let instrumented = fit_with(SinkHandle::new(Arc::new(MemorySink::new())), 2);
+    let silent = fit_with(SinkHandle::null(), 2);
+    assert!(silent.report.structural_eq(&instrumented.report));
+    assert!(
+        silent
+            .report
+            .metrics
+            .histogram("stage_us", &[("stage", stages::GBM_TRAIN)])
+            .is_some(),
+        "builder-side histograms must record even with the NullSink"
+    );
+}
+
+/// Acceptance: a Chrome-trace export of a full (scaled) `gina` run — the
+/// paper's 970-feature benchmark — round-trips through the validator and
+/// contains the pipeline spans.
+#[test]
+fn gina_run_chrome_trace_round_trips_through_validator() {
+    use safe_datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
+    let split = generate_benchmark_scaled(BenchmarkId::Gina, 0.05, 7);
+    let sink = Arc::new(MemorySink::new());
+    let config = SafeConfig {
+        sink: SinkHandle::new(sink.clone()),
+        seed: 7,
+        gamma: 10,
+        n_iterations: 1,
+        ..SafeConfig::paper()
+    };
+    let _ = Safe::new(config).fit(&split.train, None).unwrap();
+
+    let trace = safe_obs::chrome_trace_json(&sink.events());
+    let summary = safe_obs::validate_chrome_trace(&trace).expect("gina trace must validate");
+    assert!(summary.spans > 0, "{summary:?}");
+    assert!(summary.events >= summary.spans);
+
+    // The folded-stack export of the same stream nests stages under their
+    // iteration frame.
+    let folded = safe_obs::folded_stacks(&sink.events());
+    assert!(
+        folded.lines().any(|l| l.starts_with("iteration;")),
+        "folded stacks must nest stages: {folded}"
+    );
 }
 
 #[test]

@@ -33,6 +33,14 @@ pub struct GbmFitStats {
     /// Aggregated tree-construction telemetry (histogram builds and
     /// subtractions, nodes grown per depth).
     pub grow: GrowStats,
+    /// Wall-clock microseconds per boosting round, in execution order.
+    /// Timing telemetry only: emitted as sink-only `gbm_round_us` observe
+    /// events, never absorbed into report counters (wall-clock would break
+    /// the resumed-report `==` contract).
+    pub round_us: Vec<u64>,
+    /// Microseconds spent accumulating histograms from rows, per round
+    /// (the round's share of `grow.hist_build_us`).
+    pub round_hist_us: Vec<u64>,
 }
 
 /// Gradient-boosting trainer.
@@ -133,6 +141,15 @@ impl Gbm {
             sink.counter(stage, iteration, "cache_bin_hits", stats.cache_bin_hits);
             sink.counter(stage, iteration, "cache_bin_misses", stats.cache_bin_misses);
         }
+        // Per-round wall-clock distributions go through the sink-only
+        // observe channel: they feed latency histograms (p50/p95/p99 per
+        // round) but must never become report counters.
+        for &us in &stats.round_us {
+            sink.observe(stage, iteration, "gbm_round_us", us);
+        }
+        for &us in &stats.round_hist_us {
+            sink.observe(stage, iteration, "gbm_hist_build_us", us);
+        }
         Ok((model, stats))
     }
 
@@ -205,6 +222,7 @@ impl Gbm {
 
         for round in 0..self.config.n_rounds {
             safe_data::failpoint!("gbm/train-round", GbmError::Injected("gbm/train-round"));
+            let round_start = std::time::Instant::now();
             stats.rounds_run += 1;
             for i in 0..n {
                 let (g, h) = grad_hess(self.config.objective, margins[i], labels[i] as f64);
@@ -215,8 +233,13 @@ impl Gbm {
             let rows = sample(&all_rows, self.config.subsample, &mut rng);
             let features = sample(&all_features, self.config.colsample, &mut rng);
 
+            // Grow into a per-round accumulator so the round's histogram
+            // time can be recorded, then fold into the fit-wide stats.
+            let mut round_grow = GrowStats::default();
             let tree =
-                grow_tree_observed(&binned, &grads, &hesss, rows, &features, &self.config, &mut stats.grow);
+                grow_tree_observed(&binned, &grads, &hesss, rows, &features, &self.config, &mut round_grow);
+            stats.round_hist_us.push(round_grow.hist_build_us);
+            stats.grow.merge(&round_grow);
             tree.predict_into(&train_cols, &mut margins);
 
             if let Some((cols, vl, vmargins)) = valid_state.as_mut() {
@@ -234,11 +257,13 @@ impl Gbm {
                 if let Some(patience) = self.config.early_stopping_rounds {
                     if round - best_round >= patience {
                         trees.push(tree);
+                        stats.round_us.push(round_start.elapsed().as_micros() as u64);
                         break;
                     }
                 }
             }
             trees.push(tree);
+            stats.round_us.push(round_start.elapsed().as_micros() as u64);
         }
 
         // Truncate to the best validation round when early stopping is on.

@@ -26,6 +26,11 @@ pub struct GrowStats {
     pub histogram_subtractions: u64,
     /// Nodes (internal + leaf) created at each depth; index = depth.
     pub nodes_per_depth: Vec<u64>,
+    /// Wall-clock microseconds spent accumulating histograms from rows
+    /// (the `histogram_builds` path). Timing telemetry only: never compared
+    /// across runs and never folded into report counters — it feeds the
+    /// sink-only `gbm_hist_build_us` observe stream.
+    pub hist_build_us: u64,
 }
 
 impl GrowStats {
@@ -33,6 +38,7 @@ impl GrowStats {
     pub fn merge(&mut self, other: &GrowStats) {
         self.histogram_builds += other.histogram_builds;
         self.histogram_subtractions += other.histogram_subtractions;
+        self.hist_build_us += other.hist_build_us;
         if self.nodes_per_depth.len() < other.nodes_per_depth.len() {
             self.nodes_per_depth.resize(other.nodes_per_depth.len(), 0);
         }
@@ -242,13 +248,16 @@ fn build_feature_histograms(
         .iter()
         .filter(|&&f| binned.mapper(f).n_split_candidates() > 0)
         .count() as u64;
-    safe_stats::par::par_map_slice(config.parallelism, features, |&f| {
+    let t0 = std::time::Instant::now();
+    let histograms = safe_stats::par::par_map_slice(config.parallelism, features, |&f| {
         let mapper = binned.mapper(f);
         if mapper.n_split_candidates() == 0 {
             return None;
         }
         Some(build_histogram(binned.bins(f), rows, grads, hesss, mapper.n_bins()))
-    })
+    });
+    stats.hist_build_us += t0.elapsed().as_micros() as u64;
+    histograms
 }
 
 /// `parent − child` per feature, in place on the parent's storage.

@@ -97,6 +97,59 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Serialize back to compact JSON text. Object key order is preserved
+    /// (parse → to_json round-trips structure exactly; numbers that are
+    /// whole and within `u64`/`i64` range re-emit without a decimal point,
+    /// so the common integer-valued documents round-trip byte-identically).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    // JSON has no NaN/Infinity; emit null rather than
+                    // producing an unparseable document.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => out.push_str(&escape(s)),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Parse one JSON document. Trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Value, String> {
     let bytes = input.as_bytes();
@@ -292,6 +345,23 @@ mod tests {
         assert_eq!(parse("42").unwrap().as_u64(), Some(42));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn to_json_round_trips() {
+        for doc in [
+            r#"{"a":[1,2,-3],"b":{"c":null,"d":true},"e":"x \"quoted\""}"#,
+            r#"{"stages":[{"dataset":"gina","millis":1313}],"schema_version":2}"#,
+            "[0.5,1.25,100]",
+            "\"plain\"",
+        ] {
+            let v = parse(doc).unwrap();
+            let emitted = v.to_json();
+            assert_eq!(parse(&emitted).unwrap(), v, "{doc} -> {emitted}");
+        }
+        // Integer-valued documents round-trip byte-identically.
+        let doc = r#"{"a":[1,2,-3],"b":null,"c":"x"}"#;
+        assert_eq!(parse(doc).unwrap().to_json(), doc);
     }
 
     #[test]

@@ -33,22 +33,46 @@
 //!
 //! Every line is one JSON object with at least `ts_us` (microseconds since
 //! process telemetry epoch), `event` (one of `stage_start`, `stage_end`,
-//! `counter`, `gauge`, `warn`), and `stage`. Optional keys: `iteration`,
-//! `name`, `value` (for `stage_end` this is the span duration in
-//! microseconds), `message` (warnings only).
+//! `counter`, `gauge`, `warn`, `observe`), and `stage`. Optional keys:
+//! `iteration`, `name`, `value` (for `stage_end` this is the span duration
+//! in microseconds; for `observe` the observed amount), `message`
+//! (warnings only).
+//!
+//! ## Metrics and profiling (PR 7)
+//!
+//! [`metrics`] adds a zero-dependency labelled registry —
+//! [`metrics::Counter`], [`metrics::Gauge`], and the deterministic
+//! log2-bucketed [`LatencyHisto`] with exact merge and p50/p95/p99 — whose
+//! [`MetricsSnapshot`] lands in `RunReport.metrics` and renders to
+//! Prometheus text format via [`render_prometheus`]. Hot paths emit
+//! sink-only `observe` events (per-round GBM timings, checkpoint writes,
+//! scorer batches) replayed by [`MetricsSnapshot::from_events`]. [`trace`]
+//! replays any recorded event stream into Chrome trace-event JSON
+//! ([`trace::chrome_trace_json`], Perfetto-loadable) and folded-stack
+//! flamegraph format ([`trace::folded_stacks`]). The optional
+//! `alloc-metrics` feature adds a counting global allocator ([`alloc`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alloc;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
+pub use alloc::{alloc_metrics_enabled, alloc_snapshot, AllocSnapshot};
+pub use metrics::{
+    escape_label_value, render_prometheus, Counter, Gauge, LatencyHisto, MetricKey,
+    MetricsRegistry, MetricsSnapshot,
+};
 pub use report::{
     IterationTelemetry, ReportBuilder, RunReport, StageGuard, StageTelemetry, Waterfall, WarnRecord,
 };
 pub use sink::{Event, EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, NullSink, SinkHandle};
+pub use trace::{chrome_trace_json, folded_stacks, validate_chrome_trace, ChromeTraceSummary};
 
 /// The stable stage-name vocabulary.
 pub mod stages {

@@ -26,6 +26,11 @@ pub enum EventKind {
     Gauge,
     /// A structured warning (degradation, audit finding, failpoint trip).
     Warn,
+    /// One latency/size observation destined for a histogram (`value`
+    /// carries the observed amount). Sink-only: never folded into
+    /// `RunReport` counters, so instrumented and resumed reports still
+    /// compare `==`.
+    Observe,
 }
 
 impl EventKind {
@@ -37,6 +42,7 @@ impl EventKind {
             EventKind::Counter => "counter",
             EventKind::Gauge => "gauge",
             EventKind::Warn => "warn",
+            EventKind::Observe => "observe",
         }
     }
 
@@ -48,6 +54,7 @@ impl EventKind {
             "counter" => Some(EventKind::Counter),
             "gauge" => Some(EventKind::Gauge),
             "warn" => Some(EventKind::Warn),
+            "observe" => Some(EventKind::Observe),
             _ => None,
         }
     }
@@ -106,7 +113,12 @@ impl Event {
             out.push_str(",\"name\":");
             out.push_str(&json::escape(&self.name));
         }
-        if self.value != 0 || matches!(self.kind, EventKind::Counter | EventKind::Gauge | EventKind::StageEnd) {
+        if self.value != 0
+            || matches!(
+                self.kind,
+                EventKind::Counter | EventKind::Gauge | EventKind::StageEnd | EventKind::Observe
+            )
+        {
             out.push_str(",\"value\":");
             out.push_str(&self.value.to_string());
         }
@@ -180,6 +192,20 @@ impl dyn EventSink + '_ {
             return;
         }
         let mut e = Event::new(EventKind::Gauge, stage);
+        e.iteration = iteration;
+        e.name = name.to_string();
+        e.value = value;
+        self.record(&e);
+    }
+
+    /// Emit a histogram observation (`observe` event). Sink-only by
+    /// contract: replayed into [`crate::metrics::MetricsSnapshot`] via
+    /// `from_events`, never absorbed into report counters.
+    pub fn observe(&self, stage: &str, iteration: Option<usize>, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut e = Event::new(EventKind::Observe, stage);
         e.iteration = iteration;
         e.name = name.to_string();
         e.value = value;
@@ -456,6 +482,7 @@ mod tests {
             EventKind::Counter,
             EventKind::Gauge,
             EventKind::Warn,
+            EventKind::Observe,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

@@ -1,0 +1,277 @@
+//! Exporters that replay a recorded [`Event`] stream into external profiler
+//! formats:
+//!
+//! * [`chrome_trace_json`] — Chrome trace-event JSON (the
+//!   `{"traceEvents": [...]}` envelope understood by Perfetto /
+//!   `chrome://tracing`): spans become complete (`"X"`) events, counters and
+//!   gauges become counter (`"C"`) samples, warnings become instants
+//!   (`"i"`).
+//! * [`folded_stacks`] — the folded-stack format consumed by
+//!   `flamegraph.pl` / `inferno`: one `frame;frame;frame self_us` line per
+//!   distinct stack, self time computed as span duration minus child span
+//!   durations.
+//! * [`validate_chrome_trace`] — structural validator used by
+//!   `safe-cli trace-check --format chrome` and the test suite.
+//!
+//! The exporters are pure functions of the event slice: replaying the same
+//! recorded stream always yields byte-identical output.
+
+use crate::json;
+use crate::sink::{Event, EventKind};
+
+/// Render an event stream as Chrome trace-event JSON.
+///
+/// `stage_start` events carry no duration, so spans are emitted at the
+/// matching `stage_end` as complete (`"X"`) events with
+/// `ts = end.ts_us - duration`. All events share `pid 1`; `tid 1` keeps the
+/// single-threaded pipeline timeline on one track. Counter/gauge/observe
+/// events become `"C"` samples named after the metric; warnings become
+/// global instant (`"i"`) events with the message in `args`.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for e in events {
+        let name = if e.name.is_empty() { &e.stage } else { &e.name };
+        match e.kind {
+            EventKind::StageStart => {} // represented by the matching X event
+            EventKind::StageEnd => {
+                let ts = e.ts_us.saturating_sub(e.value);
+                parts.push(format!(
+                    "{{\"name\":{},\"cat\":\"stage\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1{}}}",
+                    json::escape(&e.stage),
+                    ts,
+                    e.value,
+                    iteration_args(e),
+                ));
+            }
+            EventKind::Counter | EventKind::Gauge | EventKind::Observe => {
+                parts.push(format!(
+                    "{{\"name\":{},\"cat\":\"metric\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":1,\"args\":{{{}:{}}}}}",
+                    json::escape(name),
+                    e.ts_us,
+                    json::escape(name),
+                    e.value,
+                ));
+            }
+            EventKind::Warn => {
+                parts.push(format!(
+                    "{{\"name\":{},\"cat\":\"warn\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{{\"message\":{}}}}}",
+                    json::escape(name),
+                    e.ts_us,
+                    json::escape(&e.message),
+                ));
+            }
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", parts.join(","))
+}
+
+fn iteration_args(e: &Event) -> String {
+    match e.iteration {
+        Some(i) => format!(",\"args\":{{\"iteration\":{i}}}"),
+        None => String::new(),
+    }
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total trace events.
+    pub events: usize,
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Counter (`"C"`) samples.
+    pub counters: usize,
+    /// Instant (`"i"`) events.
+    pub instants: usize,
+}
+
+/// Structurally validate Chrome trace-event JSON: the document must be an
+/// object with a `traceEvents` array whose members each carry a string
+/// `name`, a known `ph` (`X`, `C`, `i`, `B`, `E`, `M`), and a non-negative
+/// numeric `ts`; `X` events additionally need a non-negative `dur`.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "top level is not an object".to_string())?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or_else(|| "missing \"traceEvents\" key".to_string())?;
+    let events = events
+        .as_array()
+        .ok_or_else(|| "\"traceEvents\" is not an array".to_string())?;
+    let mut summary = ChromeTraceSummary { events: 0, spans: 0, counters: 0, instants: 0 };
+    for (i, ev) in events.iter().enumerate() {
+        let ev = ev
+            .as_object()
+            .ok_or_else(|| format!("traceEvents[{i}] is not an object"))?;
+        let field = |key: &str| ev.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("traceEvents[{i}] missing string \"ph\""))?;
+        if !matches!(ph, "X" | "C" | "i" | "B" | "E" | "M") {
+            return Err(format!("traceEvents[{i}] has unknown ph {ph:?}"));
+        }
+        field("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("traceEvents[{i}] missing string \"name\""))?;
+        let ts = field("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("traceEvents[{i}] missing numeric \"ts\""))?;
+        if ts < 0.0 {
+            return Err(format!("traceEvents[{i}] has negative ts"));
+        }
+        match ph {
+            "X" => {
+                let dur = field("dur")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("traceEvents[{i}] (ph=X) missing numeric \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(format!("traceEvents[{i}] has negative dur"));
+                }
+                summary.spans += 1;
+            }
+            "C" => summary.counters += 1,
+            "i" => summary.instants += 1,
+            _ => {}
+        }
+        summary.events += 1;
+    }
+    Ok(summary)
+}
+
+/// Render an event stream in folded-stack (flamegraph) format.
+///
+/// Spans are replayed with a LIFO stack: `stage_start` pushes a frame,
+/// `stage_end` pops it and credits the frame's *self* time (duration minus
+/// the summed durations of its direct children) to the `a;b;c` stack path.
+/// Durations come from the `stage_end` value, so truncated streams simply
+/// drop their unclosed frames. Lines are sorted lexicographically for
+/// deterministic output; values are microseconds.
+pub fn folded_stacks(events: &[Event]) -> String {
+    struct Frame {
+        stage: String,
+        child_us: u64,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::StageStart => {
+                stack.push(Frame { stage: e.stage.clone(), child_us: 0 });
+            }
+            EventKind::StageEnd => {
+                // Pop until we find the matching frame; unmatched ends on an
+                // empty stack are tolerated (truncated or PR 2-era streams).
+                let pos = stack.iter().rposition(|f| f.stage == e.stage);
+                let Some(pos) = pos else { continue };
+                stack.truncate(pos + 1);
+                let frame = match stack.pop() {
+                    Some(f) => f,
+                    None => continue,
+                };
+                let self_us = e.value.saturating_sub(frame.child_us);
+                let mut path: Vec<&str> = stack.iter().map(|f| f.stage.as_str()).collect();
+                path.push(&frame.stage);
+                *folded.entry(path.join(";")).or_insert(0) += self_us;
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_us = parent.child_us.saturating_add(e.value);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{EventSink, MemorySink};
+
+    fn sample_events() -> Vec<Event> {
+        let sink = MemorySink::new();
+        let s: &dyn EventSink = &sink;
+        s.stage_start("iteration", Some(0));
+        s.stage_start("gbm-train", Some(0));
+        s.counter("gbm-train", Some(0), "gbm_rounds", 8);
+        s.observe("gbm-train", Some(0), "gbm_round_us", 120);
+        s.stage_end("gbm-train", Some(0), 500);
+        s.warn("iteration", Some(0), "degraded", "stage \"x\" fell back");
+        s.stage_end("iteration", Some(0), 900);
+        sink.events()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_validator() {
+        let text = chrome_trace_json(&sample_events());
+        let summary = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.counters, 2); // counter + observe
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.events, 5);
+    }
+
+    #[test]
+    fn chrome_span_ts_is_start_time() {
+        let text = chrome_trace_json(&sample_events());
+        let doc = json::parse(&text).expect("parses");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("array");
+        let span = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(|v| v.as_str()) == Some("gbm-train")
+                    && e.get("ph").and_then(|v| v.as_str()) == Some("X")
+            })
+            .expect("gbm-train span present");
+        let ts = span.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = span.get("dur").and_then(|v| v.as_f64()).expect("dur");
+        assert_eq!(dur, 500.0);
+        assert!(ts >= 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"Z\",\"name\":\"x\",\"ts\":0}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"ts\":0}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_ok());
+    }
+
+    #[test]
+    fn folded_stacks_computes_self_time() {
+        let text = folded_stacks(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // iteration self time = 900 - 500 (child gbm-train)
+        assert!(lines.contains(&"iteration 400"), "got {lines:?}");
+        assert!(lines.contains(&"iteration;gbm-train 500"), "got {lines:?}");
+    }
+
+    #[test]
+    fn folded_stacks_tolerates_truncated_streams() {
+        let mut events = sample_events();
+        events.remove(0); // drop the opening iteration stage_start
+        let text = folded_stacks(&events);
+        // The unmatched iteration stage_end is skipped; gbm-train survives.
+        assert_eq!(text, "gbm-train 500\n");
+    }
+
+    #[test]
+    fn exporters_are_deterministic() {
+        let events = sample_events();
+        assert_eq!(chrome_trace_json(&events), chrome_trace_json(&events));
+        assert_eq!(folded_stacks(&events), folded_stacks(&events));
+    }
+}

@@ -43,6 +43,13 @@ pub struct ScoreReport {
     pub total_us: u64,
     /// Throughput over the whole call (`rows / total seconds`).
     pub rows_per_sec: f64,
+    /// Median per-batch latency (log2-bucket upper bound, microseconds;
+    /// 0 when no batches ran). From the same deterministic
+    /// [`safe_obs::LatencyHisto`] the telemetry stream feeds.
+    pub batch_p50_us: u64,
+    /// 99th-percentile per-batch latency (log2-bucket upper bound,
+    /// microseconds; 0 when no batches ran).
+    pub batch_p99_us: u64,
 }
 
 /// Batch scorer for a saved [`SafeArtifact`].
@@ -141,6 +148,7 @@ impl Scorer {
         // order, so the thread count never changes the output bytes.
         let n_outputs = self.compiled.n_outputs();
         let per_batch = try_par_map(self.parallelism, n_batches, |b| {
+            let batch_start = Instant::now();
             let lo = b * self.batch_size;
             let hi = ((b + 1) * self.batch_size).min(n_rows);
             // Per-batch buffers: one engineered-feature matrix and one
@@ -159,14 +167,25 @@ impl Scorer {
                 // whole batch.
                 Err(e) => panic!("pre-validated batch failed: {e}"),
             }
-            scores
+            (scores, u64::try_from(batch_start.elapsed().as_micros()).unwrap_or(u64::MAX))
         })
         .map_err(|p| ServeError::Worker(p.message))?;
-        let scores: Vec<f64> = per_batch.into_iter().flatten().collect();
+        // Batch latencies in batch-index order (deterministic join order of
+        // `try_par_map`); the histogram itself merges exactly, so the
+        // quantile values depend only on the multiset of latencies.
+        let mut batch_histo = safe_obs::LatencyHisto::new();
+        let mut scores: Vec<f64> = Vec::with_capacity(n_rows);
+        let sink = self.sink.as_dyn();
+        for (batch_scores, batch_us) in per_batch {
+            batch_histo.record(batch_us);
+            sink.observe(stages::SCORE, None, "batch_us", batch_us);
+            scores.extend_from_slice(&batch_scores);
+        }
 
         let total_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let report = self.report(n_rows as u64, n_batches as u64, total_us);
-        let sink = self.sink.as_dyn();
+        let mut report = self.report(n_rows as u64, n_batches as u64, total_us);
+        report.batch_p50_us = batch_histo.p50();
+        report.batch_p99_us = batch_histo.p99();
         sink.counter(stages::SCORE, None, "rows", report.rows);
         sink.counter(stages::SCORE, None, "batches", report.batches);
         sink.counter(stages::SCORE, None, "threads", report.threads as u64);
@@ -206,6 +225,8 @@ impl Scorer {
             threads: self.parallelism.resolve(),
             total_us,
             rows_per_sec: if secs > 0.0 { rows as f64 / secs } else { 0.0 },
+            batch_p50_us: 0,
+            batch_p99_us: 0,
         }
     }
 }
@@ -318,6 +339,33 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.kind == EventKind::Counter && e.name == "threads"));
+    }
+
+    #[test]
+    fn batch_latency_quantiles_and_observe_events() {
+        let sink = Arc::new(MemorySink::new());
+        let (_, s) = scorer(28);
+        let (_, valid) = toy_split(28);
+        let s = s.with_sink(SinkHandle::new(sink.clone())).with_batch_size(16);
+        let (_, report) = s.score_dataset(&valid).unwrap();
+        assert!(report.batches > 1, "want multiple batches for quantiles");
+        // Quantiles land on log2-bucket upper bounds and are ordered.
+        assert!(report.batch_p50_us <= report.batch_p99_us);
+        assert!(report.batch_p99_us > 0, "batches take nonzero time");
+        // One sink-only observe event per batch.
+        let observes: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Observe && e.name == "batch_us")
+            .collect();
+        assert_eq!(observes.len(), report.batches as usize);
+        // Replaying the observe stream reproduces the report's quantiles.
+        let snap = safe_obs::MetricsSnapshot::from_events(&sink.events());
+        let h = snap
+            .histogram("batch_us", &[("stage", stages::SCORE)])
+            .expect("batch_us histogram");
+        assert_eq!(h.p50(), report.batch_p50_us);
+        assert_eq!(h.p99(), report.batch_p99_us);
     }
 
     #[test]

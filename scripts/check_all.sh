@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Run every repository gate in sequence: determinism, telemetry, serving,
-# caching, crash safety, and the no-panic clippy gate. This is the one
+# Run every repository gate in sequence: determinism, telemetry, metrics &
+# profiling exports, serving, caching, crash safety, and the no-panic
+# clippy gate. This is the one
 # entry point CI (or a pre-merge human) needs; each sub-script prints its
 # own `OK` line and any failure aborts the aggregate immediately.
 #
@@ -13,6 +14,7 @@ cd "$(dirname "$0")/.."
 for check in \
     check_determinism \
     check_telemetry \
+    check_metrics \
     check_serving \
     check_cache \
     check_crash_safety \
