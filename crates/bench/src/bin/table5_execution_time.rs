@@ -7,11 +7,12 @@
 
 use safe_bench::{
     bench_pipeline_path, cache_rows, engineer_split, fmt_secs, pipeline_json, pipeline_rows,
-    resilience_rows, timed_safe_fit, traced_checkpointed_report, traced_safe_cache_report,
-    traced_safe_report, CacheRow, Flags, Method, ParallelRow, PipelineRow, ResilienceRow,
-    TablePrinter,
+    resilience_rows, selection_row, timed_safe_fit, traced_checkpointed_report,
+    traced_safe_cache_report, traced_safe_report, traced_selection_fit, CacheRow, Flags, Method,
+    ParallelRow, PipelineRow, ResilienceRow, SelectionRow, TablePrinter,
 };
-use safe_datagen::benchmarks::generate_benchmark_scaled;
+use safe_core::SelectionMode;
+use safe_datagen::benchmarks::{generate_benchmark_scaled, BenchmarkId};
 use safe_datagen::synth::{generate, SyntheticConfig};
 
 fn main() {
@@ -180,13 +181,75 @@ fn main() {
         std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 
+    // Selection-mode sweep: one SAFE fit per mode on the candidate-heavy
+    // datasets (`--selection-datasets`, default gina — the widest of the
+    // roster). The staged row's `speedup_vs_exact` is the combined wall time
+    // of the stages the pruner targets (staged-prune + redundancy-filter +
+    // rank-topk) in exact mode over staged mode; the AUC column pins the
+    // quality contract (±0.005, also held by tests/selection_differential.rs).
+    // Rows land in the `selection` section of BENCH_pipeline.json.
+    let sel_spec = flags.get("selection-datasets").unwrap_or("gina");
+    // The sweep fits at its own scale rather than the table's sliver: large
+    // enough that IV estimates are stable and the halving cut is lossless
+    // (every α-clearing feature fits inside the finalist set), small enough
+    // that the candidate pool stays wide and the exact scan stays the
+    // bottleneck. The AUC column is scored on a full-scale regeneration,
+    // where the downstream classifier is stable enough to certify the
+    // ±0.005 parity contract.
+    let sel_fit_scale: f64 = flags.get_or("selection-fit-scale", 0.15);
+    let sel_eval_scale: f64 = flags.get_or("selection-eval-scale", 1.0);
+    let sel_ids: Vec<BenchmarkId> = BenchmarkId::ALL
+        .into_iter()
+        .filter(|b| {
+            sel_spec
+                .split(',')
+                .any(|w| w.trim().eq_ignore_ascii_case(b.spec().name))
+        })
+        .collect();
+    println!(
+        "\nSelection sweep (exact vs staged, fit scale={sel_fit_scale}, \
+         eval scale={sel_eval_scale}) on: {sel_spec}"
+    );
+    let mut selection_sweep: Vec<SelectionRow> = Vec::new();
+    for &id in &sel_ids {
+        let name = id.spec().name;
+        let split = generate_benchmark_scaled(id, sel_fit_scale, seed);
+        let eval = generate_benchmark_scaled(id, sel_eval_scale, seed);
+        let exact = traced_selection_fit(&split, &eval, seed, SelectionMode::Exact);
+        let staged = traced_selection_fit(&split, &eval, seed, SelectionMode::Staged);
+        match (exact, staged) {
+            (Ok((er, e_auc, e_sel)), Ok((sr, s_auc, s_sel))) => {
+                let exact_row = selection_row(name, "exact", &er, e_auc, e_sel);
+                let mut staged_row = selection_row(name, "staged", &sr, s_auc, s_sel);
+                if staged_row.combined_millis > 0.0 {
+                    staged_row.speedup_vs_exact =
+                        exact_row.combined_millis / staged_row.combined_millis;
+                }
+                println!(
+                    "  {name}: exact {:.0}ms auc {:.4} | staged {:.0}ms auc {:.4} | {:.2}x, dAUC {:+.4}",
+                    exact_row.combined_millis,
+                    exact_row.auc,
+                    staged_row.combined_millis,
+                    staged_row.auc,
+                    staged_row.speedup_vs_exact,
+                    staged_row.auc - exact_row.auc,
+                );
+                selection_sweep.push(exact_row);
+                selection_sweep.push(staged_row);
+            }
+            (Err(err), _) | (_, Err(err)) => {
+                eprintln!("  selection sweep failed on {name}: {err}")
+            }
+        }
+    }
+
     let out_path = flags
         .get("pipeline-out")
         .map(str::to_string)
         .unwrap_or_else(bench_pipeline_path);
-    // This binary owns `stages`, `parallel`, `cache`, and `resilience`;
-    // carry any existing `serving` rows (written by serving_throughput)
-    // and unknown future sections through untouched.
+    // This binary owns `stages`, `parallel`, `cache`, `resilience`, and
+    // `selection`; carry any existing `serving` rows (written by
+    // serving_throughput) and unknown future sections through untouched.
     let existing = safe_bench::read_pipeline_document(&out_path);
     match std::fs::write(
         &out_path,
@@ -195,6 +258,7 @@ fn main() {
             parallel: parallel_rows,
             cache: cache_sweep,
             resilience: resilience_sweep,
+            selection: selection_sweep,
             ..existing
         }),
     ) {

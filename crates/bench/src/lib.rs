@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use safe_baselines::{AutoLearn, FcTree, Tfc};
 use safe_core::engineer::{FeatureEngineer, Identity};
-use safe_core::{Safe, SafeConfig};
+use safe_core::{Safe, SafeConfig, SelectionMode};
 use safe_data::dataset::Dataset;
 use safe_data::split::DatasetSplit;
 use safe_datagen::benchmarks::BenchmarkId;
@@ -549,6 +549,103 @@ pub struct ServingRow {
     pub speedup_vs_naive: f64,
 }
 
+/// One row of the `selection` section of `BENCH_pipeline.json`: one
+/// selection mode (`exact` or `staged`) fit end to end on one dataset, with
+/// the wall time of the stages the staged pruner targets broken out. The
+/// exact row is the baseline; `speedup_vs_exact` on the staged row is
+/// `exact combined_millis / staged combined_millis` (1.0 on the exact row
+/// itself).
+#[derive(Debug, Clone)]
+pub struct SelectionRow {
+    /// Sweep dataset name.
+    pub dataset: String,
+    /// `"exact"` or `"staged"`.
+    pub mode: String,
+    /// Wall millis of the `staged-prune` stage across all iterations
+    /// (0 for exact mode, which never runs it).
+    pub staged_millis: f64,
+    /// Wall millis of `redundancy-filter` across all iterations.
+    pub redundancy_millis: f64,
+    /// Wall millis of `rank-topk` across all iterations.
+    pub rank_millis: f64,
+    /// `staged_millis + redundancy_millis + rank_millis` — the cost of
+    /// everything downstream of the IV filter, which is what the staged
+    /// pruner exists to shrink.
+    pub combined_millis: f64,
+    /// Test AUC of an XGB classifier on the engineered features (0..1).
+    pub auc: f64,
+    /// Features in the final plan's output schema.
+    pub n_selected: u64,
+    /// Exact-mode combined millis over this row's combined millis.
+    pub speedup_vs_exact: f64,
+}
+
+/// Fit SAFE on `split` under one selection mode with telemetry engaged,
+/// returning the run report, the plan's downstream AUC, and the final
+/// plan's output-feature count — the raw material of one [`SelectionRow`].
+///
+/// Timing and quality are deliberately decoupled: the fit (and therefore
+/// every stage wall-time in the report) runs on `split`, which the sweep
+/// keeps small enough that the candidate pool is large and the pruner has
+/// something to cut, while the AUC is scored by applying the plan to
+/// `eval` — a larger regeneration of the same dataset — and training the
+/// XGB classifier there. Scoring on the timing sliver's few test rows
+/// produces chance-level noise that cannot certify the ±0.005 parity
+/// contract; the plan itself applies to any row count. The classifier
+/// itself is deterministic (full-sample XGB never consumes its RNG), so
+/// one evaluation per plan is exact — any AUC delta between modes is a
+/// property of the plans, not classifier noise.
+pub fn traced_selection_fit(
+    split: &DatasetSplit,
+    eval: &DatasetSplit,
+    seed: u64,
+    mode: SelectionMode,
+) -> Result<(safe_obs::RunReport, f64, u64), String> {
+    let config = SafeConfig::builder().seed(seed).selection(mode).build()?;
+    let outcome = Safe::new(config)
+        .fit(&split.train, split.valid.as_ref())
+        .map_err(|e| e.to_string())?;
+    let train = outcome.plan.apply(&eval.train).map_err(|e| e.to_string())?;
+    let test = outcome.plan.apply(&eval.test).map_err(|e| e.to_string())?;
+    let auc = safe_models::classifier::evaluate_auc(ClassifierKind::Xgb, &train, &test, seed)
+        .map_err(|e| e.to_string())?;
+    Ok((outcome.report, auc, outcome.plan.outputs.len() as u64))
+}
+
+/// Build one `selection` row from a traced fit. `speedup_vs_exact` starts
+/// at 1.0; the table5 writer fills it in once both modes have run.
+pub fn selection_row(
+    dataset: &str,
+    mode: &str,
+    report: &safe_obs::RunReport,
+    auc: f64,
+    n_selected: u64,
+) -> SelectionRow {
+    let sum = |stage: &str| -> f64 {
+        report
+            .iterations
+            .iter()
+            .flat_map(|it| it.stages.iter())
+            .filter(|s| s.stage == stage)
+            .map(|s| s.micros as f64 / 1000.0)
+            .sum()
+    };
+    let staged_millis = sum(safe_obs::stages::STAGED_PRUNE);
+    let redundancy_millis = sum(safe_obs::stages::REDUNDANCY);
+    let rank_millis = sum(safe_obs::stages::RANK_TOPK);
+    SelectionRow {
+        dataset: dataset.to_string(),
+        mode: mode.to_string(),
+        staged_millis,
+        redundancy_millis,
+        rank_millis,
+        combined_millis: staged_millis + redundancy_millis + rank_millis,
+        auc,
+        n_selected,
+        speedup_vs_exact: 1.0,
+    }
+}
+
 /// Schema version written into `BENCH_pipeline.json` by [`pipeline_json`].
 /// Bump when a section's row shape changes incompatibly; readers tolerate
 /// (and writers preserve) sections they don't know, so additions never
@@ -559,8 +656,9 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 /// schema version, the per-stage rows (`stages`), the thread-sweep rows
 /// (`parallel`), the scoring-throughput rows (`serving`), the cold-vs-warm
 /// cache sweep rows (`cache`), the checkpoint-overhead rows
-/// (`resilience`), and — verbatim — any sections a future harness wrote
-/// that this build doesn't know ([`PipelineDocument::extra`]).
+/// (`resilience`), the selection-mode sweep rows (`selection`), and —
+/// verbatim — any sections a future harness wrote that this build doesn't
+/// know ([`PipelineDocument::extra`]).
 ///
 /// Schema:
 /// `{"schema_version": 2, "stages": [{dataset, iteration, stage, millis,
@@ -569,17 +667,21 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 /// batch_size, secs, rows_per_sec, speedup_vs_naive}], "cache": [{dataset,
 /// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}],
 /// "resilience": [{dataset, iteration, ckpt_bytes, ckpt_micros,
-/// iteration_micros, overhead_pct}]}`
+/// iteration_micros, overhead_pct}], "selection": [{dataset, mode,
+/// staged_millis, redundancy_millis, rank_millis, combined_millis, auc,
+/// n_selected, speedup_vs_exact}]}`
 ///
 /// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
-/// `cache`/`resilience`, `serving_throughput` owns `serving`) each re-read
+/// `cache`/`resilience`/`selection`, `serving_throughput` owns `serving`)
+/// each re-read
 /// the document first via [`read_pipeline_document`] and pass the other
 /// sections — known and unknown alike — through, so running either binary
 /// never clobbers anyone else's results.
 ///
 /// [t5]: ../safe_bench/index.html
 pub fn pipeline_json(doc: &PipelineDocument) -> String {
-    let PipelineDocument { stages, parallel, serving, cache, resilience, extra, .. } = doc;
+    let PipelineDocument { stages, parallel, serving, cache, resilience, selection, extra, .. } =
+        doc;
     let mut out = format!(
         "{{\n\"schema_version\": {PIPELINE_SCHEMA_VERSION},\n\"stages\": [\n"
     );
@@ -662,6 +764,25 @@ pub fn pipeline_json(doc: &PipelineDocument) -> String {
         }
         out.push('\n');
     }
+    out.push_str("],\n\"selection\": [\n");
+    for (i, r) in selection.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"mode\":{},\"staged_millis\":{:.3},\"redundancy_millis\":{:.3},\"rank_millis\":{:.3},\"combined_millis\":{:.3},\"auc\":{:.6},\"n_selected\":{},\"speedup_vs_exact\":{:.3}}}",
+            safe_obs::json::escape(&r.dataset),
+            safe_obs::json::escape(&r.mode),
+            r.staged_millis,
+            r.redundancy_millis,
+            r.rank_millis,
+            r.combined_millis,
+            r.auc,
+            r.n_selected,
+            r.speedup_vs_exact,
+        ));
+        if i + 1 < selection.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("]");
     // Unknown sections a newer harness wrote: preserved verbatim so this
     // build never destroys data it doesn't understand.
@@ -690,6 +811,8 @@ pub struct PipelineDocument {
     pub cache: Vec<CacheRow>,
     /// Per-iteration checkpoint write overhead rows.
     pub resilience: Vec<ResilienceRow>,
+    /// Exact-vs-staged selection-mode sweep rows.
+    pub selection: Vec<SelectionRow>,
     /// Top-level keys this build doesn't know, kept verbatim (name, value)
     /// so re-writing the document preserves a future harness's sections.
     pub extra: Vec<(String, safe_obs::json::Value)>,
@@ -776,9 +899,26 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
+    let selection = rows_of("selection")
+        .iter()
+        .filter_map(|r| {
+            Some(SelectionRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                mode: r.get("mode")?.as_str()?.to_string(),
+                staged_millis: r.get("staged_millis")?.as_f64()?,
+                redundancy_millis: r.get("redundancy_millis")?.as_f64()?,
+                rank_millis: r.get("rank_millis")?.as_f64()?,
+                combined_millis: r.get("combined_millis")?.as_f64()?,
+                auc: r.get("auc")?.as_f64()?,
+                n_selected: r.get("n_selected")?.as_u64()?,
+                speedup_vs_exact: r.get("speedup_vs_exact")?.as_f64()?,
+            })
+        })
+        .collect();
     let schema_version = v.get("schema_version").and_then(|s| s.as_u64()).unwrap_or(0);
-    const KNOWN: [&str; 6] =
-        ["schema_version", "stages", "parallel", "serving", "cache", "resilience"];
+    const KNOWN: [&str; 7] = [
+        "schema_version", "stages", "parallel", "serving", "cache", "resilience", "selection",
+    ];
     let extra: Vec<(String, safe_obs::json::Value)> = v
         .as_object()
         .map(|pairs| {
@@ -789,7 +929,16 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
                 .collect()
         })
         .unwrap_or_default();
-    PipelineDocument { schema_version, stages, parallel, serving, cache, resilience, extra }
+    PipelineDocument {
+        schema_version,
+        stages,
+        parallel,
+        serving,
+        cache,
+        resilience,
+        selection,
+        extra,
+    }
 }
 
 /// Default output path for `BENCH_pipeline.json`: the repository root.
@@ -891,12 +1040,24 @@ mod tests {
             iteration_micros: 30_000,
             overhead_pct: 0.5,
         }];
+        let selection = vec![SelectionRow {
+            dataset: "gina".into(),
+            mode: "staged".into(),
+            staged_millis: 40.0,
+            redundancy_millis: 90.0,
+            rank_millis: 150.0,
+            combined_millis: 280.0,
+            auc: 0.8912,
+            n_selected: 300,
+            speedup_vs_exact: 6.3,
+        }];
         let text = pipeline_json(&PipelineDocument {
             stages,
             parallel,
             serving,
             cache,
             resilience,
+            selection,
             ..Default::default()
         });
         let v = safe_obs::json::parse(&text).unwrap();
@@ -920,6 +1081,10 @@ mod tests {
         let rs = v.get("resilience").unwrap().as_array().unwrap();
         assert_eq!(rs[0].get("ckpt_bytes").unwrap().as_u64(), Some(2_048));
         assert_eq!(rs[0].get("overhead_pct").unwrap().as_f64(), Some(0.5));
+        let sel = v.get("selection").unwrap().as_array().unwrap();
+        assert_eq!(sel[0].get("mode").unwrap().as_str(), Some("staged"));
+        assert_eq!(sel[0].get("combined_millis").unwrap().as_f64(), Some(280.0));
+        assert_eq!(sel[0].get("n_selected").unwrap().as_u64(), Some(300));
         // All sections empty must still be valid JSON.
         assert!(safe_obs::json::parse(&pipeline_json(&PipelineDocument::default())).is_ok());
     }
@@ -979,9 +1144,20 @@ mod tests {
             iteration_micros: 9_000,
             overhead_pct: 1.0,
         }];
+        let selection = vec![SelectionRow {
+            dataset: "m".into(),
+            mode: "exact".into(),
+            staged_millis: 0.0,
+            redundancy_millis: 12.0,
+            rank_millis: 30.0,
+            combined_millis: 42.0,
+            auc: 0.75,
+            n_selected: 10,
+            speedup_vs_exact: 1.0,
+        }];
         std::fs::write(
             &path,
-            pipeline_json(&PipelineDocument { parallel, cache, resilience, ..doc }),
+            pipeline_json(&PipelineDocument { parallel, cache, resilience, selection, ..doc }),
         )
         .unwrap();
 
@@ -997,6 +1173,9 @@ mod tests {
         assert_eq!(back.cache[0].cold_rebinned, 8);
         assert_eq!(back.resilience.len(), 1);
         assert_eq!(back.resilience[0].ckpt_bytes, 512);
+        assert_eq!(back.selection.len(), 1);
+        assert_eq!(back.selection[0].mode, "exact");
+        assert_eq!(back.selection[0].combined_millis, 42.0);
         assert_eq!(back.extra.len(), 1);
         assert_eq!(back.extra[0].0, "gpu_sweep");
         let gpu_rows = back.extra[0].1.as_array().unwrap();

@@ -12,6 +12,7 @@
 //! | `serving`    | dataset, method, threads, batch_size     | `secs`        |
 //! | `cache`      | dataset, iteration                       | `warm_micros` |
 //! | `resilience` | dataset, iteration                      | `ckpt_micros` |
+//! | `selection`  | dataset, mode                            | `combined_millis` |
 //!
 //! Rows present in only one document are reported but never fail the gate
 //! (benchmarks grow sections over time). Unknown sections are ignored, so
@@ -106,6 +107,12 @@ const SECTIONS: &[SectionSpec] = &[
         key_fields: &["dataset", "iteration"],
         metric: "ckpt_micros",
         noise_floor: 5_000.0,
+    },
+    SectionSpec {
+        section: "selection",
+        key_fields: &["dataset", "mode"],
+        metric: "combined_millis",
+        noise_floor: 5.0,
     },
 ];
 
@@ -282,6 +289,15 @@ mod tests {
         assert_eq!(report.only_old, 1);
         assert_eq!(report.only_new, 1);
         assert_eq!(report.regressions().count(), 0);
+    }
+
+    #[test]
+    fn selection_section_is_gated() {
+        let old = doc(r#"{"selection":[{"dataset":"gina","mode":"staged","combined_millis":500.0}]}"#);
+        let new = doc(r#"{"selection":[{"dataset":"gina","mode":"staged","combined_millis":900.0}]}"#);
+        let report = diff_documents(&old, &new, 20.0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.regressions().count(), 1);
     }
 
     #[test]

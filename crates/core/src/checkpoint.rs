@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 use safe_data::checksum::fnv1a64;
 use safe_obs::RunReport;
 
-use crate::config::{GenerationStrategy, SafeConfig};
+use crate::config::{GenerationStrategy, SafeConfig, SelectionMode};
 use crate::plan::FeaturePlan;
 use crate::safe::{IterationReport, IterationStatus};
 
@@ -111,6 +111,9 @@ pub struct ConfigFingerprint {
     pub n_iterations: usize,
     /// Generation strategy.
     pub strategy: GenerationStrategy,
+    /// Selection mode (exact vs staged successive halving). Result-
+    /// determining: the modes keep different feature sets.
+    pub selection: SelectionMode,
     /// Whether the cross-iteration caches were on (results are identical
     /// either way; recorded for provenance, not compared).
     pub cache: bool,
@@ -128,6 +131,7 @@ impl ConfigFingerprint {
             output_multiplier: config.output_multiplier,
             n_iterations: config.n_iterations,
             strategy: config.strategy,
+            selection: config.selection,
             cache: config.cache,
         }
     }
@@ -143,6 +147,7 @@ impl ConfigFingerprint {
             && self.output_multiplier == other.output_multiplier
             && self.n_iterations == other.n_iterations
             && self.strategy == other.strategy
+            && self.selection == other.selection
     }
 }
 
@@ -159,6 +164,21 @@ fn strategy_parse(s: &str) -> Option<GenerationStrategy> {
         "mined" => Some(GenerationStrategy::Mined),
         "random-split" => Some(GenerationStrategy::RandomSplitFeatures),
         "random-all" => Some(GenerationStrategy::RandomAllFeatures),
+        _ => None,
+    }
+}
+
+fn selection_str(s: SelectionMode) -> &'static str {
+    match s {
+        SelectionMode::Exact => "exact",
+        SelectionMode::Staged => "staged",
+    }
+}
+
+fn selection_parse(s: &str) -> Option<SelectionMode> {
+    match s {
+        "exact" => Some(SelectionMode::Exact),
+        "staged" => Some(SelectionMode::Staged),
         _ => None,
     }
 }
@@ -283,7 +303,7 @@ fn unescape(s: &str) -> String {
 /// Degraded stages are a closed vocabulary; parsing maps back to the
 /// `&'static str` the loop uses so resumed and fresh histories compare `==`.
 fn stage_static(s: &str) -> Option<&'static str> {
-    ["mine", "generate", "iv-filter", "redundancy", "rank", "select"]
+    ["mine", "generate", "staged-prune", "iv-filter", "redundancy", "rank", "select"]
         .into_iter()
         .find(|known| s == *known)
 }
@@ -311,6 +331,7 @@ impl Checkpoint {
         let _ = writeln!(out, "CONFIG\tmultiplier\t{}", f.output_multiplier);
         let _ = writeln!(out, "CONFIG\tn_iterations\t{}", f.n_iterations);
         let _ = writeln!(out, "CONFIG\tstrategy\t{}", strategy_str(f.strategy));
+        let _ = writeln!(out, "CONFIG\tselection\t{}", selection_str(f.selection));
         let _ = writeln!(out, "CONFIG\tcache\t{}", u8::from(f.cache));
         let _ = writeln!(out, "STATE\titerations_done\t{}", self.iterations_done);
         let _ = writeln!(out, "STATE\tterminal\t{}", self.terminal.as_str());
@@ -557,9 +578,9 @@ impl Checkpoint {
                 other => return Err(err(i, format!("unrecognized record '{other}'"))),
             }
             // Assemble the fingerprint once all CONFIG records are in; the
-            // writer emits exactly nine, in a fixed order, but lookup by key
+            // writer emits exactly ten, in a fixed order, but lookup by key
             // keeps the format order-insensitive.
-            if fields[0] == "CONFIG" && cfg.len() == 9 && fingerprint.is_none() {
+            if fields[0] == "CONFIG" && cfg.len() == 10 && fingerprint.is_none() {
                 fingerprint = Some(parse_fingerprint(&cfg).map_err(|m| err(i, m))?);
             }
         }
@@ -627,6 +648,8 @@ fn parse_fingerprint(cfg: &[(String, String)]) -> Result<ConfigFingerprint, Stri
         n_iterations: uint("n_iterations")?,
         strategy: strategy_parse(get("strategy")?)
             .ok_or_else(|| "bad CONFIG strategy".to_string())?,
+        selection: selection_parse(get("selection")?)
+            .ok_or_else(|| "bad CONFIG selection".to_string())?,
         cache: get("cache")? == "1",
     })
 }

@@ -26,6 +26,30 @@ pub enum GenerationStrategy {
     RandomAllFeatures,
 }
 
+/// How the selection stage evaluates the candidate pool.
+///
+/// The mode is **result-determining**: it changes which features survive,
+/// so it is part of the checkpoint fingerprint and a resume under a
+/// different mode is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMode {
+    /// The paper's flat pipeline: exact IV filter, exact f64 Pearson
+    /// redundancy scan, and a full booster retrain for rank-topk — over
+    /// every candidate. Bit-identical to the pre-staged pipeline; the
+    /// default.
+    Exact,
+    /// OpenFE-style successive halving ([`crate::selection::staged`]):
+    /// candidates are scored cheaply on small deterministic row
+    /// subsamples, the pool is halved per rung on geometrically growing
+    /// samples, and only the finalists get exact IV, a binned-Pearson
+    /// redundancy scan (`safe_gbm::corr`), and the booster ranking.
+    /// Non-finalists are eliminated by their staged scores — no full
+    /// booster retrain over the whole pool. Deterministic at every thread
+    /// count, but *not* bit-identical to [`SelectionMode::Exact`]; AUC
+    /// parity within ±0.005 is pinned by `tests/selection_differential.rs`.
+    Staged,
+}
+
 /// Configuration of the SAFE pipeline.
 #[derive(Debug, Clone)]
 pub struct SafeConfig {
@@ -56,6 +80,10 @@ pub struct SafeConfig {
     pub operators: OperatorRegistry,
     /// SAFE / RAND / IMP.
     pub strategy: GenerationStrategy,
+    /// Candidate evaluation mode for the selection stage: the paper's
+    /// exact pipeline (default) or staged successive halving. See
+    /// [`SelectionMode`].
+    pub selection: SelectionMode,
     /// Seed for the randomized strategies and subsampling.
     pub seed: u64,
     /// Pre-fit data audit policy (see [`safe_data::audit`]). The default
@@ -112,6 +140,7 @@ impl Default for SafeConfig {
             ranker: GbmConfig::miner(),
             operators: OperatorRegistry::arithmetic(),
             strategy: GenerationStrategy::Mined,
+            selection: SelectionMode::Exact,
             seed: 0,
             audit: AuditConfig::default(),
             sink: SinkHandle::null(),
@@ -281,6 +310,13 @@ impl SafeConfigBuilder {
         self
     }
 
+    /// Selection mode: exact (paper semantics, default) or staged
+    /// successive halving.
+    pub fn selection(mut self, selection: SelectionMode) -> Self {
+        self.config.selection = selection;
+        self
+    }
+
     /// The operator set O.
     pub fn operators(mut self, operators: OperatorRegistry) -> Self {
         self.config.operators = operators;
@@ -361,6 +397,7 @@ mod tests {
     fn default_matches_paper_constants() {
         let c = SafeConfig::paper();
         assert_eq!(c.alpha, 0.1, "Table I medium-predictor edge");
+        assert_eq!(c.selection, SelectionMode::Exact, "exact selection is the pinned default");
         assert_eq!(c.theta, 0.8, "Table II extremely-strong edge");
         assert_eq!(c.output_multiplier, 2, "2M output cap");
         assert_eq!(c.n_iterations, 1, "benchmark experiments use one iteration");

@@ -49,11 +49,15 @@ pub mod config;
 pub mod generate;
 pub mod plan;
 pub mod safe;
-pub mod select;
+pub mod selection;
+
+/// Legacy alias — the selection stage lived at `safe_core::select` before
+/// the staged pruner arrived; existing imports keep compiling.
+pub use selection as select;
 
 pub use cache::{BinCache, StatsCache};
 pub use checkpoint::{Checkpoint, CheckpointStore, CkptError, ConfigFingerprint, Terminal};
-pub use config::{GenerationStrategy, SafeConfig, SafeConfigBuilder};
+pub use config::{GenerationStrategy, SafeConfig, SafeConfigBuilder, SelectionMode};
 pub use engineer::{FeatureEngineer, Identity};
 pub use error::SafeError;
 pub use explain::{explain_plan, explanation_report, FeatureExplanation};

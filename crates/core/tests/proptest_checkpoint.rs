@@ -9,11 +9,12 @@ use proptest::prelude::*;
 use safe_core::checkpoint::{Checkpoint, ConfigFingerprint, Terminal};
 use safe_core::plan::{FeaturePlan, PlanStep};
 use safe_core::safe::{IterationReport, IterationStatus};
-use safe_core::SafeConfig;
+use safe_core::{SafeConfig, SelectionMode};
 use safe_obs::{IterationTelemetry, RunReport, StageTelemetry, WarnRecord, Waterfall};
 
 /// Closed degradation-stage vocabulary the codec persists.
-const STAGES: [&str; 6] = ["mine", "generate", "iv-filter", "redundancy", "rank", "select"];
+const STAGES: [&str; 7] =
+    ["mine", "generate", "staged-prune", "iv-filter", "redundancy", "rank", "select"];
 const OPS: [&str; 4] = ["mul", "div", "add", "log"];
 const TERMINALS: [Terminal; 5] = [
     Terminal::Running,
@@ -133,7 +134,10 @@ fn make_checkpoint(
             },
         })
         .collect();
-    let config = SafeConfig { seed, ..SafeConfig::paper() };
+    // Both selection modes must persist and round-trip (the mode is a
+    // result-determining fingerprint field); derive it from the fuzzed seed.
+    let selection = if seed % 2 == 0 { SelectionMode::Exact } else { SelectionMode::Staged };
+    let config = SafeConfig { seed, selection, ..SafeConfig::paper() };
     Checkpoint {
         fingerprint: ConfigFingerprint::of(&config),
         iterations_done: n_iters,
@@ -207,7 +211,7 @@ proptest! {
         n_inputs in 1usize..4,
         n_steps in 0usize..4,
         terminal_idx in 0usize..5,
-        degrade_idx in 0usize..6,
+        degrade_idx in 0usize..7,
     ) {
         // Inject the IEEE special values the codec must carry bit-exactly.
         let mut params = raw_params;

@@ -143,6 +143,8 @@ pub const ALL: &[&str] = &[
     "select/iv-empty",
     "select/iv-worker-panic",
     "select/rank",
+    // Staged selection (successive-halving pruner).
+    "select/staged-worker-panic",
     // Checkpoint durability (crash-safety subsystem).
     "ckpt/write-fail",
     "ckpt/fsync-fail",

@@ -1,0 +1,414 @@
+//! Binned Pearson correlation over shared `u16` bin columns.
+//!
+//! The exact redundancy filter computes `pearson` over full `f64` columns:
+//! two passes of float loads, finiteness checks, and multiplies per pair —
+//! O(d²·n) with poor cache behaviour once `d` is large. This module trades
+//! a small, *documented* amount of precision for an integer kernel that
+//! reuses the quantized columns the booster already produced via
+//! [`BinCache`](crate::BinCache):
+//!
+//! 1. each column is reduced to its `u16` bin codes plus one
+//!    *representative value* per bin (the mean of the raw finite values
+//!    that landed in the bin),
+//! 2. a pair is correlated by accumulating an integer co-occurrence table
+//!    `counts[bin_a][bin_b] += 1` in a single pass over the rows — no
+//!    float work in the hot loop — and
+//! 3. the Pearson statistic is reduced from the (sparse) occupied cells of
+//!    that table, weighting each `(rep_a, rep_b)` pair by its count.
+//!
+//! Missing values keep the exact kernel's *pairwise deletion* semantics:
+//! `BinMapper::bin` maps every non-finite value to the dedicated missing
+//! bin, and rows where either column is in its missing bin are skipped —
+//! exactly the rows `safe_stats::pearson::pearson` skips. The degenerate
+//! contracts also match bit-for-bit: fewer than two co-occurring rows → 0.0,
+//! zero variance on either side → 0.0, result clamped to [-1, 1].
+//!
+//! ## Precision contract
+//!
+//! When binning is lossless — every bin holds a single distinct value,
+//! i.e. the column has fewer distinct values than `max_bins` — the binned
+//! statistic equals the exact one up to f64 summation order (≤ ~1e-9 in
+//! practice; `tests` pin 1e-9). When binning is lossy the statistic is the
+//! correlation of the *bin representatives*, which for equal-frequency
+//! bins at the default `max_bins = 256` tracks the exact value closely
+//! (pinned at ±0.02 on smooth data). Callers that need exact ρ must use
+//! `safe_stats::pearson::pearson`; the staged selection path accepts the
+//! tolerance because its threshold test (|ρ| > θ) is itself a heuristic.
+//!
+//! The ±0.02 figure does **not** hold for heavy-tailed columns whose
+//! variance is dominated by a handful of extreme rows (nested-division
+//! candidates routinely produce them): when an outlier shares a bin with
+//! ordinary values the bin mean dilutes it, and the binned statistic can
+//! sit arbitrarily far from the exact one. Each [`CorrColumn`] therefore
+//! carries a *trust signal* — [`CorrColumn::rep_variance_ratio`], the
+//! fraction of the column's exact variance its bin representatives retain.
+//! Smooth columns retain essentially all of it (ratio → 1); an
+//! outlier-diluted column loses a visible chunk, and callers that need
+//! decisions consistent with exact ρ (the staged redundancy filter) fall
+//! back to the `f64` kernel for any pair touching a low-ratio column.
+//!
+//! The scratch table is caller-owned ([`CorrScratch`]) and cleared by
+//! replaying only the cells a pair touched, so repeated calls never pay a
+//! full `max_bins²` memset.
+
+use crate::binner::BinMapper;
+
+/// A column prepared for binned correlation: bin codes, the missing-bin
+/// sentinel, and one representative raw value per value bin.
+#[derive(Debug, Clone)]
+pub struct CorrColumn {
+    bins: Vec<u16>,
+    missing: u16,
+    /// `reps[b]` = mean of the finite raw values that binned into `b`.
+    /// Bins unoccupied in `raw` keep the mapper's upper threshold so the
+    /// kernel stays total if bins were fit on different rows.
+    reps: Vec<f64>,
+    /// Fraction of the column's exact (finite-value) variance retained by
+    /// the bin representatives; see [`CorrColumn::rep_variance_ratio`].
+    rep_variance_ratio: f64,
+}
+
+impl CorrColumn {
+    /// Prepare a column from its shared bin codes and the raw values the
+    /// mapper was fit on. `bins` and `raw` must be row-aligned.
+    pub fn new(bins: &[u16], mapper: &BinMapper, raw: &[f64]) -> CorrColumn {
+        let n_value_bins = mapper.n_value_bins();
+        let mut sums = vec![0.0f64; n_value_bins];
+        let mut counts = vec![0u64; n_value_bins];
+        for (&b, &v) in bins.iter().zip(raw) {
+            let b = b as usize;
+            if b < n_value_bins && v.is_finite() {
+                sums[b] += v;
+                counts[b] += 1;
+            }
+        }
+        // The last value bin is open-ended (no upper cut), so an unoccupied
+        // bin falls back to the nearest interior cut, or 0.0 for a column
+        // with no cuts at all. In normal use every value bin is occupied —
+        // the mapper was fit on these same rows — so the fallback only
+        // keeps the kernel total for mismatched inputs.
+        let n_cuts = mapper.n_split_candidates();
+        let reps: Vec<f64> = (0..n_value_bins)
+            .map(|b| {
+                if counts[b] > 0 {
+                    sums[b] / counts[b] as f64
+                } else if b < n_cuts {
+                    mapper.threshold(b as u16)
+                } else if n_cuts > 0 {
+                    mapper.threshold((n_cuts - 1) as u16)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Trust signal: how much of the column's variance survives the
+        // bin-mean quantization. Both variances share the exact mean of
+        // the finite values, so the ratio isolates within-bin loss.
+        let n_finite: u64 = counts.iter().sum();
+        let rep_variance_ratio = if n_finite == 0 {
+            1.0
+        } else {
+            let mean = sums.iter().sum::<f64>() / n_finite as f64;
+            let exact_var: f64 = raw
+                .iter()
+                .filter(|v| v.is_finite())
+                .map(|&v| (v - mean) * (v - mean))
+                .sum();
+            if exact_var <= 0.0 {
+                1.0 // constant column: binned and exact both report ρ = 0
+            } else {
+                let rep_var: f64 = (0..n_value_bins)
+                    .map(|b| {
+                        let d = reps[b] - mean;
+                        counts[b] as f64 * d * d
+                    })
+                    .sum();
+                (rep_var / exact_var).clamp(0.0, 1.0)
+            }
+        };
+        CorrColumn { bins: bins.to_vec(), missing: mapper.missing_bin(), reps, rep_variance_ratio }
+    }
+
+    /// Fraction of the column's exact finite-value variance that the bin
+    /// representatives retain, in `[0, 1]`.
+    ///
+    /// Lossless binning (distinct values ≤ bins) and smooth columns sit at
+    /// ~1.0 — within-bin spread is tiny relative to between-bin spread.
+    /// A column whose variance is carried by a few extreme rows that share
+    /// bins with ordinary values loses a visible fraction (the bin mean
+    /// dilutes the outlier), and every pair statistic built on its
+    /// representatives inherits that distortion. Columns with no finite
+    /// values or zero variance report 1.0: the binned kernel and the exact
+    /// one agree exactly (both return 0.0) on such degenerate inputs.
+    pub fn rep_variance_ratio(&self) -> f64 {
+        self.rep_variance_ratio
+    }
+
+    /// Number of value bins (excluding the missing bin).
+    pub fn n_value_bins(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of rows the column covers.
+    pub fn n_rows(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+/// Reusable workspace for [`binned_pearson`]: the co-occurrence table plus
+/// the list of occupied cells (so clearing is O(occupied), not O(table)).
+#[derive(Debug, Default)]
+pub struct CorrScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl CorrScratch {
+    /// Fresh scratch; the table grows on demand and is reused across pairs.
+    pub fn new() -> CorrScratch {
+        CorrScratch::default()
+    }
+
+    fn ensure(&mut self, cells: usize) {
+        if self.counts.len() < cells {
+            self.counts.resize(cells, 0);
+        }
+        self.touched.clear();
+    }
+}
+
+/// Pearson correlation of two binned columns via integer co-occurrence
+/// accumulation. Mirrors `safe_stats::pearson::pearson`'s edge cases:
+/// pairwise missing deletion, `n < 2 → 0.0`, zero variance → 0.0, clamped
+/// to [-1, 1]. See the module docs for the precision contract.
+///
+/// # Panics
+/// Panics if the columns have different row counts (caller bug: the
+/// columns must come from the same dataset).
+pub fn binned_pearson(a: &CorrColumn, b: &CorrColumn, scratch: &mut CorrScratch) -> f64 {
+    assert_eq!(a.bins.len(), b.bins.len(), "binned_pearson: row count mismatch");
+    let nb = b.reps.len();
+    scratch.ensure(a.reps.len() * nb);
+
+    // Pass 1 — integer co-occurrence accumulation. The only float work in
+    // the row loop is none at all: two u16 loads, a compare, an increment.
+    for (&ba, &bb) in a.bins.iter().zip(&b.bins) {
+        if ba == a.missing || bb == b.missing {
+            continue;
+        }
+        let cell = ba as usize * nb + bb as usize;
+        if scratch.counts[cell] == 0 {
+            scratch.touched.push(cell as u32);
+        }
+        scratch.counts[cell] += 1;
+    }
+
+    // Pass 2 — weighted means over the occupied cells.
+    let mut n = 0u64;
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    for &cell in &scratch.touched {
+        let c = scratch.counts[cell as usize] as f64;
+        let i = cell as usize / nb;
+        let j = cell as usize % nb;
+        n += scratch.counts[cell as usize] as u64;
+        sx += c * a.reps[i];
+        sy += c * b.reps[j];
+    }
+    if n < 2 {
+        for &cell in &scratch.touched {
+            scratch.counts[cell as usize] = 0;
+        }
+        return 0.0;
+    }
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
+
+    // Pass 3 — weighted centered moments, then clear the touched cells so
+    // the scratch table is all-zero for the next pair.
+    let mut num = 0.0f64;
+    let mut dx = 0.0f64;
+    let mut dy = 0.0f64;
+    for &cell in &scratch.touched {
+        let c = scratch.counts[cell as usize] as f64;
+        let i = cell as usize / nb;
+        let j = cell as usize % nb;
+        let ax = a.reps[i] - mx;
+        let by = b.reps[j] - my;
+        num += c * ax * by;
+        dx += c * ax * ax;
+        dy += c * by * by;
+        scratch.counts[cell as usize] = 0;
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return 0.0;
+    }
+    (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safe_stats::pearson::pearson;
+
+    fn corr_pair(x: &[f64], y: &[f64], max_bins: usize) -> (f64, f64) {
+        let ma = BinMapper::fit(x, max_bins);
+        let mb = BinMapper::fit(y, max_bins);
+        let bx: Vec<u16> = x.iter().map(|&v| ma.bin(v)).collect();
+        let by: Vec<u16> = y.iter().map(|&v| mb.bin(v)).collect();
+        let ca = CorrColumn::new(&bx, &ma, x);
+        let cb = CorrColumn::new(&by, &mb, y);
+        let mut scratch = CorrScratch::new();
+        (binned_pearson(&ca, &cb, &mut scratch), pearson(x, y))
+    }
+
+    /// Lossless binning (distinct values < max_bins): the binned statistic
+    /// must pin the exact f64 `pearson` to summation-order precision.
+    #[test]
+    fn lossless_binning_matches_exact_pearson() {
+        let x: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i % 13) as f64) * 2.0 + ((i % 5) as f64)).collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert!(
+            (binned - exact).abs() < 1e-9,
+            "lossless binned {binned} vs exact {exact}"
+        );
+    }
+
+    /// Lossy binning on smooth data: documented tolerance of ±0.02 at the
+    /// booster's default 256-bin budget.
+    #[test]
+    fn lossy_binning_within_documented_tolerance() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let x: Vec<f64> = (0..2000).map(|_| rand() * 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.7 * v + rand()).collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert!(
+            (binned - exact).abs() < 0.02,
+            "lossy binned {binned} vs exact {exact}"
+        );
+    }
+
+    /// Anti-correlated data must come out negative and close to exact.
+    #[test]
+    fn negative_correlation_tracks_exact() {
+        let x: Vec<f64> = (0..300).map(|i| (i % 100) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| -v).collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert!((exact + 1.0).abs() < 1e-12);
+        assert!((binned - exact).abs() < 1e-9, "binned {binned} vs exact {exact}");
+    }
+
+    /// Constant column: zero variance must yield exactly 0.0 in both
+    /// kernels (edge case with no prior direct coverage).
+    #[test]
+    fn constant_column_is_exactly_zero() {
+        let x = vec![7.0; 64];
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert_eq!(exact, 0.0);
+        assert_eq!(binned, 0.0);
+    }
+
+    /// All-missing column: every row is pairwise-deleted, so both kernels
+    /// must return exactly 0.0 (n < 2 contract).
+    #[test]
+    fn all_missing_column_is_exactly_zero() {
+        let x = vec![f64::NAN; 48];
+        let y: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert_eq!(exact, 0.0);
+        assert_eq!(binned, 0.0);
+    }
+
+    /// Pairwise deletion: rows missing in either column are skipped, and on
+    /// lossless data the surviving rows reproduce the exact statistic.
+    #[test]
+    fn pairwise_missing_matches_exact_on_lossless_data() {
+        let x: Vec<f64> = (0..120)
+            .map(|i| if i % 7 == 0 { f64::NAN } else { (i % 11) as f64 })
+            .collect();
+        let y: Vec<f64> = (0..120)
+            .map(|i| if i % 13 == 0 { f64::INFINITY } else { (i % 11) as f64 + (i % 3) as f64 })
+            .collect();
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert!((binned - exact).abs() < 1e-9, "binned {binned} vs exact {exact}");
+    }
+
+    /// One co-occurring row (everything else pairwise-missing): n < 2 → 0.0.
+    #[test]
+    fn single_surviving_row_is_zero() {
+        let x = vec![1.0, f64::NAN, f64::NAN];
+        let y = vec![2.0, 3.0, f64::NAN];
+        let (binned, exact) = corr_pair(&x, &y, 256);
+        assert_eq!(exact, 0.0);
+        assert_eq!(binned, 0.0);
+    }
+
+    fn corr_column(x: &[f64], max_bins: usize) -> CorrColumn {
+        let m = BinMapper::fit(x, max_bins);
+        let bx: Vec<u16> = x.iter().map(|&v| m.bin(v)).collect();
+        CorrColumn::new(&bx, &m, x)
+    }
+
+    /// Smooth and lossless columns retain essentially all their variance
+    /// through the bin representatives; degenerate columns report exactly
+    /// 1.0 by contract.
+    #[test]
+    fn variance_ratio_is_high_on_well_behaved_columns() {
+        let lossless: Vec<f64> = (0..300).map(|i| (i % 40) as f64).collect();
+        assert!(corr_column(&lossless, 256).rep_variance_ratio() > 1.0 - 1e-9);
+        let smooth: Vec<f64> = (0..4000).map(|i| (i as f64).sin() * 5.0 + i as f64 / 100.0).collect();
+        assert!(corr_column(&smooth, 256).rep_variance_ratio() > 0.999);
+        assert_eq!(corr_column(&vec![3.0; 50], 256).rep_variance_ratio(), 1.0);
+        assert_eq!(corr_column(&vec![f64::NAN; 50], 256).rep_variance_ratio(), 1.0);
+    }
+
+    /// An outlier forced to share a bin with ordinary values is diluted by
+    /// the bin mean, and the trust signal must flag the variance loss —
+    /// this is the column shape (nested-division candidates) on which the
+    /// binned statistic deviates unboundedly from exact ρ.
+    #[test]
+    fn variance_ratio_flags_outlier_diluted_columns() {
+        // 4-bin budget: the 1e6 outlier lands in the top bin next to
+        // values ~[0.75, 1.0), so its bin mean collapses it.
+        let mut x: Vec<f64> = (0..400).map(|i| (i % 100) as f64 / 100.0).collect();
+        x.push(1.0e6);
+        let ratio = corr_column(&x, 4).rep_variance_ratio();
+        assert!(
+            ratio < 0.9,
+            "outlier dilution not flagged: rep_variance_ratio = {ratio}"
+        );
+    }
+
+    /// The scratch table must be self-clearing: correlating an uncorrelated
+    /// pair after a perfectly correlated one must not inherit stale counts.
+    #[test]
+    fn scratch_reuse_is_clean_across_pairs() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 17) as f64).collect();
+        let y = x.clone();
+        let z: Vec<f64> = (0..100).map(|i| ((i * 31 + 7) % 17) as f64).collect();
+        let ma = BinMapper::fit(&x, 256);
+        let mb = BinMapper::fit(&y, 256);
+        let mc = BinMapper::fit(&z, 256);
+        let bx: Vec<u16> = x.iter().map(|&v| ma.bin(v)).collect();
+        let by: Vec<u16> = y.iter().map(|&v| mb.bin(v)).collect();
+        let bz: Vec<u16> = z.iter().map(|&v| mc.bin(v)).collect();
+        let ca = CorrColumn::new(&bx, &ma, &x);
+        let cb = CorrColumn::new(&by, &mb, &y);
+        let cc = CorrColumn::new(&bz, &mc, &z);
+        let mut scratch = CorrScratch::new();
+        let first = binned_pearson(&ca, &cb, &mut scratch);
+        assert!((first - 1.0).abs() < 1e-12);
+        let reused = binned_pearson(&ca, &cc, &mut scratch);
+        let mut fresh = CorrScratch::new();
+        let clean = binned_pearson(&ca, &cc, &mut fresh);
+        assert_eq!(reused.to_bits(), clean.to_bits());
+    }
+}

@@ -90,6 +90,11 @@ pub mod stages {
     pub const REDUNDANCY: &str = "redundancy-filter";
     /// Split-gain ranking and 2M cap (Section IV-C3).
     pub const RANK_TOPK: &str = "rank-topk";
+    /// Successive-halving candidate pruning (staged selection mode only).
+    /// Deliberately **not** part of [`CORE`]: exact-mode iterations never
+    /// emit it, and staged-mode iterations emit it *in addition to* all
+    /// seven core stages (the exact pass still runs on the finalists).
+    pub const STAGED_PRUNE: &str = "staged-prune";
     /// Framing span around one SAFE iteration.
     pub const ITERATION: &str = "iteration";
     /// Pre-fit data audit (run level, before iteration 0).

@@ -15,6 +15,7 @@ for check in \
     check_determinism \
     check_telemetry \
     check_metrics \
+    check_selection \
     check_serving \
     check_cache \
     check_crash_safety \

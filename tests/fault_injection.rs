@@ -19,7 +19,7 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use safe_core::{IterationStatus, Safe, SafeConfig, SafeOutcome};
+use safe_core::{IterationStatus, Safe, SafeConfig, SafeOutcome, SelectionMode};
 use safe_data::failpoints;
 use safe_data::Dataset;
 
@@ -166,6 +166,50 @@ fn rank_failure_degrades_with_injected_reason() {
         unreachable!()
     };
     assert!(reason.contains("select/rank"), "reason names the point: {reason}");
+}
+
+#[test]
+fn staged_worker_panic_degrades_staged_prune_to_identity() {
+    let _g = fp_guard();
+    // A scoring-worker panic inside the successive-halving pruner
+    // (`select/staged-worker-panic`) must degrade the iteration at the
+    // `staged-prune` stage, never unwind the run. The dataset is widened
+    // with noise columns so the candidate pool clears the pruner's
+    // finalist floor — a short-circuited pool would never reach the
+    // armed worker.
+    let wide = {
+        let base = interaction_data(800, 4);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut names: Vec<String> =
+            base.feature_names().iter().map(|s| s.to_string()).collect();
+        let mut cols: Vec<Vec<f64>> = base.columns().map(<[f64]>::to_vec).collect();
+        for j in 0..8 {
+            names.push(format!("w{j}"));
+            cols.push((0..base.n_rows()).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        }
+        Dataset::from_columns(names, cols, base.labels().map(<[u8]>::to_vec)).unwrap()
+    };
+    let config = SafeConfig { selection: SelectionMode::Staged, ..SafeConfig::paper() };
+    failpoints::arm("select/staged-worker-panic");
+    let outcome = Safe::new(config)
+        .fit(&wide, None)
+        .expect("staged worker panic must degrade, not fail");
+    failpoints::disarm_all();
+    let last = outcome.history.last().expect("one iteration report");
+    let IterationStatus::Degraded { stage, reason } = &last.status else {
+        panic!("expected Degraded at staged-prune, got {:?}", last.status);
+    };
+    assert_eq!(*stage, "staged-prune", "wrong stage (reason: {reason})");
+    assert!(
+        reason.contains("select/staged-worker-panic"),
+        "reason names the point: {reason}"
+    );
+    assert_eq!(
+        outcome.plan.outputs,
+        wide.feature_names(),
+        "identity fallback over the widened features"
+    );
+    assert!(outcome.plan.steps.is_empty(), "no generated steps survive the degrade");
 }
 
 #[test]

@@ -1,0 +1,232 @@
+//! Exact-vs-staged selection differential suite.
+//!
+//! Two contracts (see `DESIGN.md`, "Staged selection"):
+//!
+//! 1. **Exact mode is the seed pipeline.** `SelectionMode::Exact` (the
+//!    default) must be bit-identical to a config that never mentions the
+//!    mode — every plan byte, per-iteration snapshot, funnel count,
+//!    structural report, and downstream AUC bit — at every thread budget.
+//!    The staged pruner is opt-in; merely existing must change nothing.
+//! 2. **Staged mode holds AUC parity.** `SelectionMode::Staged` prunes the
+//!    candidate pool on cheap subsampled scores before the exact pass runs
+//!    on the finalists, so its plans may differ — but the engineered
+//!    features must hold downstream AUC within ±0.005 of exact mode, and
+//!    the run itself must stay deterministic across thread budgets.
+
+use safe::core::{Safe, SafeConfig, SafeOutcome, SelectionMode};
+use safe::data::split::train_test_split;
+use safe::data::Dataset;
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::models::classifier::{evaluate_auc, ClassifierKind};
+
+/// AUC-parity bound between exact and staged selection (absolute).
+const AUC_TOLERANCE: f64 = 0.005;
+
+/// Seeds for the parity sweep (the differential harness's usual trio).
+const SEEDS: [u64; 3] = [5, 17, 42];
+
+/// Interaction-heavy synthetic data: the shape SAFE's generation stage is
+/// built for, producing a candidate pool large enough that the staged
+/// pruner actually engages (pool > finalist target).
+fn interaction_dataset() -> Dataset {
+    generate(&SyntheticConfig {
+        n_rows: 900,
+        dim: 6,
+        n_signal: 4,
+        n_interactions: 3,
+        marginal_weight: 0.1,
+        noise: 0.2,
+        seed: 11,
+        ..Default::default()
+    })
+}
+
+/// NaN-heavy data: a third of the draws missing, so the staged pruner's
+/// subsampled IV scoring hits its missing-value paths.
+fn nan_heavy_dataset() -> Dataset {
+    generate(&SyntheticConfig {
+        n_rows: 700,
+        dim: 12,
+        n_signal: 5,
+        n_interactions: 2,
+        noise: 0.3,
+        missing_rate: 0.35,
+        seed: 23,
+        ..Default::default()
+    })
+}
+
+/// Degenerate data: a constant column and an all-NaN column ride along, so
+/// both modes must agree with themselves on degenerate-candidate handling.
+fn degenerate_dataset() -> Dataset {
+    let base = generate(&SyntheticConfig {
+        n_rows: 600,
+        dim: 5,
+        n_signal: 3,
+        n_interactions: 2,
+        noise: 0.25,
+        seed: 37,
+        ..Default::default()
+    });
+    let mut names: Vec<String> = base.meta().iter().map(|m| m.name.clone()).collect();
+    let mut cols: Vec<Vec<f64>> = base.columns().map(<[f64]>::to_vec).collect();
+    names.push("konst".to_string());
+    cols.push(vec![7.0; base.n_rows()]);
+    names.push("void".to_string());
+    cols.push(vec![f64::NAN; base.n_rows()]);
+    Dataset::from_columns(names, cols, base.labels().map(<[u8]>::to_vec)).unwrap()
+}
+
+fn shapes() -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("interaction", interaction_dataset()),
+        ("nan-heavy", nan_heavy_dataset()),
+        ("degenerate", degenerate_dataset()),
+    ]
+}
+
+fn fit(data: &Dataset, mode: SelectionMode, threads: usize, seed: u64) -> SafeOutcome {
+    let config = SafeConfig {
+        seed,
+        n_iterations: 2,
+        selection: mode,
+        ..SafeConfig::paper()
+    }
+    .with_threads(threads);
+    Safe::new(config)
+        .fit(data, None)
+        .unwrap_or_else(|e| panic!("fit (mode {mode:?}, threads {threads}) failed: {e}"))
+}
+
+/// Downstream AUC of the final plan on a held-out split, as raw bits —
+/// exact-mode comparisons demand bit equality, not closeness.
+fn final_auc(data: &Dataset, outcome: &SafeOutcome) -> f64 {
+    let (train, test) = train_test_split(data, 0.3, 1).unwrap();
+    let tr = outcome.plan.apply(&train).unwrap();
+    let te = outcome.plan.apply(&test).unwrap();
+    evaluate_auc(ClassifierKind::Xgb, &tr, &te, 9).unwrap()
+}
+
+fn assert_outcomes_identical(name: &str, ctx: &str, a: &SafeOutcome, b: &SafeOutcome) {
+    assert_eq!(a.plan.to_text(), b.plan.to_text(), "{name}: plan differs {ctx}");
+    assert_eq!(
+        a.plans_per_iteration, b.plans_per_iteration,
+        "{name}: per-iteration plans differ {ctx}"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{name}: history length differs {ctx}");
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert!(
+            x.structural_eq(y),
+            "{name}: iteration {} history differs {ctx}:\n{x:?}\nvs\n{y:?}",
+            x.iteration
+        );
+    }
+    assert!(
+        a.report.structural_eq(&b.report),
+        "{name}: run report differs structurally {ctx}"
+    );
+}
+
+/// Contract 1: an explicit `SelectionMode::Exact` is byte-for-byte the
+/// pipeline a mode-less config runs — plans, snapshots, history, report,
+/// and AUC bits — at threads 1 and 4, on all three dataset shapes.
+#[test]
+fn exact_mode_is_bit_identical_to_the_default_pipeline() {
+    for (name, data) in shapes() {
+        for threads in [1usize, 4] {
+            let default_cfg = SafeConfig { seed: 5, n_iterations: 2, ..SafeConfig::paper() }
+                .with_threads(threads);
+            assert_eq!(default_cfg.selection, SelectionMode::Exact);
+            let baseline = Safe::new(default_cfg)
+                .fit(&data, None)
+                .unwrap_or_else(|e| panic!("{name}: default fit failed: {e}"));
+            let explicit = fit(&data, SelectionMode::Exact, threads, 5);
+            assert_outcomes_identical(
+                name,
+                &format!("(default vs explicit exact, threads={threads})"),
+                &baseline,
+                &explicit,
+            );
+            assert_eq!(
+                final_auc(&data, &baseline).to_bits(),
+                final_auc(&data, &explicit).to_bits(),
+                "{name}: AUC bits differ at threads={threads}"
+            );
+        }
+    }
+}
+
+/// Exact mode must also stay thread-invariant with the mode set explicitly
+/// (the staged plumbing sits on the same code path; it must not perturb
+/// the parallel determinism contract).
+#[test]
+fn exact_mode_is_thread_invariant() {
+    for (name, data) in shapes() {
+        let serial = fit(&data, SelectionMode::Exact, 1, 5);
+        let parallel = fit(&data, SelectionMode::Exact, 4, 5);
+        assert_outcomes_identical(name, "(threads 1 vs 4)", &serial, &parallel);
+    }
+}
+
+/// Contract 2: staged selection holds downstream AUC within ±0.005 of
+/// exact on every dataset shape and every sweep seed.
+#[test]
+fn staged_mode_holds_auc_parity_with_exact() {
+    for (name, data) in shapes() {
+        for seed in SEEDS {
+            let exact = fit(&data, SelectionMode::Exact, 1, seed);
+            let staged = fit(&data, SelectionMode::Staged, 1, seed);
+            assert!(
+                !exact.plan.outputs.is_empty(),
+                "{name}/seed {seed}: exact selected nothing — dataset too weak"
+            );
+            assert!(
+                !staged.plan.outputs.is_empty(),
+                "{name}/seed {seed}: staged selected nothing"
+            );
+            let e = final_auc(&data, &exact);
+            let s = final_auc(&data, &staged);
+            assert!(
+                (e - s).abs() <= AUC_TOLERANCE,
+                "{name}/seed {seed}: staged AUC {s:.6} drifted past ±{AUC_TOLERANCE} \
+                 from exact AUC {e:.6}"
+            );
+        }
+    }
+}
+
+/// Staged selection is itself deterministic across thread budgets: the
+/// subsample order and finalist set depend only on (seed, rung), so the
+/// whole staged run must be bit-identical at threads 1 and 4.
+#[test]
+fn staged_mode_is_thread_invariant() {
+    for (name, data) in shapes() {
+        let serial = fit(&data, SelectionMode::Staged, 1, 5);
+        let parallel = fit(&data, SelectionMode::Staged, 4, 5);
+        assert_outcomes_identical(name, "(staged, threads 1 vs 4)", &serial, &parallel);
+        assert_eq!(
+            final_auc(&data, &serial).to_bits(),
+            final_auc(&data, &parallel).to_bits(),
+            "{name}: staged AUC bits differ across thread budgets"
+        );
+    }
+}
+
+/// The staged pruner must actually engage somewhere in this sweep — a
+/// suite where every pool short-circuits would vacuously pass parity.
+#[test]
+fn staged_pruner_engages_on_the_interaction_shape() {
+    let data = interaction_dataset();
+    let staged = fit(&data, SelectionMode::Staged, 1, 5);
+    let pruned = staged
+        .report
+        .iterations
+        .iter()
+        .flat_map(|it| it.stages.iter())
+        .any(|st| st.stage == "staged-prune" && st.features_in > st.features_out);
+    assert!(
+        pruned,
+        "no staged-prune stage shrank the pool; report: {:#?}",
+        staged.report.iterations
+    );
+}
