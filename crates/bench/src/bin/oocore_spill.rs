@@ -1,0 +1,174 @@
+//! Out-of-core backend sweep: fit SAFE on a spill-backed chunked dataset
+//! whose f64 table is ≥10× the resident chunk budget, against its fully
+//! resident twin.
+//!
+//! Three contracts are asserted before any row is recorded (the benchmark
+//! is also the acceptance harness for DESIGN.md's out-of-core section):
+//!
+//! 1. **Bit identity** — the spilled fit's plan text and downstream AUC
+//!    bits equal the resident fit's.
+//! 2. **Bounded residency** — the chunk cache's high-water mark stays
+//!    within the configured budget plus one in-flight chunk (insertion
+//!    happens before eviction under the same lock).
+//! 3. **Scale** — the logical table is at least `--min-ratio` (default 10)
+//!    times the budget, so the fit demonstrably ran out-of-core.
+//!
+//! Results land in the `oocore` section of `BENCH_pipeline.json`; all
+//! other sections pass through untouched.
+
+use std::time::Instant;
+
+use safe_bench::{
+    bench_pipeline_path, pipeline_json, read_pipeline_document, Flags, OocoreRow, TablePrinter,
+};
+use safe_core::{Safe, SafeConfig};
+use safe_data::chunk::ChunkOptions;
+use safe_data::dataset::Dataset;
+use safe_data::split::train_test_split;
+use safe_datagen::synth::{generate, SyntheticConfig};
+use safe_models::classifier::{evaluate_auc, ClassifierKind};
+
+const DATASET: &str = "synth-oocore";
+
+/// Fit SAFE and score the resulting plan downstream, returning
+/// `(plan_text, auc, fit_secs)`. The AUC evaluation always runs on the
+/// resident base so both backends are scored on identical bytes.
+fn fit_and_score(data: &Dataset, eval_base: &Dataset, seed: u64) -> (String, f64, f64) {
+    let config = SafeConfig { seed, n_iterations: 1, ..SafeConfig::paper() };
+    let t0 = Instant::now();
+    let outcome = Safe::new(config).fit(data, None).expect("SAFE fit failed");
+    let secs = t0.elapsed().as_secs_f64();
+    let (train, test) = train_test_split(eval_base, 0.3, 1).expect("split failed");
+    let train_f = outcome.plan.apply(&train).expect("plan apply (train) failed");
+    let test_f = outcome.plan.apply(&test).expect("plan apply (test) failed");
+    let auc = evaluate_auc(ClassifierKind::Xgb, &train_f, &test_f, 9).expect("eval failed");
+    (outcome.plan.to_text(), auc, secs)
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let rows: usize = flags.get_or("rows", 8_192);
+    let cols: usize = flags.get_or("cols", 40);
+    let chunk_rows: usize = flags.get_or("chunk-rows", 64);
+    let resident_chunks: usize = flags.get_or("resident-chunks", 12);
+    let min_ratio: f64 = flags.get_or("min-ratio", 10.0);
+    let seed: u64 = flags.get_or("seed", 7);
+
+    let base = generate(&SyntheticConfig {
+        n_rows: rows,
+        dim: cols,
+        n_signal: 6,
+        n_interactions: 3,
+        noise: 0.2,
+        missing_rate: 0.1,
+        seed,
+        ..Default::default()
+    });
+
+    let spill_root = std::env::temp_dir().join("safe-oocore-bench");
+    let opts = ChunkOptions::spilled(chunk_rows, resident_chunks, &spill_root);
+    let spilled = base.to_chunked(opts).expect("chunked twin failed");
+    let store = *spilled.chunk_stores().first().expect("chunked twin has a store");
+    let budget = store.budget_bytes().expect("spilled store has a budget");
+    let table = store.table_bytes();
+    let ratio = table as f64 / budget as f64;
+    println!(
+        "Out-of-core sweep: {rows} rows x {cols} cols ({table} B) against a \
+         {budget} B budget ({resident_chunks} x {chunk_rows}-row chunks, {ratio:.1}x)"
+    );
+    assert!(
+        ratio >= min_ratio,
+        "table must be >= {min_ratio}x the resident budget to demonstrate \
+         out-of-core operation; got {ratio:.1}x — raise --rows or lower \
+         --resident-chunks"
+    );
+
+    let (resident_plan, resident_auc, resident_secs) = fit_and_score(&base, &base, seed);
+    let (spilled_plan, spilled_auc, spilled_secs) = fit_and_score(&spilled, &base, seed);
+    let stats = store.stats();
+
+    // Contract 1: the backend is a placement choice, never a result change.
+    assert_eq!(
+        resident_plan, spilled_plan,
+        "spilled fit produced a different plan than the resident fit"
+    );
+    assert_eq!(
+        resident_auc.to_bits(),
+        spilled_auc.to_bits(),
+        "spilled fit AUC diverged: resident {resident_auc} vs spilled {spilled_auc}"
+    );
+    // Contract 2: residency stayed within budget (+ one in-flight chunk).
+    let chunk_bytes = (chunk_rows * cols * std::mem::size_of::<f64>()) as u64;
+    assert!(
+        stats.peak_resident_bytes <= budget + chunk_bytes,
+        "peak resident {} B exceeded budget {} B (+{} B chunk slack)",
+        stats.peak_resident_bytes,
+        budget,
+        chunk_bytes
+    );
+
+    let t = TablePrinter::new(
+        &["backend", "secs", "auc", "peak B", "hits", "loads", "evict"],
+        &[10, 8, 8, 12, 10, 10, 8],
+    );
+    t.row(&[
+        "resident",
+        &format!("{resident_secs:.2}"),
+        &format!("{resident_auc:.4}"),
+        &format!("{table}"),
+        "-",
+        "-",
+        "-",
+    ]);
+    t.row(&[
+        "spilled",
+        &format!("{spilled_secs:.2}"),
+        &format!("{spilled_auc:.4}"),
+        &format!("{}", stats.peak_resident_bytes),
+        &format!("{}", stats.hits),
+        &format!("{}", stats.loads),
+        &format!("{}", stats.evictions),
+    ]);
+
+    let oocore = vec![
+        OocoreRow {
+            dataset: DATASET.into(),
+            backend: "resident".into(),
+            rows: rows as u64,
+            cols: cols as u64,
+            chunk_rows: 0,
+            table_bytes: table,
+            budget_bytes: table,
+            peak_resident_bytes: table,
+            chunk_hits: 0,
+            chunk_loads: 0,
+            evictions: 0,
+            secs: resident_secs,
+            auc: resident_auc,
+        },
+        OocoreRow {
+            dataset: DATASET.into(),
+            backend: "spilled".into(),
+            rows: rows as u64,
+            cols: cols as u64,
+            chunk_rows: chunk_rows as u64,
+            table_bytes: table,
+            budget_bytes: budget,
+            peak_resident_bytes: stats.peak_resident_bytes,
+            chunk_hits: stats.hits,
+            chunk_loads: stats.loads,
+            evictions: stats.evictions,
+            secs: spilled_secs,
+            auc: spilled_auc,
+        },
+    ];
+
+    let path = bench_pipeline_path();
+    let existing = read_pipeline_document(&path);
+    std::fs::write(
+        &path,
+        pipeline_json(&safe_bench::PipelineDocument { oocore, ..existing }),
+    )
+    .expect("failed to write BENCH_pipeline.json");
+    println!("oocore section written to {path}");
+}

@@ -580,6 +580,42 @@ pub struct SelectionRow {
     pub speedup_vs_exact: f64,
 }
 
+/// One row of the out-of-core sweep (`oocore` section): a spill-backed
+/// chunked fit against its resident twin, with the chunk cache's byte
+/// accounting. `peak_resident_bytes <= budget_bytes` (plus one in-flight
+/// chunk per worker) is the contract the `oocore_spill` writer asserts when
+/// the table is ≥10× the budget.
+#[derive(Debug, Clone)]
+pub struct OocoreRow {
+    /// Sweep dataset name.
+    pub dataset: String,
+    /// `"resident"`, `"chunked"` (in-memory chunks), or `"spilled"`.
+    pub backend: String,
+    /// Table rows.
+    pub rows: u64,
+    /// Feature columns.
+    pub cols: u64,
+    /// Rows per chunk (0 for the resident backend).
+    pub chunk_rows: u64,
+    /// Logical f64 table size in bytes.
+    pub table_bytes: u64,
+    /// Resident chunk budget in bytes (table_bytes when not spilling).
+    pub budget_bytes: u64,
+    /// High-water mark of decoded chunk bytes during the fit.
+    pub peak_resident_bytes: u64,
+    /// Chunk requests served from the resident LRU.
+    pub chunk_hits: u64,
+    /// Chunk requests that decoded a spill file.
+    pub chunk_loads: u64,
+    /// Chunks evicted to stay within budget.
+    pub evictions: u64,
+    /// End-to-end fit wall seconds.
+    pub secs: f64,
+    /// Downstream test AUC of the engineered features (bit-identical
+    /// across backends; recorded so the differential is visible in data).
+    pub auc: f64,
+}
+
 /// Fit SAFE on `split` under one selection mode with telemetry engaged,
 /// returning the run report, the plan's downstream AUC, and the final
 /// plan's output-feature count — the raw material of one [`SelectionRow`].
@@ -669,10 +705,13 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 /// "resilience": [{dataset, iteration, ckpt_bytes, ckpt_micros,
 /// iteration_micros, overhead_pct}], "selection": [{dataset, mode,
 /// staged_millis, redundancy_millis, rank_millis, combined_millis, auc,
-/// n_selected, speedup_vs_exact}]}`
+/// n_selected, speedup_vs_exact}], "oocore": [{dataset, backend, rows,
+/// cols, chunk_rows, table_bytes, budget_bytes, peak_resident_bytes,
+/// chunk_hits, chunk_loads, evictions, secs, auc}]}`
 ///
 /// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
-/// `cache`/`resilience`/`selection`, `serving_throughput` owns `serving`)
+/// `cache`/`resilience`/`selection`, `serving_throughput` owns `serving`,
+/// `oocore_spill` owns `oocore`)
 /// each re-read
 /// the document first via [`read_pipeline_document`] and pass the other
 /// sections — known and unknown alike — through, so running either binary
@@ -680,8 +719,9 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 ///
 /// [t5]: ../safe_bench/index.html
 pub fn pipeline_json(doc: &PipelineDocument) -> String {
-    let PipelineDocument { stages, parallel, serving, cache, resilience, selection, extra, .. } =
-        doc;
+    let PipelineDocument {
+        stages, parallel, serving, cache, resilience, selection, oocore, extra, ..
+    } = doc;
     let mut out = format!(
         "{{\n\"schema_version\": {PIPELINE_SCHEMA_VERSION},\n\"stages\": [\n"
     );
@@ -783,6 +823,29 @@ pub fn pipeline_json(doc: &PipelineDocument) -> String {
         }
         out.push('\n');
     }
+    out.push_str("],\n\"oocore\": [\n");
+    for (i, r) in oocore.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"backend\":{},\"rows\":{},\"cols\":{},\"chunk_rows\":{},\"table_bytes\":{},\"budget_bytes\":{},\"peak_resident_bytes\":{},\"chunk_hits\":{},\"chunk_loads\":{},\"evictions\":{},\"secs\":{:.3},\"auc\":{:.6}}}",
+            safe_obs::json::escape(&r.dataset),
+            safe_obs::json::escape(&r.backend),
+            r.rows,
+            r.cols,
+            r.chunk_rows,
+            r.table_bytes,
+            r.budget_bytes,
+            r.peak_resident_bytes,
+            r.chunk_hits,
+            r.chunk_loads,
+            r.evictions,
+            r.secs,
+            r.auc,
+        ));
+        if i + 1 < oocore.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("]");
     // Unknown sections a newer harness wrote: preserved verbatim so this
     // build never destroys data it doesn't understand.
@@ -813,6 +876,8 @@ pub struct PipelineDocument {
     pub resilience: Vec<ResilienceRow>,
     /// Exact-vs-staged selection-mode sweep rows.
     pub selection: Vec<SelectionRow>,
+    /// Out-of-core backend sweep rows.
+    pub oocore: Vec<OocoreRow>,
     /// Top-level keys this build doesn't know, kept verbatim (name, value)
     /// so re-writing the document preserves a future harness's sections.
     pub extra: Vec<(String, safe_obs::json::Value)>,
@@ -915,9 +980,30 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
+    let oocore = rows_of("oocore")
+        .iter()
+        .filter_map(|r| {
+            Some(OocoreRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                backend: r.get("backend")?.as_str()?.to_string(),
+                rows: r.get("rows")?.as_u64()?,
+                cols: r.get("cols")?.as_u64()?,
+                chunk_rows: r.get("chunk_rows")?.as_u64()?,
+                table_bytes: r.get("table_bytes")?.as_u64()?,
+                budget_bytes: r.get("budget_bytes")?.as_u64()?,
+                peak_resident_bytes: r.get("peak_resident_bytes")?.as_u64()?,
+                chunk_hits: r.get("chunk_hits")?.as_u64()?,
+                chunk_loads: r.get("chunk_loads")?.as_u64()?,
+                evictions: r.get("evictions")?.as_u64()?,
+                secs: r.get("secs")?.as_f64()?,
+                auc: r.get("auc")?.as_f64()?,
+            })
+        })
+        .collect();
     let schema_version = v.get("schema_version").and_then(|s| s.as_u64()).unwrap_or(0);
-    const KNOWN: [&str; 7] = [
+    const KNOWN: [&str; 8] = [
         "schema_version", "stages", "parallel", "serving", "cache", "resilience", "selection",
+        "oocore",
     ];
     let extra: Vec<(String, safe_obs::json::Value)> = v
         .as_object()
@@ -937,6 +1023,7 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
         cache,
         resilience,
         selection,
+        oocore,
         extra,
     }
 }

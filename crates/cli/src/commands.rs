@@ -7,7 +7,8 @@ use safe_core::explain::{explain_plan, explanation_report};
 use safe_core::plan::FeaturePlan;
 use safe_core::safe::IterationStatus;
 use safe_core::{Safe, SafeConfig, SelectionMode};
-use safe_data::csv::{read_csv, write_csv};
+use safe_data::chunk::ChunkOptions;
+use safe_data::csv::{read_csv, read_csv_chunked, write_csv};
 use safe_gbm::GbmConfig;
 use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, SinkHandle};
 use safe_ops::registry::OperatorRegistry;
@@ -26,6 +27,7 @@ USAGE:
                    [--audit warn|repair|reject] [--threads N]
                    [--selection exact|staged]
                    [--checkpoint-dir DIR] [--checkpoint-every N]
+                   [--chunk-rows N] [--spill-dir DIR] [--resident-chunks N]
                    [--trace-jsonl trace.jsonl] [--report-json report.json]
                    [--report]
                    ('train' is an alias for 'fit')
@@ -41,7 +43,8 @@ USAGE:
   safe-cli save-artifact --plan plan.safeplan --input train.csv
                    [--valid valid.csv] --artifact model.safeartifact
                    [--label label] [--rounds 100] [--seed 0] [--threads N]
-                   [--full-ops]
+                   [--full-ops] [--chunk-rows N] [--spill-dir DIR]
+                   [--resident-chunks N]
   safe-cli trace-check --input trace.jsonl [--format jsonl|chrome]
   safe-cli bench-diff old.json new.json [--fail-over 20]
 
@@ -88,6 +91,17 @@ SELECTION:
                        growing row subsamples narrows the pool before the
                        exact pass runs on the finalists; AUC parity within
                        ±0.005 — see DESIGN.md, \"Staged selection\")
+
+OUT-OF-CORE (see DESIGN.md, \"Out-of-core backend\"):
+  --chunk-rows N       ingest the training CSV as fixed N-row chunks via
+                       the streaming reader (the full table is never
+                       materialized during parsing); plans, reports and
+                       AUC are bit-identical to resident fits
+  --spill-dir DIR      keep chunks past the resident budget in spill files
+                       under DIR (a unique subdirectory is created and
+                       removed when the dataset is dropped)
+  --resident-chunks N  decoded-chunk LRU budget per store when spilling
+                       (default 16; requires --spill-dir)
 
 CRASH SAFETY:
   --checkpoint-dir DIR write a durable SAFECKPT snapshot after each
@@ -180,11 +194,93 @@ fn selection_mode(args: &Args) -> Result<SelectionMode, CliError> {
     }
 }
 
+/// Parse the out-of-core backend flags (`--chunk-rows`, `--spill-dir`,
+/// `--resident-chunks`). `None` means resident ingest; flag combinations
+/// that cannot take effect are usage errors.
+fn chunk_options(args: &Args) -> Result<Option<ChunkOptions>, CliError> {
+    if args.get("chunk-rows").is_none() {
+        if args.get("spill-dir").is_some() || args.get("resident-chunks").is_some() {
+            return Err(CliError::Usage(
+                "--spill-dir/--resident-chunks require --chunk-rows".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    let chunk_rows = args.get_or("chunk-rows", 4096usize).map_err(CliError::Usage)?;
+    if chunk_rows == 0 {
+        return Err(CliError::Usage("--chunk-rows must be at least 1".into()));
+    }
+    let opts = match args.get("spill-dir") {
+        None => {
+            if args.get("resident-chunks").is_some() {
+                return Err(CliError::Usage(
+                    "--resident-chunks requires --spill-dir (without spilling, every chunk stays resident)".into(),
+                ));
+            }
+            ChunkOptions::in_memory(chunk_rows)
+        }
+        Some(dir) => {
+            let resident =
+                args.get_or("resident-chunks", 16usize).map_err(CliError::Usage)?;
+            if resident == 0 {
+                return Err(CliError::Usage("--resident-chunks must be at least 1".into()));
+            }
+            ChunkOptions::spilled(chunk_rows, resident, dir)
+        }
+    };
+    Ok(Some(opts))
+}
+
+/// Load the train (and optional validation) CSVs, through the streaming
+/// chunked reader when out-of-core flags are set — the parse never holds
+/// the full f64 table — and the resident reader otherwise.
+fn read_inputs(
+    input: &str,
+    valid_path: Option<&str>,
+    label: &str,
+    chunking: Option<&ChunkOptions>,
+) -> Result<(safe_data::dataset::Dataset, Option<safe_data::dataset::Dataset>), CliError> {
+    let read = |path: &str| match chunking {
+        Some(opts) => read_csv_chunked(path, Some(label), opts.clone())
+            .map_err(|e| CliError::Data(e.to_string())),
+        None => read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string())),
+    };
+    let train = read(input)?;
+    let valid = match valid_path {
+        Some(path) => Some(read(path)?),
+        None => None,
+    };
+    Ok((train, valid))
+}
+
+/// Post-fit chunk-cache summary for chunked datasets, one line per backing
+/// store on stderr.
+fn report_chunk_stats(ds: &safe_data::dataset::Dataset) {
+    for store in ds.chunk_stores() {
+        let st = store.stats();
+        eprintln!(
+            "oocore: {} chunks x {} rows ({}){}, {} hits / {} loads / {} evictions, peak resident {} bytes",
+            store.n_chunks(),
+            store.chunk_rows(),
+            if store.is_spilled() { "spilled" } else { "in-memory" },
+            match store.budget_bytes() {
+                Some(b) => format!(", budget {b} bytes"),
+                None => String::new(),
+            },
+            st.hits,
+            st.loads,
+            st.evictions,
+            st.peak_resident_bytes,
+        );
+    }
+}
+
 fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "valid", "plan", "label", "gamma", "alpha", "theta",
         "iterations", "multiplier", "seed", "full-ops", "audit",
         "threads", "selection", "checkpoint-dir", "checkpoint-every",
+        "chunk-rows", "spill-dir", "resident-chunks",
         "trace-jsonl", "report-json", "report",
         "metrics-prom", "trace-chrome", "flame-folded",
     ])
@@ -203,13 +299,8 @@ fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
         .validate()
         .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
 
-    let train = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
-    let valid = match args.get("valid") {
-        Some(path) => {
-            Some(read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string()))?)
-        }
-        None => None,
-    };
+    let chunking = chunk_options(args)?;
+    let (train, valid) = read_inputs(input, args.get("valid"), label, chunking.as_ref())?;
 
     // Telemetry: warnings always stream to stderr; --trace-jsonl adds a
     // machine-readable event stream. The profiling exports (--metrics-prom,
@@ -272,6 +363,9 @@ fn fit(args: &Args, resume: bool) -> Result<(), CliError> {
         outcome.plan.outputs.len(),
         outcome.plan.n_generated_outputs()
     );
+    if train.has_chunked_columns() {
+        report_chunk_stats(&train);
+    }
     for r in &outcome.history {
         match &r.status {
             IterationStatus::Completed => eprintln!(
@@ -465,6 +559,7 @@ fn explain(args: &Args) -> Result<(), CliError> {
 fn save_artifact(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "plan", "input", "valid", "artifact", "label", "rounds", "seed", "threads", "full-ops",
+        "chunk-rows", "spill-dir", "resident-chunks",
     ])
     .map_err(CliError::Usage)?;
     let plan_path = args.require("plan").map_err(CliError::Usage)?;
@@ -480,13 +575,8 @@ fn save_artifact(args: &Args) -> Result<(), CliError> {
         .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
 
     let plan = load_plan(plan_path)?;
-    let train = read_csv(input, Some(label)).map_err(|e| CliError::Data(e.to_string()))?;
-    let valid = match args.get("valid") {
-        Some(path) => {
-            Some(read_csv(path, Some(label)).map_err(|e| CliError::Data(e.to_string()))?)
-        }
-        None => None,
-    };
+    let chunking = chunk_options(args)?;
+    let (train, valid) = read_inputs(input, args.get("valid"), label, chunking.as_ref())?;
 
     let defaults = GbmConfig::classifier();
     let config = GbmConfig {

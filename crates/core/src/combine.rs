@@ -7,6 +7,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use safe_data::binning::BinEdges;
+use safe_data::column::{ColumnRead, ColumnView};
 use safe_data::dataset::Dataset;
 use safe_gbm::booster::GbmModel;
 use safe_stats::entropy::{gain_ratio, joint_cells};
@@ -136,21 +137,29 @@ pub fn rank_combinations_observed(
         stats.gamma_truncated = stats.candidates_in - combos.len() as u64;
         return Ok((combos, stats));
     };
-    let cols: Vec<&[f64]> = train.columns().collect();
+    let views: Vec<ColumnView<'_>> = train.column_views().collect();
     // Score combinations in parallel (each builds its own small binnings).
     let scores = safe_stats::par::try_par_map(par, combos.len(), |i| {
         let combo = &combos[i];
         // Stale feature indices (not from this dataset) score zero.
-        if combo.features.iter().any(|&f| f >= cols.len()) {
+        if combo.features.iter().any(|&f| f >= views.len()) {
             return (0.0, 0u64);
         }
+        // Bin assignment walks the whole column: materialize it per worker
+        // (zero-copy when resident, scratch gather when chunked). Spill
+        // failures panic and surface as [`ParPanic`].
+        let mut scratch = Vec::new();
         let assignments: Vec<(Vec<usize>, usize)> = combo
             .features
             .iter()
             .zip(&combo.split_values)
             .map(|(&f, values)| {
                 let edges = BinEdges::from_cuts(values.clone());
-                let a = edges.assign_with_missing(cols[f]);
+                let col = match views[f].materialize(&mut scratch) {
+                    Ok(c) => c,
+                    Err(e) => panic!("column read failed during combination ranking: {e}"),
+                };
+                let a = edges.assign_with_missing(col);
                 (a.bins, a.n_bins)
             })
             .collect();

@@ -10,6 +10,7 @@
 
 use std::collections::HashSet;
 
+use safe_data::column::{ColumnRead, ColumnView};
 use safe_data::dataset::Dataset;
 use safe_ops::registry::OperatorRegistry;
 use safe_stats::par::{ParPanic, Parallelism};
@@ -37,6 +38,55 @@ pub struct GeneratedFeature {
 /// Canonical generated-feature name.
 pub fn feature_name(op: &str, parents: &[&str]) -> String {
     format!("{op}({})", parents.join(","))
+}
+
+/// One materialized parent column: borrowed zero-copy when resident,
+/// gathered into owned scratch when chunked, or absent (a validation set
+/// narrower than train — schema drift — simply has no such column).
+enum ParentCol<'a> {
+    Borrowed(&'a [f64]),
+    Owned(Vec<f64>),
+    Missing,
+}
+
+impl ParentCol<'_> {
+    fn slice(&self) -> Option<&[f64]> {
+        match self {
+            ParentCol::Borrowed(s) => Some(s),
+            ParentCol::Owned(v) => Some(v.as_slice()),
+            ParentCol::Missing => None,
+        }
+    }
+}
+
+/// Materialize the parent columns of one combination. `allow_missing` is
+/// set for validation views, where an out-of-range feature index means "no
+/// column" rather than a stale combination (the caller screens train
+/// indices first). A spill-read failure panics — generation workers run
+/// under [`safe_stats::par::try_par_map`], which captures it as a
+/// [`ParPanic`] for the pipeline to degrade on.
+fn gather_parents<'a>(
+    views: &'a [ColumnView<'a>],
+    feats: &[usize],
+    allow_missing: bool,
+) -> Vec<ParentCol<'a>> {
+    feats
+        .iter()
+        .map(|&f| match views.get(f) {
+            None if allow_missing => ParentCol::Missing,
+            None => panic!("parent column {f} out of range during generation"),
+            Some(v) => match v.as_slice() {
+                Some(s) => ParentCol::Borrowed(s),
+                None => {
+                    let mut buf = Vec::new();
+                    match v.gather_into(&mut buf) {
+                        Ok(()) => ParentCol::Owned(buf),
+                        Err(e) => panic!("column read failed during generation: {e}"),
+                    }
+                }
+            },
+        })
+        .collect()
 }
 
 /// All orderings of `items` (k ≤ 3 in practice, so the factorial is tiny).
@@ -146,17 +196,27 @@ pub fn generate_features_observed(
 ) -> Result<(Vec<GeneratedFeature>, GenerateStats), ParPanic> {
     let mut stats = GenerateStats::default();
     let labels = train.labels();
-    let all_train_cols: Vec<&[f64]> = train.columns().collect();
-    let all_valid_cols: Option<Vec<&[f64]>> = valid.map(|v| v.columns().collect());
+    let all_train_views: Vec<ColumnView<'_>> = train.column_views().collect();
+    let all_valid_views: Option<Vec<ColumnView<'_>>> =
+        valid.map(|v| v.column_views().collect());
 
     // Phase 1 (parallel): fit + apply every candidate of every combination.
     let per_combo: Vec<ComboWork> = safe_stats::par::try_par_map(par, combos.len(), |ci| {
         let combo = &combos[ci];
         // Combinations referencing columns outside this dataset (stale
         // indices) cannot be generated; skip rather than panic.
-        if combo.features.iter().any(|&f| f >= all_train_cols.len()) {
+        if combo.features.iter().any(|&f| f >= all_train_views.len()) {
             return ComboWork::Stale;
         }
+        // Materialize this combination's parent columns once per worker:
+        // resident parents borrow zero-copy, chunked parents gather into
+        // owned scratch. Operators fit/apply on random-access slices.
+        let feats = &combo.features;
+        let t_parents = gather_parents(&all_train_views, feats, false);
+        let v_parents = all_valid_views
+            .as_ref()
+            .map(|vv| gather_parents(vv, feats, true));
+        let pos = |f: usize| feats.iter().position(|&x| x == f).unwrap_or(0);
         let mut candidates = Vec::new();
         for op in registry.by_arity(combo.arity()) {
             let orders = if op.commutative() {
@@ -171,7 +231,7 @@ pub fn generate_features_observed(
                     .collect();
                 let name = feature_name(op.name(), &parent_names);
                 let train_cols: Vec<&[f64]> =
-                    order.iter().map(|&f| all_train_cols[f]).collect();
+                    order.iter().map(|&f| t_parents[pos(f)].slice().unwrap_or(&[])).collect();
                 let outcome = match op.fit(&train_cols, labels) {
                     // e.g. supervised op without labels
                     Err(_) => CandidateOutcome::FitError,
@@ -183,9 +243,9 @@ pub fn generate_features_observed(
                             // A validation set narrower than train (schema
                             // drift) simply gets no generated column for
                             // this feature.
-                            let valid_values = all_valid_cols.as_ref().and_then(|vc| {
+                            let valid_values = v_parents.as_ref().and_then(|vp| {
                                 let cols: Option<Vec<&[f64]>> =
-                                    order.iter().map(|&f| vc.get(f).copied()).collect();
+                                    order.iter().map(|&f| vp[pos(f)].slice()).collect();
                                 cols.map(|cols| fitted.apply(&cols))
                             });
                             CandidateOutcome::Feature {

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use safe_data::column::ColumnRead;
 use safe_data::dataset::{Dataset, FeatureMeta};
 use safe_ops::op::{FittedOperator, OpError};
 use safe_ops::registry::OperatorRegistry;
@@ -355,10 +356,16 @@ impl CompiledPlan {
         let n_slots = self.input_names.len() + self.steps.len();
         let mut slots: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_slots);
         for name in &self.input_names {
-            let col = ds
-                .column_by_name(name)
+            // Gather through the column view so chunked/spilled inputs work
+            // too: plan application materializes exactly its input columns
+            // (memory bounded by plan width, not table width).
+            let view = ds
+                .column_view_by_name(name)
                 .map_err(|_| PlanError::MissingInput(name.clone()))?;
-            slots.push(Some(col.to_vec()));
+            let mut col = Vec::new();
+            view.gather_into(&mut col)
+                .map_err(|e| PlanError::Data(e.to_string()))?;
+            slots.push(Some(col));
         }
         slots.resize_with(n_slots, || None);
         // Compilation orders steps topologically, so parent slots are always

@@ -13,6 +13,9 @@
 
 pub mod staged;
 
+use std::sync::OnceLock;
+
+use safe_data::column::{ColumnRead, ColumnView};
 use safe_data::dataset::Dataset;
 use safe_gbm::binner::{BinCache, BinnedDataset};
 use safe_gbm::corr::{binned_pearson, CorrColumn, CorrScratch};
@@ -22,7 +25,7 @@ use safe_gbm::error::GbmError;
 use safe_gbm::importance::ImportanceKind;
 use safe_stats::iv::information_value;
 use safe_stats::par::{ParPanic, Parallelism};
-use safe_stats::pearson::pearson;
+use safe_stats::pearson::{pearson, ExactMoments};
 
 use crate::cache::StatsCache;
 
@@ -67,20 +70,30 @@ pub fn iv_filter_cached(
     let Some(labels) = train.labels() else {
         return Ok(Vec::new());
     };
-    let cols: Vec<&[f64]> = train.columns().collect();
+    let views: Vec<ColumnView<'_>> = train.column_views().collect();
     let compute = |f: usize| {
         safe_data::failpoint!(
             "select/iv-worker-panic" => panic!("injected worker panic: select/iv-worker-panic")
         );
-        information_value(cols[f], labels, beta).unwrap_or(0.0)
+        // Materialize is zero-copy for resident columns; chunked columns
+        // gather into per-worker scratch, so at most one column per thread
+        // is resident at a time. A spill-read failure panics here and is
+        // captured as [`ParPanic`], degrading the iteration like any other
+        // worker fault instead of unwinding the run.
+        let mut scratch = Vec::new();
+        let col = match views[f].materialize(&mut scratch) {
+            Ok(col) => col,
+            Err(e) => panic!("column read failed during IV scan: {e}"),
+        };
+        information_value(col, labels, beta).unwrap_or(0.0)
     };
     let ivs: Vec<f64> = match cache {
-        None => safe_stats::par::try_par_map(par, cols.len(), compute)?,
+        None => safe_stats::par::try_par_map(par, views.len(), compute)?,
         Some(cache) => {
             let names = train.feature_names();
             let mut resolved: Vec<Option<f64>> =
                 names.iter().map(|n| cache.iv_lookup(n, beta)).collect();
-            let miss_idx: Vec<usize> = (0..cols.len())
+            let miss_idx: Vec<usize> = (0..views.len())
                 .filter(|&f| resolved[f].is_none())
                 .collect();
             let computed =
@@ -141,6 +154,12 @@ pub fn redundancy_filter_observed(
 /// back. `pairs_compared` counts every pair examined, hit or miss, so the
 /// telemetry flow is identical with and without a cache — and so is the
 /// kept set, bitwise.
+///
+/// Since PR 9 the exact kernel is the per-column moment cache
+/// ([`ExactMoments`]): NaN-free pairs reduce to one centered dot product
+/// that reproduces the two-pass `pearson` bit-for-bit, so every cached
+/// value, θ-decision and differential gate is unchanged while the hot loop
+/// no longer re-derives means and variances per pair.
 pub fn redundancy_filter_cached(
     train: &Dataset,
     survivors: &[(usize, f64)],
@@ -155,21 +174,30 @@ pub fn redundancy_filter_cached(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.0.cmp(&b.0))
     });
-    let cols: Vec<&[f64]> = train.columns().collect();
     let names = train.feature_names();
+    let n_cols = train.n_cols();
+    // Exact-mode moment kernel: per-column Pearson moments are computed at
+    // most once (lazily, on the first miss pair touching the column) and
+    // every NaN-free pair collapses to a single centered dot product —
+    // [`ExactMoments::rho`] is bitwise-equal to the two-pass `pearson`, so
+    // cached values and θ-decisions are unchanged. Pairs touching a column
+    // with missing cells keep the pairwise-deletion routine. Fully cached
+    // iterations compute no moments at all.
+    let moments: Vec<OnceLock<Option<ExactMoments>>> =
+        (0..n_cols).map(|_| OnceLock::new()).collect();
     let mut kept: Vec<usize> = Vec::new();
     for &(candidate, _) in &order {
         // Out-of-range survivor indices cannot be kept (defensive: survivor
         // lists always come from iv_filter over the same dataset).
-        let Some(&col) = cols.get(candidate) else {
+        if candidate >= n_cols {
             continue;
-        };
+        }
         // Compare against all kept features in parallel; any hit disqualifies.
         pairs_compared += kept.len() as u64;
         let redundant = match cache.as_mut() {
             None => {
                 let hits = safe_stats::par::try_par_map(par, kept.len(), |i| {
-                    pearson(col, cols[kept[i]]).abs() > theta
+                    pair_rho(train, &moments, candidate, kept[i]).abs() > theta
                 })?;
                 hits.into_iter().any(|h| h)
             }
@@ -181,7 +209,7 @@ pub fn redundancy_filter_cached(
                 let miss_idx: Vec<usize> =
                     (0..kept.len()).filter(|&i| rho[i].is_none()).collect();
                 let computed = safe_stats::par::try_par_map(par, miss_idx.len(), |j| {
-                    pearson(col, cols[kept[miss_idx[j]]])
+                    pair_rho(train, &moments, candidate, kept[miss_idx[j]])
                 })?;
                 for (&i, &r) in miss_idx.iter().zip(&computed) {
                     cache.pearson_insert(names[candidate], names[kept[i]], r);
@@ -195,6 +223,62 @@ pub fn redundancy_filter_cached(
         }
     }
     Ok((kept, pairs_compared))
+}
+
+/// Moments of column `idx`, computed on first use and shared across scan
+/// workers. A spill-read failure panics so the parallel scan surfaces it as
+/// a captured [`ParPanic`] and the caller degrades the iteration.
+fn moments_of<'m>(
+    train: &Dataset,
+    moments: &'m [OnceLock<Option<ExactMoments>>],
+    idx: usize,
+) -> &'m Option<ExactMoments> {
+    moments[idx].get_or_init(|| {
+        let view = match train.column_view(idx) {
+            Ok(v) => v,
+            Err(e) => panic!("column {idx} unavailable during redundancy scan: {e}"),
+        };
+        let mut scratch = Vec::new();
+        let col = match view.materialize(&mut scratch) {
+            Ok(c) => c,
+            Err(e) => panic!("column {idx} read failed during redundancy scan: {e}"),
+        };
+        ExactMoments::of(col)
+    })
+}
+
+/// Signed correlation of columns `a` and `b`: the moment kernel when both
+/// columns are NaN-free (bitwise-equal to `pearson`), otherwise the
+/// pairwise-deletion `pearson` on materialized slices (zero-copy when
+/// resident).
+fn pair_rho(
+    train: &Dataset,
+    moments: &[OnceLock<Option<ExactMoments>>],
+    a: usize,
+    b: usize,
+) -> f64 {
+    if let (Some(ma), Some(mb)) = (
+        moments_of(train, moments, a).as_ref(),
+        moments_of(train, moments, b).as_ref(),
+    ) {
+        return ma.rho(mb);
+    }
+    let (va, vb) = match (train.column_view(a), train.column_view(b)) {
+        (Ok(va), Ok(vb)) => (va, vb),
+        (Err(e), _) | (_, Err(e)) => {
+            panic!("column unavailable during redundancy scan: {e}")
+        }
+    };
+    let (mut sa, mut sb) = (Vec::new(), Vec::new());
+    let ca = match va.materialize(&mut sa) {
+        Ok(c) => c,
+        Err(e) => panic!("column {a} read failed during redundancy scan: {e}"),
+    };
+    let cb = match vb.materialize(&mut sb) {
+        Ok(c) => c,
+        Err(e) => panic!("column {b} read failed during redundancy scan: {e}"),
+    };
+    pearson(ca, cb)
 }
 
 /// Half-width of the |ρ| band around θ inside which
@@ -263,7 +347,32 @@ pub fn redundancy_filter_binned(
         Some(cache) => BinnedDataset::fit_cached(&sub, max_bins, par, cache),
         None => BinnedDataset::fit(&sub, max_bins, par),
     };
-    let raw_cols: Vec<&[f64]> = sub.columns().collect();
+    // Materialize the survivor columns: resident columns are borrowed
+    // zero-copy; chunked columns are gathered once into owned scratch (a
+    // documented staged-mode residency caveat — this scan touches every
+    // survivor column repeatedly, so streaming re-reads would thrash the
+    // chunk cache).
+    let views: Vec<ColumnView<'_>> = sub.column_views().collect();
+    let mut gathered: Vec<Vec<f64>> = Vec::new();
+    let mut slots: Vec<Option<usize>> = Vec::with_capacity(views.len());
+    for view in &views {
+        if view.as_slice().is_some() {
+            slots.push(None);
+        } else {
+            let mut buf = Vec::new();
+            view.gather_into(&mut buf)?;
+            slots.push(Some(gathered.len()));
+            gathered.push(buf);
+        }
+    }
+    let raw_cols: Vec<&[f64]> = views
+        .iter()
+        .zip(&slots)
+        .map(|(view, slot)| match slot {
+            Some(g) => gathered[*g].as_slice(),
+            None => view.as_slice().unwrap_or(&[]),
+        })
+        .collect();
     let corr_cols: Vec<CorrColumn> = (0..sub.n_cols())
         .map(|f| CorrColumn::new(binned.bins(f), binned.mapper(f), raw_cols[f]))
         .collect();
@@ -323,62 +432,6 @@ pub fn redundancy_filter_binned(
 /// a parallel chunk pays for a fresh scratch table, so fanning out only
 /// earns its keep once each worker amortizes it over enough pairs.
 pub const PAR_SCAN_MIN: usize = 64;
-
-/// Precomputed Pearson moments of one NaN-free column, for the staged
-/// redundancy scan's exact fast path.
-///
-/// [`safe_stats::pearson::pearson`] deletes rows pairwise, so its means and
-/// variance sums normally depend on *both* columns of a pair. When neither
-/// column has a missing cell the shared support is every row and those
-/// quantities become per-column constants: `mean` and `dxx` here are
-/// accumulated in the same row order as `pearson`'s own passes, and
-/// `centered` stores `value - mean` exactly as `pearson` recomputes it per
-/// pair. [`ExactMoments::abs_rho`] then evaluates the identical final
-/// expression, making the fast path bitwise-equal to
-/// `pearson(a, b).abs()` — it is a caching layout, not an approximation.
-struct ExactMoments {
-    /// `value - mean` per row, in row order.
-    centered: Vec<f64>,
-    /// `Σ centered²`, accumulated in row order.
-    dxx: f64,
-}
-
-impl ExactMoments {
-    /// Moments of `col`, or `None` if the column has a non-finite cell
-    /// (those pairs need pairwise deletion) or fewer than two rows.
-    fn of(col: &[f64]) -> Option<ExactMoments> {
-        if col.len() < 2 || col.iter().any(|v| !v.is_finite()) {
-            return None;
-        }
-        let mut sx = 0.0f64;
-        for &a in col {
-            sx += a;
-        }
-        let mean = sx / col.len() as f64;
-        let mut dxx = 0.0f64;
-        let centered: Vec<f64> = col
-            .iter()
-            .map(|&a| {
-                let c = a - mean;
-                dxx += c * c;
-                c
-            })
-            .collect();
-        Some(ExactMoments { centered, dxx })
-    }
-
-    /// `|pearson(a, b)|`, bitwise-equal to the two-pass routine.
-    fn abs_rho(&self, other: &ExactMoments) -> f64 {
-        if self.dxx <= 0.0 || other.dxx <= 0.0 {
-            return 0.0;
-        }
-        let mut num = 0.0f64;
-        for (ca, cb) in self.centered.iter().zip(&other.centered) {
-            num += ca * cb;
-        }
-        (num / (self.dxx.sqrt() * other.dxx.sqrt())).clamp(-1.0, 1.0).abs()
-    }
-}
 
 /// Error from [`redundancy_filter_binned`]: the finalist column projection
 /// or binning failed, or a parallel scan worker panicked. Both degrade the

@@ -37,6 +37,7 @@
 //! `select/staged-worker-panic` failpoint) surfaces as [`ParPanic`], which
 //! the pipeline turns into a degraded iteration — never a poisoned run.
 
+use safe_data::column::{ColumnRead, ColumnView};
 use safe_data::dataset::Dataset;
 use safe_stats::iv::information_value;
 use safe_stats::par::{try_par_map, ParPanic, Parallelism};
@@ -166,7 +167,7 @@ pub fn staged_prune(
         return Ok((pool, StagedReport { rungs: Vec::new(), short_circuited: true }));
     }
     let labels = labels.unwrap_or_default();
-    let cols: Vec<&[f64]> = train.columns().collect();
+    let views: Vec<ColumnView<'_>> = train.column_views().collect();
     let n_rows = train.n_rows();
     let mut report = StagedReport::default();
     let mut rung = 0usize;
@@ -179,7 +180,15 @@ pub fn staged_prune(
                 "select/staged-worker-panic" =>
                     panic!("injected worker panic: select/staged-worker-panic")
             );
-            let col = cols[pool[k]];
+            // Row sampling needs random access: materialize the candidate
+            // column first (zero-copy when resident, per-worker scratch
+            // gather when chunked). A spill-read failure panics and is
+            // captured as [`ParPanic`] for the caller to degrade on.
+            let mut scratch = Vec::new();
+            let col = match views[pool[k]].materialize(&mut scratch) {
+                Ok(c) => c,
+                Err(e) => panic!("column read failed during staged pruning: {e}"),
+            };
             let sub: Vec<f64> = rows.iter().map(|&r| col[r]).collect();
             information_value(&sub, &sub_labels, cfg.beta).unwrap_or(0.0)
         })?;

@@ -22,6 +22,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::column::ColumnRead;
 use crate::dataset::Dataset;
 use crate::error::DataError;
 
@@ -277,9 +278,11 @@ impl AuditReport {
             if drop_set.contains(meta.name.as_str()) {
                 continue;
             }
-            let col = ds.column(i)?;
             if imputes.contains(&meta.name) {
-                let mut cleaned = col.to_vec();
+                // Imputation rewrites values, so the column is gathered
+                // (one column of scratch — the out-of-core contract).
+                let mut cleaned = Vec::new();
+                ds.column_view(i)?.gather_into(&mut cleaned)?;
                 let mut count = 0usize;
                 for v in &mut cleaned {
                     if v.is_infinite() {
@@ -293,7 +296,8 @@ impl AuditReport {
                 });
                 out.push_column(meta.clone(), cleaned)?;
             } else {
-                out.push_column(meta.clone(), col.to_vec())?;
+                // Untouched columns share storage — chunked stays chunked.
+                out.push_column_from(ds, i)?;
             }
         }
         if let Some(labels) = ds.labels() {
@@ -327,15 +331,17 @@ impl AuditReport {
             if drop_set.contains(meta.name.as_str()) {
                 continue;
             }
-            let col = ds.column(i)?;
             if impute_set.contains(meta.name.as_str()) {
-                let cleaned = col
-                    .iter()
-                    .map(|v| if v.is_infinite() { f64::NAN } else { *v })
-                    .collect();
+                let mut cleaned = Vec::new();
+                ds.column_view(i)?.gather_into(&mut cleaned)?;
+                for v in &mut cleaned {
+                    if v.is_infinite() {
+                        *v = f64::NAN;
+                    }
+                }
                 out.push_column(meta.clone(), cleaned)?;
             } else {
-                out.push_column(meta.clone(), col.to_vec())?;
+                out.push_column_from(ds, i)?;
             }
         }
         if let Some(labels) = ds.labels() {
@@ -387,28 +393,36 @@ pub fn audit(ds: &Dataset, cfg: &AuditConfig) -> AuditReport {
         findings.push(AuditFinding::EmptyDataset);
         return AuditReport { findings, actions: Vec::new() };
     }
-    for (col, meta) in ds.columns().zip(ds.meta()) {
+    for (view, meta) in ds.column_views().zip(ds.meta()) {
         let mut first: Option<f64> = None;
         let mut constant = true;
         let mut n_present = 0usize;
         let mut n_inf = 0usize;
-        for &v in col {
-            if v.is_nan() {
-                continue;
-            }
-            if v.is_infinite() {
-                n_inf += 1;
-            }
-            n_present += 1;
-            match first {
-                None => first = Some(v),
-                Some(head) => {
-                    if v != head {
-                        constant = false;
+        // One sequential pass in row order — chunk streaming visits the
+        // same elements in the same order as the resident slice, so the
+        // verdicts are identical on both backends. A spill-read failure
+        // aborts the scan of this column early; the same fault then
+        // surfaces as a hard error on the first gather path, so nothing is
+        // silently misclassified downstream.
+        let _ = view.for_each_chunk(0..ds.n_rows(), &mut |chunk| {
+            for &v in chunk {
+                if v.is_nan() {
+                    continue;
+                }
+                if v.is_infinite() {
+                    n_inf += 1;
+                }
+                n_present += 1;
+                match first {
+                    None => first = Some(v),
+                    Some(head) => {
+                        if v != head {
+                            constant = false;
+                        }
                     }
                 }
             }
-        }
+        });
         if n_present == 0 {
             findings.push(AuditFinding::AllMissingColumn { name: meta.name.clone() });
         } else if constant {

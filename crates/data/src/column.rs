@@ -1,0 +1,215 @@
+//! The redesigned column-access surface: chunk-aware reads with a
+//! zero-cost whole-slice fast path.
+//!
+//! Hot paths used to consume `&[f64]` straight from the dataset, which
+//! welded them to a fully resident backend. They now consume
+//! [`ColumnRead`] — implemented by the borrowed [`ColumnView`] a
+//! [`crate::dataset::Dataset`] hands out — and choose one of three access
+//! patterns:
+//!
+//! 1. **Fast path:** [`ColumnRead::as_slice`] returns `Some` for resident
+//!    columns; kernels that got a slice run exactly the code they always
+//!    ran, at zero cost.
+//! 2. **Streaming:** [`ColumnRead::for_each_chunk`] yields the column's
+//!    values as consecutive sub-slices in ascending row order. A
+//!    sequential left-fold over those slices visits elements in exactly
+//!    full-slice order, so streamed reductions (moments, Pearson passes,
+//!    audit scans) are bit-identical to their resident versions — f64
+//!    addition is never reassociated by chunking.
+//! 3. **Gather:** [`ColumnRead::gather_into`] / [`ColumnRead::materialize`]
+//!    copy the column into caller scratch for kernels that genuinely need
+//!    random access (sort-based binning, row-sampled pruning, operator
+//!    application). The out-of-core contract is that *one column* of
+//!    scratch fits in memory even when the full table does not.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::chunk::ChunkStore;
+use crate::error::DataError;
+
+/// Read access to one logical `f64` column, independent of whether its
+/// storage is a resident vector or spill-backed chunks.
+pub trait ColumnRead {
+    /// Number of values in the column.
+    fn len(&self) -> usize;
+
+    /// True when the column has no values.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole column as one slice, when storage is resident — the
+    /// zero-cost fast path. Chunked columns return `None`.
+    fn as_slice(&self) -> Option<&[f64]>;
+
+    /// Stream the values in `range` as consecutive sub-slices, in
+    /// ascending row order. Chunk boundaries are a pure function of the
+    /// backing store's geometry — never of cache state — so iteration
+    /// order is deterministic.
+    fn for_each_chunk(
+        &self,
+        range: Range<usize>,
+        f: &mut dyn FnMut(&[f64]),
+    ) -> Result<(), DataError>;
+
+    /// Copy the full column into `buf` (cleared first).
+    fn gather_into(&self, buf: &mut Vec<f64>) -> Result<(), DataError> {
+        buf.clear();
+        if let Some(s) = self.as_slice() {
+            buf.extend_from_slice(s);
+            return Ok(());
+        }
+        buf.reserve(self.len());
+        self.for_each_chunk(0..self.len(), &mut |c| buf.extend_from_slice(c))
+    }
+
+    /// The column as a contiguous slice: the resident slice when there is
+    /// one, otherwise a gather into `scratch`. The caller owns `scratch`
+    /// and can reuse it across columns to amortize the allocation.
+    fn materialize<'s>(&'s self, scratch: &'s mut Vec<f64>) -> Result<&'s [f64], DataError> {
+        if let Some(s) = self.as_slice() {
+            return Ok(s);
+        }
+        self.gather_into(scratch)?;
+        Ok(scratch.as_slice())
+    }
+}
+
+impl ColumnRead for [f64] {
+    fn len(&self) -> usize {
+        <[f64]>::len(self)
+    }
+
+    fn as_slice(&self) -> Option<&[f64]> {
+        Some(self)
+    }
+
+    fn for_each_chunk(
+        &self,
+        range: Range<usize>,
+        f: &mut dyn FnMut(&[f64]),
+    ) -> Result<(), DataError> {
+        if range.end > <[f64]>::len(self) || range.start > range.end {
+            return Err(DataError::ColumnOutOfRange {
+                index: range.end,
+                len: <[f64]>::len(self),
+            });
+        }
+        if !range.is_empty() {
+            f(&self[range]);
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed view of one dataset column: either a resident slice or a
+/// (store, column) pair resolving through the chunk cache.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnView<'a> {
+    /// Fully resident column.
+    Slice(&'a [f64]),
+    /// Column `col` of a chunked store.
+    Chunked {
+        /// Backing store.
+        store: &'a Arc<ChunkStore>,
+        /// Column index within the store.
+        col: usize,
+    },
+}
+
+impl ColumnRead for ColumnView<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ColumnView::Slice(s) => s.len(),
+            ColumnView::Chunked { store, .. } => store.n_rows(),
+        }
+    }
+
+    fn as_slice(&self) -> Option<&[f64]> {
+        match self {
+            ColumnView::Slice(s) => Some(s),
+            ColumnView::Chunked { .. } => None,
+        }
+    }
+
+    fn for_each_chunk(
+        &self,
+        range: Range<usize>,
+        f: &mut dyn FnMut(&[f64]),
+    ) -> Result<(), DataError> {
+        match self {
+            ColumnView::Slice(s) => s.for_each_chunk(range, f),
+            ColumnView::Chunked { store, col } => store.for_each_col_chunk(*col, range, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkOptions, ChunkStoreBuilder};
+
+    fn chunked(values: &[f64], chunk_rows: usize) -> Arc<ChunkStore> {
+        let mut b = ChunkStoreBuilder::new(1, ChunkOptions::in_memory(chunk_rows)).unwrap();
+        for &v in values {
+            b.push_row(&[v]).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn slice_fast_path_is_zero_copy() {
+        let data = [1.0, 2.0, 3.0];
+        let view = ColumnView::Slice(&data);
+        assert_eq!(view.as_slice().unwrap().as_ptr(), data.as_ptr());
+        let mut scratch = Vec::new();
+        let s = view.materialize(&mut scratch).unwrap();
+        assert_eq!(s.as_ptr(), data.as_ptr(), "resident materialize must not copy");
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn chunked_view_streams_in_row_order() {
+        let values: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let store = chunked(&values, 5);
+        let view = ColumnView::Chunked { store: &store, col: 0 };
+        assert!(view.as_slice().is_none());
+        assert_eq!(view.len(), 17);
+        let mut got = Vec::new();
+        view.for_each_chunk(0..17, &mut |c| got.extend_from_slice(c)).unwrap();
+        assert_eq!(got, values);
+        let mut scratch = Vec::new();
+        assert_eq!(view.materialize(&mut scratch).unwrap(), &values[..]);
+    }
+
+    #[test]
+    fn streamed_fold_matches_slice_fold_bitwise() {
+        // Chunked iteration must not reassociate f64 addition: a left-fold
+        // over the yielded slices equals the slice fold bit for bit.
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e3).collect();
+        let slice_sum: f64 = values.iter().sum();
+        for chunk_rows in [1, 3, 64, 1000, 2048] {
+            let store = chunked(&values, chunk_rows);
+            let view = ColumnView::Chunked { store: &store, col: 0 };
+            let mut sum = 0.0f64;
+            view.for_each_chunk(0..values.len(), &mut |c| {
+                for v in c {
+                    sum += v;
+                }
+            })
+            .unwrap();
+            assert_eq!(sum.to_bits(), slice_sum.to_bits(), "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn sub_range_iteration() {
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let store = chunked(&values, 4);
+        let view = ColumnView::Chunked { store: &store, col: 0 };
+        let mut got = Vec::new();
+        view.for_each_chunk(2..7, &mut |c| got.extend_from_slice(c)).unwrap();
+        assert_eq!(got, &values[2..7]);
+    }
+}

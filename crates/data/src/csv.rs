@@ -8,9 +8,10 @@
 //! contain commas, so the writer quotes them and the reader unquotes.
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::chunk::{ChunkOptions, ChunkStoreBuilder};
 use crate::dataset::{Dataset, FeatureMeta};
 use crate::error::DataError;
 
@@ -63,6 +64,92 @@ fn parse_cell(token: &str, line: usize) -> Result<f64, DataError> {
     })
 }
 
+/// Incremental CSV row parser shared by the resident reader
+/// ([`read_csv_str`]) and the streaming out-of-core reader
+/// ([`read_csv_chunked`]). Both paths run the exact same header handling,
+/// cell parsing, and validation, so streamed ingest is byte-identical to
+/// materialized ingest by construction.
+struct RowParser {
+    names: Vec<String>,
+    label_idx: Option<usize>,
+    features: Vec<f64>,
+    n_labels: usize,
+}
+
+impl RowParser {
+    fn new(header: &str, label_column: Option<&str>) -> Result<RowParser, DataError> {
+        let names: Vec<String> = split_line(header)
+            .into_iter()
+            .map(|s| s.trim().to_string())
+            .collect();
+        let label_idx = match label_column {
+            Some(name) => Some(
+                names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(|| DataError::UnknownFeature(name.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok(RowParser {
+            names,
+            label_idx,
+            features: Vec::new(),
+            n_labels: 0,
+        })
+    }
+
+    fn n_features(&self) -> usize {
+        self.names.len() - usize::from(self.label_idx.is_some())
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| Some(*j) != self.label_idx)
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+
+    /// Parse one data line. `Ok(None)` for blank lines; otherwise the
+    /// feature cells (valid until the next call) and the label cell.
+    fn parse_line(
+        &mut self,
+        line: &str,
+        line_no: usize,
+    ) -> Result<Option<(&[f64], Option<u8>)>, DataError> {
+        if line.trim().is_empty() {
+            return Ok(None);
+        }
+        let cells: Vec<String> = split_line(line);
+        if cells.len() != self.names.len() {
+            return Err(DataError::Csv {
+                line: line_no,
+                message: format!("expected {} cells, found {}", self.names.len(), cells.len()),
+            });
+        }
+        self.features.clear();
+        let mut label = None;
+        for (j, cell) in cells.iter().map(|c| c.as_str()).enumerate() {
+            if Some(j) == self.label_idx {
+                let v = parse_cell(cell, line_no)?;
+                if v != 0.0 && v != 1.0 {
+                    return Err(DataError::InvalidLabel {
+                        row: self.n_labels,
+                        value: v,
+                    });
+                }
+                self.n_labels += 1;
+                label = Some(v as u8);
+            } else {
+                self.features.push(parse_cell(cell, line_no)?);
+            }
+        }
+        Ok(Some((&self.features, label)))
+    }
+}
+
 /// Read a dataset from CSV text. If `label_column` is `Some(name)` that
 /// column is pulled out as binary labels (cells must be 0 or 1).
 pub fn read_csv_str(content: &str, label_column: Option<&str>) -> Result<Dataset, DataError> {
@@ -71,66 +158,30 @@ pub fn read_csv_str(content: &str, label_column: Option<&str>) -> Result<Dataset
         line: 1,
         message: "empty file".into(),
     })?;
-    let names: Vec<String> = split_line(header)
-        .into_iter()
-        .map(|s| s.trim().to_string())
-        .collect();
-    let label_idx = match label_column {
-        Some(name) => Some(
-            names
-                .iter()
-                .position(|n| n == name)
-                .ok_or_else(|| DataError::UnknownFeature(name.to_string()))?,
-        ),
-        None => None,
-    };
-
-    let n_features = names.len() - usize::from(label_idx.is_some());
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_features];
+    let mut parser = RowParser::new(header, label_column)?;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); parser.n_features()];
     let mut labels: Vec<u8> = Vec::new();
 
     for (i, line) in lines {
         let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let cells: Vec<String> = split_line(line);
-        if cells.len() != names.len() {
-            return Err(DataError::Csv {
-                line: line_no,
-                message: format!("expected {} cells, found {}", names.len(), cells.len()),
-            });
-        }
-        let mut c = 0;
-        for (j, cell) in cells.iter().map(|c| c.as_str()).enumerate() {
-            if Some(j) == label_idx {
-                let v = parse_cell(cell, line_no)?;
-                if v != 0.0 && v != 1.0 {
-                    return Err(DataError::InvalidLabel {
-                        row: labels.len(),
-                        value: v,
-                    });
-                }
-                labels.push(v as u8);
-            } else {
-                columns[c].push(parse_cell(cell, line_no)?);
-                c += 1;
+        if let Some((features, label)) = parser.parse_line(line, line_no)? {
+            for (c, &v) in features.iter().enumerate() {
+                columns[c].push(v);
+            }
+            if let Some(l) = label {
+                labels.push(l);
             }
         }
     }
 
-    let feature_names: Vec<String> = names
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| Some(*j) != label_idx)
-        .map(|(_, n)| n.clone())
-        .collect();
+    let has_labels = parser.label_idx.is_some();
+    let feature_names = parser.feature_names();
     let n_rows = columns.first().map(|c| c.len()).unwrap_or(0);
     let mut ds = Dataset::with_rows(n_rows);
     for (name, col) in feature_names.into_iter().zip(columns) {
         ds.push_column(FeatureMeta::original(name), col)?;
     }
-    if label_idx.is_some() {
+    if has_labels {
         ds.set_labels(labels)?;
     }
     Ok(ds)
@@ -144,10 +195,49 @@ pub fn read_csv(path: impl AsRef<Path>, label_column: Option<&str>) -> Result<Da
     read_csv_str(&content, label_column)
 }
 
-/// Serialize a dataset to CSV text. Labels, when present, are written as a
-/// trailing `label` column. NaN is written as an empty cell.
-pub fn write_csv_string(ds: &Dataset) -> String {
-    let mut out = String::new();
+/// Stream a CSV file into a chunked [`Dataset`] without ever materializing
+/// the full table: each parsed row goes straight into a
+/// [`ChunkStoreBuilder`], which holds at most one chunk of staging data and
+/// spills finished chunks under `opts.spill_dir`. Labels (1 byte/row) stay
+/// resident.
+///
+/// Parsing is byte-identical to [`read_csv`]-then-[`Dataset`]: both paths
+/// share one row parser, and `BufRead::lines` strips `\n`/`\r\n` exactly
+/// like the `str::lines` call the resident reader uses (pinned by the
+/// streaming-ingest differential tests).
+pub fn read_csv_chunked(
+    path: impl AsRef<Path>,
+    label_column: Option<&str>,
+    opts: ChunkOptions,
+) -> Result<Dataset, DataError> {
+    let file = File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines.next().transpose()?.ok_or(DataError::Csv {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let mut parser = RowParser::new(&header, label_column)?;
+    let mut builder = ChunkStoreBuilder::new(parser.n_features(), opts)?;
+    let mut labels: Vec<u8> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2; // physical line number; header was line 1
+        let line = line?;
+        if let Some((features, label)) = parser.parse_line(&line, line_no)? {
+            builder.push_row(features)?;
+            if let Some(l) = label {
+                labels.push(l);
+            }
+        }
+    }
+    let has_labels = parser.label_idx.is_some();
+    let names = parser.feature_names();
+    Dataset::from_chunk_store(names, builder.finish()?, has_labels.then_some(labels))
+}
+
+/// Append the CSV header and all data rows of `ds` to `out`, iterating the
+/// table chunk-wise — works on both backends without materializing spilled
+/// columns beyond one chunk at a time.
+fn write_csv_into(ds: &Dataset, out: &mut String) -> Result<(), DataError> {
     let names: Vec<String> = ds
         .feature_names()
         .iter()
@@ -158,34 +248,50 @@ pub fn write_csv_string(ds: &Dataset) -> String {
         out.push_str(",label");
     }
     out.push('\n');
-    for i in 0..ds.n_rows() {
-        let row = ds.row(i);
-        let cells: Vec<String> = row
-            .iter()
-            .map(|v| {
-                if v.is_finite() {
-                    // Shortest round-trippable representation.
-                    format!("{v}")
-                } else {
-                    String::new()
-                }
-            })
-            .collect();
-        out.push_str(&cells.join(","));
-        if let Some(labels) = ds.labels() {
-            out.push(',');
-            out.push_str(if labels[i] == 1 { "1" } else { "0" });
+    let labels = ds.labels();
+    ds.for_each_row_chunk(&mut |range, cols| {
+        for (r, i) in range.enumerate() {
+            let cells: Vec<String> = cols
+                .iter()
+                .map(|col| {
+                    let v = col[r];
+                    if v.is_finite() {
+                        // Shortest round-trippable representation.
+                        format!("{v}")
+                    } else {
+                        String::new()
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            if let Some(labels) = labels {
+                out.push(',');
+                out.push_str(if labels[i] == 1 { "1" } else { "0" });
+            }
+            out.push('\n');
         }
-        out.push('\n');
-    }
+    })
+}
+
+/// Serialize a dataset to CSV text. Labels, when present, are written as a
+/// trailing `label` column. NaN is written as an empty cell.
+pub fn write_csv_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    // The only failure mode is spill I/O on a chunked backend; surface it
+    // as a truncated document rather than a panic (callers that care about
+    // out-of-core data use `write_csv`, which propagates the error).
+    let _ = write_csv_into(ds, &mut out);
     out
 }
 
-/// Write a dataset to a CSV file.
+/// Write a dataset to a CSV file (both backends; spilled columns stream
+/// through chunk-wise).
 pub fn write_csv(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
     let file = File::create(path)?;
     let mut writer = BufWriter::new(file);
-    writer.write_all(write_csv_string(ds).as_bytes())?;
+    let mut out = String::new();
+    write_csv_into(ds, &mut out)?;
+    writer.write_all(out.as_bytes())?;
     writer.flush()?;
     Ok(())
 }
@@ -286,6 +392,98 @@ mod tests {
     #[test]
     fn empty_file_is_an_error() {
         assert!(read_csv_str("", None).is_err());
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::chunk::ChunkOptions;
+    use crate::column::ColumnRead;
+
+    fn tmp_csv(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("safe_data_csv_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text.as_bytes()).unwrap();
+        path
+    }
+
+    /// Bit-level comparison of a streamed chunked ingest against the
+    /// resident reader: same shape, names, labels, and per-column value
+    /// bits (NaN == NaN at the bit level, which `PartialEq` can't see).
+    fn assert_ingest_identical(text: &str, label: Option<&str>, opts: ChunkOptions) {
+        let path = tmp_csv("ingest.csv", text);
+        let resident = read_csv(&path, label).unwrap();
+        let chunked = read_csv_chunked(&path, label, opts).unwrap();
+        assert_eq!(chunked.n_rows(), resident.n_rows());
+        assert_eq!(chunked.feature_names(), resident.feature_names());
+        assert_eq!(chunked.labels(), resident.labels());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for c in 0..resident.n_cols() {
+            resident.column_view(c).unwrap().gather_into(&mut a).unwrap();
+            chunked.column_view(c).unwrap().gather_into(&mut b).unwrap();
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "column {c} bytes differ");
+        }
+    }
+
+    #[test]
+    fn streamed_ingest_matches_resident_reader() {
+        let text = "a,b,label\n1.0,2.5,0\n3,4,1\n-0.125,9e3,0\n0.1,0.2,1\n7,8,0\n";
+        assert_ingest_identical(text, Some("label"), ChunkOptions::in_memory(2));
+    }
+
+    #[test]
+    fn streamed_ingest_handles_nan_and_missing_cells() {
+        let text = "a,b\n1,\nNA,2\nnan,3\n,\n5,NaN\n";
+        assert_ingest_identical(text, None, ChunkOptions::in_memory(2));
+    }
+
+    #[test]
+    fn streamed_ingest_handles_crlf_endings() {
+        let text = "a,b,label\r\n1,2,0\r\n3,,1\r\nNA,4,0\r\n";
+        assert_ingest_identical(text, Some("label"), ChunkOptions::in_memory(2));
+    }
+
+    #[test]
+    fn streamed_ingest_with_spill_round_trips() {
+        let spill = std::env::temp_dir().join("safe_data_csv_stream_spill");
+        std::fs::create_dir_all(&spill).unwrap();
+        let mut text = String::from("x,y,label\n");
+        for i in 0..100 {
+            text.push_str(&format!("{},{},{}\n", i, (i * 7 % 13) as f64 * 0.5, i % 2));
+        }
+        assert_ingest_identical(&text, Some("label"), ChunkOptions::spilled(8, 2, &spill));
+    }
+
+    #[test]
+    fn streamed_ingest_reports_same_errors() {
+        for text in ["a,b\n1,2\n3\n", "a\n1\nbogus\n", "a,label\n1,2\n", ""] {
+            let path = tmp_csv("err.csv", text);
+            let resident = read_csv(&path, text.contains("label").then_some("label"));
+            let streamed = read_csv_chunked(
+                &path,
+                text.contains("label").then_some("label"),
+                ChunkOptions::in_memory(4),
+            );
+            assert_eq!(
+                resident.unwrap_err(),
+                streamed.unwrap_err(),
+                "error mismatch for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_dataset_writes_same_csv_bytes() {
+        let text = "a,b,label\n1,2,0\n,4,1\n5.5,6,0\n";
+        let path = tmp_csv("write.csv", text);
+        let resident = read_csv(&path, Some("label")).unwrap();
+        let chunked = read_csv_chunked(&path, Some("label"), ChunkOptions::in_memory(2)).unwrap();
+        assert_eq!(write_csv_string(&chunked), write_csv_string(&resident));
     }
 }
 

@@ -28,8 +28,22 @@ pub enum DataError {
         /// The raw value encountered.
         value: f64,
     },
+    /// A row-major input row had the wrong number of fields. Distinct from
+    /// [`DataError::Csv`]: no parser is involved, the caller handed over a
+    /// ragged row directly.
+    RowShapeMismatch {
+        /// 0-based index of the offending row.
+        row: usize,
+        /// Expected field count (the dataset's column count).
+        expected: usize,
+        /// Actual field count provided.
+        actual: usize,
+    },
     /// A feature name was used twice.
     DuplicateFeature(String),
+    /// A raw-slice accessor (`column`, `columns`) was called on a column
+    /// whose storage is chunked/spilled; use the `ColumnRead` views.
+    ColumnNotResident(String),
     /// Requested feature does not exist.
     UnknownFeature(String),
     /// Column index out of range.
@@ -76,7 +90,14 @@ impl fmt::Display for DataError {
             DataError::InvalidLabel { row, value } => {
                 write!(f, "label at row {row} is {value}, expected 0 or 1")
             }
+            DataError::RowShapeMismatch { row, expected, actual } => {
+                write!(f, "row {row} has {actual} fields, expected {expected}")
+            }
             DataError::DuplicateFeature(name) => write!(f, "duplicate feature name '{name}'"),
+            DataError::ColumnNotResident(name) => write!(
+                f,
+                "column '{name}' is chunked/spilled; use ColumnRead views instead of raw slices"
+            ),
             DataError::UnknownFeature(name) => write!(f, "unknown feature '{name}'"),
             DataError::ColumnOutOfRange { index, len } => {
                 write!(f, "column index {index} out of range (dataset has {len})")

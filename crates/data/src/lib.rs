@@ -16,6 +16,14 @@
 //! Missing values are represented as `f64::NAN` and handled explicitly by the
 //! binning and statistics layers.
 //!
+//! Out-of-core backend (DESIGN.md §16):
+//! - [`chunk`] — fixed-size row chunks with file-backed spill segments and
+//!   an LRU of decoded chunks,
+//! - [`column`] — the [`ColumnRead`] trait / [`ColumnView`] access surface
+//!   the hot paths consume instead of raw `&[f64]` slices,
+//! - [`csv::read_csv_chunked`] — streaming ingest that never materializes
+//!   the full table.
+//!
 //! Robustness additions:
 //! - [`audit`] — pre-flight scan for degenerate data (all-missing or
 //!   constant columns, infinities, single-class labels) with
@@ -30,6 +38,8 @@
 pub mod audit;
 pub mod binning;
 pub mod checksum;
+pub mod chunk;
+pub mod column;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -41,6 +51,8 @@ pub use audit::{
     AuditReport, AuditSeverity, RepairAction,
 };
 pub use binning::{BinAssignments, BinEdges, BinStrategy};
+pub use chunk::{ChunkOptions, ChunkStats, ChunkStore, ChunkStoreBuilder};
+pub use column::{ColumnRead, ColumnView};
 pub use dataset::{Dataset, FeatureMeta, FeatureOrigin};
 pub use error::DataError;
 pub use split::{train_test_split, train_valid_test_split, DatasetSplit};

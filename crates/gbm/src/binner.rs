@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use safe_data::binning::{BinEdges, BinStrategy};
+use safe_data::column::{ColumnRead, ColumnView};
 use safe_data::dataset::Dataset;
 use safe_stats::par::{par_map, Parallelism};
 
@@ -253,17 +254,29 @@ impl BinnedDataset {
     /// Shared tail of `fit`/`fit_cached`/`extend_with`: quantize (or look
     /// up) each column of `ds` and append in column order.
     fn extend_columns(&mut self, ds: &Dataset, par: Parallelism, cache: Option<&mut BinCache>) {
-        let cols: Vec<&[f64]> = ds.columns().collect();
+        // Quantization sorts a copy of the column, so each worker
+        // materializes its column through the view API: zero-copy when
+        // resident, a per-worker scratch gather when chunked/spilled — at
+        // most one f64 column per thread is resident at a time.
+        let views: Vec<ColumnView<'_>> = ds.column_views().collect();
+        let quantize_col = |f: usize| {
+            let mut scratch = Vec::new();
+            let col = match views[f].materialize(&mut scratch) {
+                Ok(c) => c,
+                Err(e) => panic!("column read failed during binning: {e}"),
+            };
+            quantize(col, self.max_bins)
+        };
         match cache {
             None => {
-                let fitted = par_map(par, cols.len(), |f| quantize(cols[f], self.max_bins));
+                let fitted = par_map(par, views.len(), quantize_col);
                 self.columns.extend(fitted);
             }
             Some(cache) => {
                 let names = ds.feature_names();
                 // Resolve hits serially (map lookups), quantize the misses in
                 // parallel, then merge back in column order.
-                let mut resolved: Vec<Option<BinnedColumn>> = Vec::with_capacity(cols.len());
+                let mut resolved: Vec<Option<BinnedColumn>> = Vec::with_capacity(views.len());
                 let mut miss_idx: Vec<usize> = Vec::new();
                 for (f, name) in names.iter().enumerate() {
                     match cache.entries.get(&(name.to_string(), self.max_bins)) {
@@ -277,9 +290,7 @@ impl BinnedDataset {
                         }
                     }
                 }
-                let fitted = par_map(par, miss_idx.len(), |i| {
-                    quantize(cols[miss_idx[i]], self.max_bins)
-                });
+                let fitted = par_map(par, miss_idx.len(), |i| quantize_col(miss_idx[i]));
                 for (&f, col) in miss_idx.iter().zip(fitted) {
                     cache.misses += 1;
                     cache
@@ -291,7 +302,7 @@ impl BinnedDataset {
                     self.columns.push(match col {
                         Some(col) => col,
                         // Unreachable: every index is a hit or in miss_idx.
-                        None => quantize(cols[f], self.max_bins),
+                        None => quantize_col(f),
                     });
                 }
             }

@@ -187,10 +187,11 @@ impl Gbm {
         };
         let base = base_margin(self.config.objective, labels);
         let mut margins = vec![base; n];
-        let train_cols: Vec<&[f64]> = train.columns().collect();
 
-        // (columns, labels, running margins) of the validation set.
-        type ValidState<'a> = (Vec<&'a [f64]>, &'a [u8], Vec<f64>);
+        // (dataset, labels, running margins) of the validation set. Margin
+        // updates stream the f64 table per row chunk, so a chunked/spilled
+        // validation set never materializes.
+        type ValidState<'a> = (&'a Dataset, &'a [u8], Vec<f64>);
         let valid_cols: Option<ValidState> = match valid {
             Some(v) => {
                 let vl = v
@@ -202,7 +203,7 @@ impl Gbm {
                         valid: v.n_cols(),
                     });
                 }
-                Some((v.columns().collect(), vl, vec![base; v.n_rows()]))
+                Some((v, vl, vec![base; v.n_rows()]))
             }
             None => None,
         };
@@ -240,10 +241,10 @@ impl Gbm {
                 grow_tree_observed(&binned, &grads, &hesss, rows, &features, &self.config, &mut round_grow);
             stats.round_hist_us.push(round_grow.hist_build_us);
             stats.grow.merge(&round_grow);
-            tree.predict_into(&train_cols, &mut margins);
+            predict_tree_into(&tree, train, &mut margins)?;
 
-            if let Some((cols, vl, vmargins)) = valid_state.as_mut() {
-                tree.predict_into(cols, vmargins);
+            if let Some((vds, vl, vmargins)) = valid_state.as_mut() {
+                predict_tree_into(&tree, vds, vmargins)?;
                 let probs: Vec<f64> = vmargins
                     .iter()
                     .map(|&m| transform(self.config.objective, m))
@@ -284,6 +285,19 @@ impl Gbm {
 
 /// Sample a fraction of items without replacement (all items when
 /// `fraction == 1`), preserving index order for reproducibility.
+/// One tree's margin contribution for every row of `ds`, streamed per row
+/// chunk through [`Dataset::for_each_row_chunk`]. Resident datasets take a
+/// single full-range pass over borrowed slices (the exact code path the
+/// resident-only booster ran); chunked datasets visit fixed-order chunk
+/// segments, so per-row accumulation — and therefore every margin bit — is
+/// identical across backends.
+fn predict_tree_into(tree: &Tree, ds: &Dataset, margins: &mut [f64]) -> Result<(), GbmError> {
+    ds.for_each_row_chunk(&mut |range, cols| {
+        tree.predict_into(cols, &mut margins[range]);
+    })?;
+    Ok(())
+}
+
 fn sample<T: Copy + Ord>(items: &[T], fraction: f64, rng: &mut StdRng) -> Vec<T> {
     if fraction >= 1.0 {
         return items.to_vec();
@@ -338,11 +352,25 @@ impl GbmModel {
     }
 
     /// Raw margins for a whole dataset.
+    ///
+    /// Streams the table one row chunk at a time, so chunked/spilled
+    /// datasets score without materializing. Each row's margin still
+    /// accumulates base-then-trees in ensemble order, so bits are identical
+    /// to the resident column path.
+    ///
+    /// # Panics
+    ///
+    /// If a spilled chunk cannot be read back (the signature predates the
+    /// out-of-core backend and has no error channel).
     pub fn predict_margin(&self, ds: &Dataset) -> Vec<f64> {
-        let cols: Vec<&[f64]> = ds.columns().collect();
         let mut out = vec![self.base; ds.n_rows()];
-        for t in &self.trees {
-            t.predict_into(&cols, &mut out);
+        let scored = ds.for_each_row_chunk(&mut |range, cols| {
+            for t in &self.trees {
+                t.predict_into(cols, &mut out[range.clone()]);
+            }
+        });
+        if let Err(e) = scored {
+            panic!("column read failed during prediction: {e}");
         }
         out
     }

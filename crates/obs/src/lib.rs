@@ -107,6 +107,11 @@ pub mod stages {
     /// Emitted sink-only, outside the iteration framing span, so the
     /// report embedded in the checkpoint matches the uninterrupted run's.
     pub const CHECKPOINT: &str = "checkpoint";
+    /// Out-of-core dataset backend summary (run level, chunked fits only):
+    /// chunk-cache traffic and resident high-water mark. Excluded from
+    /// [`crate::RunReport::structural_eq`] — backend placement is an
+    /// execution-environment choice, never a computed result.
+    pub const OOCORE: &str = "oocore";
 
     /// The seven core stages every completed iteration runs, in order.
     pub const CORE: [&str; 7] = [

@@ -37,4 +37,4 @@ pub use par::{ParPanic, Parallelism};
 pub use divergence::{jensen_shannon, kullback_leibler, stability_score};
 pub use entropy::{entropy_from_counts, gain_ratio, information_gain, label_entropy};
 pub use iv::{information_value, woe_bins, IvBand};
-pub use pearson::{pearson, CorrBand};
+pub use pearson::{pearson, CorrBand, ExactMoments};

@@ -86,6 +86,72 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0)
 }
 
+/// Precomputed Pearson moments of one NaN-free column — the bitwise-exact
+/// moment cache behind both the staged redundancy scan and exact-mode
+/// selection.
+///
+/// [`pearson`] deletes rows pairwise, so its means and variance sums
+/// normally depend on *both* columns of a pair. When neither column has a
+/// missing cell the shared support is every row and those quantities become
+/// per-column constants: `centered` stores `value - mean` exactly as
+/// `pearson` recomputes it per pair, and `dxx` is `Σ centered²` accumulated
+/// in the same row order as `pearson`'s own passes.
+/// [`ExactMoments::rho`] then evaluates the identical final expression,
+/// making the fast path **bitwise-equal** to `pearson(a, b)` for NaN-free
+/// pairs — it is a caching layout, not an approximation. O(n) per pair
+/// instead of the two-pass routine's 2×O(n), with the per-column O(n)
+/// moment pass paid once.
+#[derive(Debug, Clone)]
+pub struct ExactMoments {
+    /// `value - mean` per row, in row order.
+    centered: Vec<f64>,
+    /// `Σ centered²`, accumulated in row order.
+    dxx: f64,
+}
+
+impl ExactMoments {
+    /// Moments of `col`, or `None` if the column has a non-finite cell
+    /// (those pairs need pairwise deletion) or fewer than two rows.
+    pub fn of(col: &[f64]) -> Option<ExactMoments> {
+        if col.len() < 2 || col.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sx = 0.0f64;
+        for &a in col {
+            sx += a;
+        }
+        let mean = sx / col.len() as f64;
+        let mut dxx = 0.0f64;
+        let centered: Vec<f64> = col
+            .iter()
+            .map(|&a| {
+                let c = a - mean;
+                dxx += c * c;
+                c
+            })
+            .collect();
+        Some(ExactMoments { centered, dxx })
+    }
+
+    /// `pearson(a, b)`, bitwise-equal to the two-pass routine for the
+    /// NaN-free columns this cache admits.
+    pub fn rho(&self, other: &ExactMoments) -> f64 {
+        if self.dxx <= 0.0 || other.dxx <= 0.0 {
+            return 0.0;
+        }
+        let mut num = 0.0f64;
+        for (ca, cb) in self.centered.iter().zip(&other.centered) {
+            num += ca * cb;
+        }
+        (num / (self.dxx.sqrt() * other.dxx.sqrt())).clamp(-1.0, 1.0)
+    }
+
+    /// `|pearson(a, b)|`, bitwise-equal to the two-pass routine.
+    pub fn abs_rho(&self, other: &ExactMoments) -> f64 {
+        self.rho(other).abs()
+    }
+}
+
 /// All-pairs absolute correlation matrix (upper triangle), returned as a flat
 /// vector indexed by [`pair_index`]. Kept allocation-light for Algorithm 4's
 /// O(M²) sweep.
@@ -191,6 +257,50 @@ mod tests {
         assert!((tri[pair_index(0, 1, 3)] - 1.0).abs() < 1e-12);
         assert!((tri[pair_index(0, 2, 3)] - pearson(&a, &c).abs()).abs() < 1e-12);
         assert!((tri[pair_index(1, 2, 3)] - pearson(&b, &c).abs()).abs() < 1e-12);
+    }
+
+    /// The moment-cached kernel must reproduce the two-pass routine bit
+    /// for bit on NaN-free columns — signed, not just in magnitude.
+    #[test]
+    fn exact_moments_are_bitwise_pearson() {
+        let cols: Vec<Vec<f64>> = (0..6)
+            .map(|k| {
+                (0..200)
+                    .map(|i| ((i * (k + 3)) as f64).sin() * 10.0 + (k as f64) * 0.25)
+                    .collect()
+            })
+            .collect();
+        let moments: Vec<ExactMoments> =
+            cols.iter().map(|c| ExactMoments::of(c).unwrap()).collect();
+        for i in 0..cols.len() {
+            for j in (i + 1)..cols.len() {
+                let two_pass = pearson(&cols[i], &cols[j]);
+                assert_eq!(
+                    moments[i].rho(&moments[j]).to_bits(),
+                    two_pass.to_bits(),
+                    "pair ({i},{j}) signed rho bits differ"
+                );
+                assert_eq!(
+                    moments[i].abs_rho(&moments[j]).to_bits(),
+                    two_pass.abs().to_bits(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_moments_reject_nan_and_short_columns() {
+        assert!(ExactMoments::of(&[1.0]).is_none());
+        assert!(ExactMoments::of(&[1.0, f64::NAN, 2.0]).is_none());
+        assert!(ExactMoments::of(&[1.0, f64::INFINITY]).is_none());
+        assert!(ExactMoments::of(&[1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn constant_column_moments_yield_zero() {
+        let a = ExactMoments::of(&[3.0; 10]).unwrap();
+        let b = ExactMoments::of(&(0..10).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(a.rho(&b), 0.0);
     }
 
     #[test]

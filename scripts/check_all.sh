@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Run every repository gate in sequence: determinism, telemetry, metrics &
-# profiling exports, serving, caching, crash safety, and the no-panic
-# clippy gate. This is the one
+# profiling exports, serving, caching, crash safety, the out-of-core
+# backend, and the no-panic clippy gate. This is the one
 # entry point CI (or a pre-merge human) needs; each sub-script prints its
 # own `OK` line and any failure aborts the aggregate immediately.
 #
@@ -19,6 +19,7 @@ for check in \
     check_serving \
     check_cache \
     check_crash_safety \
+    check_oocore \
     check_panics; do
     echo "==> scripts/${check}.sh"
     sh "scripts/${check}.sh"

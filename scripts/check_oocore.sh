@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Validate the out-of-core backend end to end: (1) the resident-vs-chunked
+# differential suite must pass (bit-identical plans, histories, structural
+# reports, and AUC bits across thread counts and chunk sizes, plus the
+# spill-backed >=10x-budget fit), (2) a CLI fit with `--chunk-rows` +
+# `--spill-dir` must produce byte-identical plan output to the resident
+# fit AND leave the spill directory empty on exit (no leaked segments),
+# (3) `--spill-dir` without `--chunk-rows` must be rejected as a usage
+# error (exit 2), and (4) the bench regression gate must accept the
+# `oocore` section of BENCH_pipeline.json — self-compare exits 0.
+#
+# Usage: scripts/check_oocore.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="${TMPDIR:-/tmp}/safe_check_oocore_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+# 1. The differential suite is the core contract.
+echo "check_oocore: running the resident-vs-chunked differential suite"
+cargo test --quiet --test oocore_differential
+
+echo "check_oocore: building safe-cli"
+cargo build --quiet --release -p safe-cli
+CLI=target/release/safe-cli
+
+# A tiny training set whose label depends on a*b.
+awk 'BEGIN {
+    print "a,b,noise,label"
+    for (i = 0; i < 300; i++) {
+        a = ((i * 37) % 100) / 50.0 - 1.0
+        b = ((i * 61) % 100) / 50.0 - 1.0
+        print a "," b "," ((i * 17) % 100) "," ((a * b > 0) ? 1 : 0)
+    }
+}' > "$WORK/train.csv"
+
+# 2. A spill-backed CLI fit matches the resident fit byte-for-byte...
+echo "check_oocore: spilled CLI fit is byte-identical to the resident fit"
+"$CLI" fit --input "$WORK/train.csv" --plan "$WORK/resident.safeplan" --seed 3 \
+    >/dev/null 2>&1
+mkdir -p "$WORK/spill"
+"$CLI" fit --input "$WORK/train.csv" --plan "$WORK/spilled.safeplan" --seed 3 \
+    --chunk-rows 32 --spill-dir "$WORK/spill" --resident-chunks 2 >/dev/null 2>&1
+if ! cmp -s "$WORK/resident.safeplan" "$WORK/spilled.safeplan"; then
+    echo "check_oocore: FAILED — spilled fit diverged from the resident plan" >&2
+    exit 1
+fi
+
+# ...and reclaims every spill segment on exit.
+leftovers=$(find "$WORK/spill" -type f | wc -l)
+if [ "$leftovers" -ne 0 ]; then
+    echo "check_oocore: FAILED — $leftovers spill segment(s) leaked:" >&2
+    find "$WORK/spill" -type f >&2
+    exit 1
+fi
+
+# 3. --spill-dir without --chunk-rows is a usage error (exit 2), not a crash.
+set +e
+"$CLI" fit --input "$WORK/train.csv" --plan "$WORK/bad.safeplan" --seed 3 \
+    --spill-dir "$WORK/spill" >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "check_oocore: FAILED — --spill-dir without --chunk-rows exited $code, want 2" >&2
+    exit 1
+fi
+
+# 4. bench-diff accepts the oocore section: self-compare exits 0.
+"$CLI" bench-diff BENCH_pipeline.json BENCH_pipeline.json >/dev/null
+
+echo "check_oocore: OK — backends bit-identical, spill segments reclaimed, flags validated, bench-diff gates"
