@@ -1,6 +1,6 @@
 //! Serving throughput: the naive per-row loop (`apply_row` + `predict_row`,
-//! fresh buffers every call) against `safe_serve::Scorer`'s micro-batched,
-//! buffer-reusing path, at several worker budgets.
+//! fresh buffers every call) against `safe_serve::ScorerHandle`'s
+//! micro-batched, buffer-reusing path, at several worker budgets.
 //!
 //! Both paths must produce bit-identical scores — the benchmark asserts it
 //! on every configuration before recording a row. Results land in the
@@ -16,7 +16,7 @@ use safe_core::plan::{FeaturePlan, PlanStep};
 use safe_data::dataset::Dataset;
 use safe_gbm::GbmConfig;
 use safe_ops::registry::OperatorRegistry;
-use safe_serve::{SafeArtifact, Scorer, DEFAULT_BATCH_SIZE};
+use safe_serve::{SafeArtifact, ScorerHandle, DEFAULT_BATCH_SIZE};
 
 const DATASET: &str = "synth-serving";
 const N_INPUTS: usize = 6;
@@ -140,7 +140,7 @@ fn main() {
     // --- Batch scorer at several worker budgets. Scores must match the
     // naive loop bit-for-bit at every configuration.
     for threads in [1usize, 2, 4] {
-        let scorer = Scorer::new(&artifact, &registry)
+        let scorer = ScorerHandle::new(&artifact, &registry)
             .expect("scorer builds")
             .with_threads(threads);
         let _ = scorer.score_rows(&rows, N_INPUTS).expect("warm-up scores"); // warm-up

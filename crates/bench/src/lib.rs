@@ -549,6 +549,36 @@ pub struct ServingRow {
     pub speedup_vs_naive: f64,
 }
 
+/// One row of the `serving_daemon` section of `BENCH_pipeline.json`: one
+/// `ScoreService` configuration (worker count × coalescing cap) driven
+/// with a stream of single-row submissions by `safe-cli bench-serve`.
+/// Latency quantiles are log2-bucket upper bounds from
+/// `safe_obs::LatencyHisto`, so `bench-diff` gates this section on `secs`
+/// (quantiles jump 2× between buckets and would be noise-gated anyway).
+#[derive(Debug, Clone)]
+pub struct ServingDaemonRow {
+    /// Serving dataset name.
+    pub dataset: String,
+    /// Worker threads in the service pool.
+    pub workers: usize,
+    /// Micro-batch coalescing cap (`max_batch`).
+    pub max_batch: usize,
+    /// Requests submitted (one row each).
+    pub requests: u64,
+    /// Wall time from first submission to last response, seconds.
+    pub secs: f64,
+    /// Completed requests per second over the run.
+    pub rows_per_sec: f64,
+    /// Median queue wait, microseconds (log2-bucket upper bound).
+    pub queue_p50_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
+    /// Median end-to-end request latency, microseconds.
+    pub request_p50_us: u64,
+    /// 99th-percentile end-to-end request latency, microseconds.
+    pub request_p99_us: u64,
+}
+
 /// One row of the `selection` section of `BENCH_pipeline.json`: one
 /// selection mode (`exact` or `staged`) fit end to end on one dataset, with
 /// the wall time of the stages the staged pruner targets broken out. The
@@ -702,16 +732,19 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 /// speedup_vs_serial}], "serving": [{dataset, method, rows, threads,
 /// batch_size, secs, rows_per_sec, speedup_vs_naive}], "cache": [{dataset,
 /// iteration, cold_micros, warm_micros, cold_rebinned, warm_rebinned}],
-/// "resilience": [{dataset, iteration, ckpt_bytes, ckpt_micros,
-/// iteration_micros, overhead_pct}], "selection": [{dataset, mode,
-/// staged_millis, redundancy_millis, rank_millis, combined_millis, auc,
-/// n_selected, speedup_vs_exact}], "oocore": [{dataset, backend, rows,
-/// cols, chunk_rows, table_bytes, budget_bytes, peak_resident_bytes,
-/// chunk_hits, chunk_loads, evictions, secs, auc}]}`
+/// "serving_daemon": [{dataset, workers, max_batch, requests, secs,
+/// rows_per_sec, queue_p50_us, queue_p99_us, request_p50_us,
+/// request_p99_us}], "resilience": [{dataset, iteration, ckpt_bytes,
+/// ckpt_micros, iteration_micros, overhead_pct}], "selection": [{dataset,
+/// mode, staged_millis, redundancy_millis, rank_millis, combined_millis,
+/// auc, n_selected, speedup_vs_exact}], "oocore": [{dataset, backend,
+/// rows, cols, chunk_rows, table_bytes, budget_bytes,
+/// peak_resident_bytes, chunk_hits, chunk_loads, evictions, secs, auc}]}`
 ///
 /// The writers ([`table5_execution_time`][t5] owns `stages`/`parallel`/
 /// `cache`/`resilience`/`selection`, `serving_throughput` owns `serving`,
-/// `oocore_spill` owns `oocore`)
+/// `oocore_spill` owns `oocore`, `safe-cli bench-serve` owns
+/// `serving_daemon`)
 /// each re-read
 /// the document first via [`read_pipeline_document`] and pass the other
 /// sections — known and unknown alike — through, so running either binary
@@ -720,7 +753,16 @@ pub const PIPELINE_SCHEMA_VERSION: u64 = 2;
 /// [t5]: ../safe_bench/index.html
 pub fn pipeline_json(doc: &PipelineDocument) -> String {
     let PipelineDocument {
-        stages, parallel, serving, cache, resilience, selection, oocore, extra, ..
+        stages,
+        parallel,
+        serving,
+        serving_daemon,
+        cache,
+        resilience,
+        selection,
+        oocore,
+        extra,
+        ..
     } = doc;
     let mut out = format!(
         "{{\n\"schema_version\": {PIPELINE_SCHEMA_VERSION},\n\"stages\": [\n"
@@ -768,6 +810,26 @@ pub fn pipeline_json(doc: &PipelineDocument) -> String {
             r.speedup_vs_naive,
         ));
         if i + 1 < serving.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\n\"serving_daemon\": [\n");
+    for (i, r) in serving_daemon.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\":{},\"workers\":{},\"max_batch\":{},\"requests\":{},\"secs\":{:.4},\"rows_per_sec\":{:.0},\"queue_p50_us\":{},\"queue_p99_us\":{},\"request_p50_us\":{},\"request_p99_us\":{}}}",
+            safe_obs::json::escape(&r.dataset),
+            r.workers,
+            r.max_batch,
+            r.requests,
+            r.secs,
+            r.rows_per_sec,
+            r.queue_p50_us,
+            r.queue_p99_us,
+            r.request_p50_us,
+            r.request_p99_us,
+        ));
+        if i + 1 < serving_daemon.len() {
             out.push(',');
         }
         out.push('\n');
@@ -870,6 +932,8 @@ pub struct PipelineDocument {
     pub parallel: Vec<ParallelRow>,
     /// Scoring throughput rows.
     pub serving: Vec<ServingRow>,
+    /// Long-lived scoring daemon sweep rows (`safe-cli bench-serve`).
+    pub serving_daemon: Vec<ServingDaemonRow>,
     /// Cold-vs-warm cross-iteration cache sweep rows.
     pub cache: Vec<CacheRow>,
     /// Per-iteration checkpoint write overhead rows.
@@ -938,6 +1002,23 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
             })
         })
         .collect();
+    let serving_daemon = rows_of("serving_daemon")
+        .iter()
+        .filter_map(|r| {
+            Some(ServingDaemonRow {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                workers: r.get("workers")?.as_u64()? as usize,
+                max_batch: r.get("max_batch")?.as_u64()? as usize,
+                requests: r.get("requests")?.as_u64()?,
+                secs: r.get("secs")?.as_f64()?,
+                rows_per_sec: r.get("rows_per_sec")?.as_f64()?,
+                queue_p50_us: r.get("queue_p50_us")?.as_u64()?,
+                queue_p99_us: r.get("queue_p99_us")?.as_u64()?,
+                request_p50_us: r.get("request_p50_us")?.as_u64()?,
+                request_p99_us: r.get("request_p99_us")?.as_u64()?,
+            })
+        })
+        .collect();
     let cache = rows_of("cache")
         .iter()
         .filter_map(|r| {
@@ -1001,8 +1082,15 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
         })
         .collect();
     let schema_version = v.get("schema_version").and_then(|s| s.as_u64()).unwrap_or(0);
-    const KNOWN: [&str; 8] = [
-        "schema_version", "stages", "parallel", "serving", "cache", "resilience", "selection",
+    const KNOWN: [&str; 9] = [
+        "schema_version",
+        "stages",
+        "parallel",
+        "serving",
+        "serving_daemon",
+        "cache",
+        "resilience",
+        "selection",
         "oocore",
     ];
     let extra: Vec<(String, safe_obs::json::Value)> = v
@@ -1020,6 +1108,7 @@ pub fn read_pipeline_document(path: &str) -> PipelineDocument {
         stages,
         parallel,
         serving,
+        serving_daemon,
         cache,
         resilience,
         selection,
@@ -1138,10 +1227,23 @@ mod tests {
             n_selected: 300,
             speedup_vs_exact: 6.3,
         }];
+        let serving_daemon = vec![ServingDaemonRow {
+            dataset: "synth-daemon".into(),
+            workers: 4,
+            max_batch: 256,
+            requests: 20_000,
+            secs: 0.8,
+            rows_per_sec: 25_000.0,
+            queue_p50_us: 64,
+            queue_p99_us: 512,
+            request_p50_us: 128,
+            request_p99_us: 1024,
+        }];
         let text = pipeline_json(&PipelineDocument {
             stages,
             parallel,
             serving,
+            serving_daemon,
             cache,
             resilience,
             selection,
@@ -1168,6 +1270,11 @@ mod tests {
         let rs = v.get("resilience").unwrap().as_array().unwrap();
         assert_eq!(rs[0].get("ckpt_bytes").unwrap().as_u64(), Some(2_048));
         assert_eq!(rs[0].get("overhead_pct").unwrap().as_f64(), Some(0.5));
+        let sd = v.get("serving_daemon").unwrap().as_array().unwrap();
+        assert_eq!(sd[0].get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(sd[0].get("max_batch").unwrap().as_u64(), Some(256));
+        assert_eq!(sd[0].get("requests").unwrap().as_u64(), Some(20_000));
+        assert_eq!(sd[0].get("request_p99_us").unwrap().as_u64(), Some(1024));
         let sel = v.get("selection").unwrap().as_array().unwrap();
         assert_eq!(sel[0].get("mode").unwrap().as_str(), Some("staged"));
         assert_eq!(sel[0].get("combined_millis").unwrap().as_f64(), Some(280.0));

@@ -75,6 +75,22 @@ impl Args {
         }
     }
 
+    /// Typed flag with default that must be strictly positive. The shared
+    /// validation path for every count-like tuning knob (`--batch-size`,
+    /// `--max-batch`, `--queue-capacity`, `--requests`…): `0` is a usage
+    /// error, phrased identically everywhere.
+    pub fn get_positive<T>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T: std::str::FromStr + Default + PartialOrd,
+    {
+        let v = self.get_or(name, default)?;
+        if v > T::default() {
+            Ok(v)
+        } else {
+            Err(format!("flag --{name}: must be positive"))
+        }
+    }
+
     /// True when the bare switch was given.
     pub fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
@@ -134,6 +150,17 @@ mod tests {
         let a = Args::parse(&argv("fit --gamma banana")).unwrap();
         assert!(a.require("input").unwrap_err().contains("--input"));
         assert!(a.get_or("gamma", 30usize).is_err());
+    }
+
+    #[test]
+    fn positive_flags_reject_zero() {
+        let a = Args::parse(&argv("serve --max-batch 0 --queue-capacity 7")).unwrap();
+        let err = a.get_positive("max-batch", 256usize).unwrap_err();
+        assert!(err.contains("--max-batch"), "{err}");
+        assert!(err.contains("must be positive"), "{err}");
+        assert_eq!(a.get_positive("queue-capacity", 4096usize).unwrap(), 7);
+        // Absent flag falls back to the default without complaint.
+        assert_eq!(a.get_positive("batch-size", 1024usize).unwrap(), 1024);
     }
 
     #[test]

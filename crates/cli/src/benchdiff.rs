@@ -10,6 +10,7 @@
 //! | `stages`     | dataset, iteration, stage                | `millis`      |
 //! | `parallel`   | dataset, threads                         | `secs`        |
 //! | `serving`    | dataset, method, threads, batch_size     | `secs`        |
+//! | `serving_daemon` | dataset, workers, max_batch          | `secs`        |
 //! | `cache`      | dataset, iteration                       | `warm_micros` |
 //! | `resilience` | dataset, iteration                      | `ckpt_micros` |
 //! | `selection`  | dataset, mode                            | `combined_millis` |
@@ -93,6 +94,15 @@ const SECTIONS: &[SectionSpec] = &[
     SectionSpec {
         section: "serving",
         key_fields: &["dataset", "method", "threads", "batch_size"],
+        metric: "secs",
+        noise_floor: 0.05,
+    },
+    SectionSpec {
+        // Gated on wall secs: the row also carries log2-bucketed latency
+        // quantiles, but bucket upper bounds jump 2x between buckets and
+        // would trip (or hide behind) any percentage threshold.
+        section: "serving_daemon",
+        key_fields: &["dataset", "workers", "max_batch"],
         metric: "secs",
         noise_floor: 0.05,
     },
@@ -289,6 +299,30 @@ mod tests {
         assert_eq!(report.only_old, 1);
         assert_eq!(report.only_new, 1);
         assert_eq!(report.regressions().count(), 0);
+    }
+
+    #[test]
+    fn serving_daemon_section_is_gated_on_secs() {
+        // secs regressed 50% -> trips; the p99 column regressing alone
+        // would not (quantiles are informational, not gated).
+        let old = doc(
+            r#"{"serving_daemon":[{"dataset":"synth-daemon","workers":2,"max_batch":256,
+                "secs":2.0,"request_p99_us":512}]}"#,
+        );
+        let new = doc(
+            r#"{"serving_daemon":[{"dataset":"synth-daemon","workers":2,"max_batch":256,
+                "secs":3.0,"request_p99_us":4096}]}"#,
+        );
+        let report = diff_documents(&old, &new, 20.0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].metric, "secs");
+        assert_eq!(report.regressions().count(), 1);
+        // Same quantile blow-up with flat secs: nothing trips.
+        let flat = doc(
+            r#"{"serving_daemon":[{"dataset":"synth-daemon","workers":2,"max_batch":256,
+                "secs":2.0,"request_p99_us":4096}]}"#,
+        );
+        assert_eq!(diff_documents(&old, &flat, 20.0).regressions().count(), 0);
     }
 
     #[test]

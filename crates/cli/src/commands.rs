@@ -12,7 +12,7 @@ use safe_data::csv::{read_csv, read_csv_chunked, write_csv};
 use safe_gbm::GbmConfig;
 use safe_obs::{Event, EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, SinkHandle};
 use safe_ops::registry::OperatorRegistry;
-use safe_serve::{SafeArtifact, Scorer};
+use safe_serve::{SafeArtifact, ScorerHandle};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -45,6 +45,12 @@ USAGE:
                    [--label label] [--rounds 100] [--seed 0] [--threads N]
                    [--full-ops] [--chunk-rows N] [--spill-dir DIR]
                    [--resident-chunks N]
+  safe-cli serve   --artifact model.safeartifact [--input requests.jsonl]
+                   [--output responses.jsonl] [--follow] [--workers N]
+                   [--max-batch 256] [--queue-capacity 4096]
+  safe-cli bench-serve [--artifact model.safeartifact] [--requests 20000]
+                   [--workers 1,2,4] [--max-batch 256] [--seed 42]
+                   [--dataset NAME] [--pipeline-out PATH]
   safe-cli trace-check --input trace.jsonl [--format jsonl|chrome]
   safe-cli bench-diff old.json new.json [--fail-over 20]
 
@@ -56,6 +62,16 @@ SERVING:
                        AUC at full precision when a label column is present
                        (bit-identical to the AUC recorded at save time, for
                        the same data, at any --threads / --batch-size)
+  serve                long-lived scoring daemon: JSONL requests in (stdin,
+                       or --input FILE; --follow tails the file), one JSON
+                       response per line in submission order, each stamped
+                       with the artifact version that scored it; a
+                       {\"swap\":\"path\"} record hot-swaps the artifact with
+                       zero downtime, {\"shutdown\":true} drains and exits
+  bench-serve          drive the daemon with single-row submissions at
+                       several worker counts, assert streamed scores match
+                       the offline scorer bit-for-bit, and record the
+                       serving_daemon section of BENCH_pipeline.json
 
 TELEMETRY:
   --trace-jsonl PATH   stream pipeline events (one JSON object per line:
@@ -133,6 +149,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("save-artifact") => save_artifact(&args),
         Some("score") if args.get("artifact").is_some() => score_artifact(&args),
         Some("score") => score(&args),
+        Some("serve") => crate::serve::serve(&args),
+        Some("bench-serve") => crate::serve::bench_serve(&args),
         Some("trace-check") => trace_check(&args),
         Some("bench-diff") => bench_diff(&args),
         Some("help") | None => {
@@ -623,11 +641,8 @@ fn score_artifact(args: &Args) -> Result<(), CliError> {
         .validate()
         .map_err(|e| CliError::Usage(format!("flag --threads: {e}")))?;
     let batch_size = args
-        .get_or("batch-size", safe_serve::DEFAULT_BATCH_SIZE)
+        .get_positive("batch-size", safe_serve::DEFAULT_BATCH_SIZE)
         .map_err(CliError::Usage)?;
-    if batch_size == 0 {
-        return Err(CliError::Usage("flag --batch-size: must be positive".into()));
-    }
 
     let artifact = SafeArtifact::load(artifact_path)?;
     // Label column optional at scoring time (production data is unlabeled).
@@ -635,7 +650,7 @@ fn score_artifact(args: &Args) -> Result<(), CliError> {
         .or_else(|_| read_csv(input, None))
         .map_err(|e| CliError::Data(e.to_string()))?;
 
-    let scorer = Scorer::new(&artifact, &OperatorRegistry::standard())?
+    let scorer = ScorerHandle::new(&artifact, &OperatorRegistry::standard())?
         .with_threads(threads)
         .with_batch_size(batch_size);
     let (scores, report) = scorer.score_dataset(&ds)?;
@@ -1204,6 +1219,182 @@ mod tests {
                 .exit_code(),
             2
         );
+    }
+
+    /// Every count-like knob on the daemon commands goes through the same
+    /// positive-arg validation as `score --batch-size`: zero is exit 2.
+    #[test]
+    fn daemon_commands_reject_nonpositive_tuning_flags() {
+        for cmd in [
+            "serve --artifact a --max-batch 0",
+            "serve --artifact a --queue-capacity 0",
+            "serve --artifact a --workers 9999999",
+            "serve --artifact a --follow", // --follow needs --input
+            "bench-serve --requests 0",
+            "bench-serve --max-batch 0",
+            "bench-serve --workers 0,2",
+            "bench-serve --workers banana",
+        ] {
+            let err = run(&argv(cmd)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "'{cmd}' must be a usage error, got: {err}");
+        }
+        // A missing artifact with valid flags is io (3), not usage.
+        assert_eq!(
+            run(&argv("serve --artifact /nonexistent.safeartifact --input reqs"))
+                .unwrap_err()
+                .exit_code(),
+            3
+        );
+    }
+
+    /// End-to-end daemon session through the CLI: JSONL rows stream through
+    /// `serve`, an artifact hot-swap happens mid-stream, and every response
+    /// carries the bits of the artifact version stamped on it.
+    #[test]
+    fn serve_daemon_scores_jsonl_and_hot_swaps_mid_stream() {
+        let train = tmp("daemon_train.csv");
+        let plan = tmp("daemon_plan.safeplan");
+        let artifact_a = tmp("daemon_a.safeartifact");
+        let artifact_b = tmp("daemon_b.safeartifact");
+        let requests = tmp("daemon_requests.jsonl");
+        let responses = tmp("daemon_responses.jsonl");
+        write_training_csv(&train);
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        // Same plan/schema, different boosters -> different score bits.
+        for (artifact, rounds) in [(&artifact_a, 25), (&artifact_b, 10)] {
+            run(&argv(&format!(
+                "save-artifact --plan {} --input {} --artifact {} --rounds {rounds}",
+                plan.display(),
+                train.display(),
+                artifact.display()
+            )))
+            .unwrap();
+        }
+
+        // Three rows under A, swap, three rows under B, one malformed line
+        // (must produce an error response, not kill the daemon), shutdown.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![i as f64 / 7.0 - 0.4, 0.3 - i as f64 / 11.0, i as f64])
+            .collect();
+        let mut req_text = String::new();
+        for row in &rows[..3] {
+            req_text.push_str(&format!(
+                "{{\"values\":[{},{},{}]}}\n",
+                row[0], row[1], row[2]
+            ));
+        }
+        req_text.push_str(&format!("{{\"swap\":\"{}\"}}\n", artifact_b.display()));
+        for row in &rows[3..] {
+            req_text.push_str(&format!(
+                "{{\"values\":[{},{},{}]}}\n",
+                row[0], row[1], row[2]
+            ));
+        }
+        req_text.push_str("this is not json\n{\"shutdown\":true}\n");
+        std::fs::write(&requests, req_text).unwrap();
+
+        run(&argv(&format!(
+            "serve --artifact {} --input {} --output {} --workers 2 --max-batch 2",
+            artifact_a.display(),
+            requests.display(),
+            responses.display()
+        )))
+        .unwrap();
+
+        // Offline replay under each artifact gives the expected bits.
+        let registry = safe_ops::registry::OperatorRegistry::standard();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let expect = |path: &std::path::Path| -> Vec<u64> {
+            let a = SafeArtifact::load(path).unwrap();
+            let scorer = ScorerHandle::new(&a, &registry).unwrap();
+            let (scores, _) = scorer.score_rows(&flat, 3).unwrap();
+            scores.iter().map(|s| s.to_bits()).collect()
+        };
+        let bits_a = expect(&artifact_a);
+        let bits_b = expect(&artifact_b);
+
+        let text = std::fs::read_to_string(&responses).unwrap();
+        let lines: Vec<safe_obs::json::Value> =
+            text.lines().map(|l| safe_obs::json::parse(l).unwrap()).collect();
+        // 3 responses + swap event + 3 responses + 1 parse error = 8 lines.
+        assert_eq!(lines.len(), 8, "unexpected response stream:\n{text}");
+        let bits_of = |v: &safe_obs::json::Value| {
+            u64::from_str_radix(v.get("score_bits").unwrap().as_str().unwrap(), 16).unwrap()
+        };
+        for (i, line) in lines[..3].iter().enumerate() {
+            assert_eq!(line.get("id").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(line.get("version").unwrap().as_u64(), Some(1));
+            assert_eq!(bits_of(line), bits_a[i], "pre-swap row {i} bits");
+        }
+        assert_eq!(lines[3].get("event").unwrap().as_str(), Some("swap"));
+        assert_eq!(lines[3].get("version").unwrap().as_u64(), Some(2));
+        // The malformed line's error is emitted as soon as it is read —
+        // before the still-pending post-swap responses drain at shutdown.
+        assert!(
+            lines[4].get("error").unwrap().as_str().unwrap().contains("invalid JSON"),
+            "malformed line must yield an error response"
+        );
+        for (i, line) in lines[5..8].iter().enumerate() {
+            assert_eq!(line.get("id").unwrap().as_u64(), Some(3 + i as u64));
+            assert_eq!(line.get("version").unwrap().as_u64(), Some(2));
+            assert_eq!(bits_of(line), bits_b[3 + i], "post-swap row {} bits", 3 + i);
+        }
+    }
+
+    /// `bench-serve` records the serving_daemon section (one row per worker
+    /// count) and passes every other section of the document through.
+    #[test]
+    fn bench_serve_writes_daemon_section_preserving_others() {
+        let train = tmp("bserve_train.csv");
+        let plan = tmp("bserve_plan.safeplan");
+        let artifact = tmp("bserve.safeartifact");
+        let pipeline = tmp("bserve_pipeline.json");
+        write_training_csv(&train);
+        run(&argv(&format!(
+            "fit --input {} --plan {} --seed 3",
+            train.display(),
+            plan.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "save-artifact --plan {} --input {} --artifact {} --rounds 5",
+            plan.display(),
+            train.display(),
+            artifact.display()
+        )))
+        .unwrap();
+        std::fs::write(
+            &pipeline,
+            r#"{"schema_version":2,"parallel":[{"dataset":"toy","threads":1,"secs":1.5,"speedup_vs_serial":1.0}]}"#,
+        )
+        .unwrap();
+
+        run(&argv(&format!(
+            "bench-serve --artifact {} --requests 64 --workers 1,2 --max-batch 8 \
+             --dataset cli-test --pipeline-out {}",
+            artifact.display(),
+            pipeline.display()
+        )))
+        .unwrap();
+
+        let doc = safe_obs::json::parse(&std::fs::read_to_string(&pipeline).unwrap()).unwrap();
+        let rows = doc.get("serving_daemon").unwrap().as_array().unwrap().to_vec();
+        assert_eq!(rows.len(), 2);
+        for (row, workers) in rows.iter().zip([1u64, 2]) {
+            assert_eq!(row.get("dataset").unwrap().as_str(), Some("cli-test"));
+            assert_eq!(row.get("workers").unwrap().as_u64(), Some(workers));
+            assert_eq!(row.get("max_batch").unwrap().as_u64(), Some(8));
+            assert_eq!(row.get("requests").unwrap().as_u64(), Some(64));
+            assert!(row.get("secs").unwrap().as_f64().unwrap() > 0.0);
+        }
+        // The pre-existing parallel section survived the rewrite.
+        let parallel = doc.get("parallel").unwrap().as_array().unwrap().to_vec();
+        assert_eq!(parallel[0].get("secs").unwrap().as_f64(), Some(1.5));
     }
 
     /// Crash-safe training through the CLI: a checkpointed fit leaves

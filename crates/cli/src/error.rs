@@ -106,6 +106,9 @@ impl From<safe_serve::ServeError> for CliError {
             ServeError::Plan(inner) => CliError::Plan(inner.to_string()),
             ServeError::Gbm(inner) => CliError::Data(inner.to_string()),
             ServeError::Data(_) | ServeError::Worker(_) => CliError::Data(e.to_string()),
+            // A submission rejected because the service already shut down
+            // is a sequencing bug in the caller, not bad input data.
+            ServeError::Closed => CliError::Data(e.to_string()),
         }
     }
 }

@@ -8,6 +8,8 @@
 //! safe-cli apply   --plan plan.safeplan --input data.csv --output out.csv
 //! safe-cli explain --plan plan.safeplan [--input data.csv]
 //! safe-cli score   --input data.csv [--label label]     # per-feature IV table
+//! safe-cli serve   --artifact model.safeartifact        # JSONL scoring daemon
+//! safe-cli bench-serve                                  # daemon throughput bench
 //! ```
 //!
 //! CSV convention: header row, numeric cells, label column named `label`
@@ -25,6 +27,7 @@ mod args;
 mod benchdiff;
 mod commands;
 mod error;
+mod serve;
 
 // With the alloc-metrics feature the whole binary runs under the counting
 // allocator, so --metrics-prom reports per-stage allocation counts/bytes

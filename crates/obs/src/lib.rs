@@ -112,6 +112,12 @@ pub mod stages {
     /// [`crate::RunReport::structural_eq`] — backend placement is an
     /// execution-environment choice, never a computed result.
     pub const OOCORE: &str = "oocore";
+    /// Long-lived scoring daemon span (`safe-serve`'s `ScoreService`):
+    /// one span per service lifetime, with sink-only per-request
+    /// `queue_wait_us` / `request_us` observe events and shutdown
+    /// counters (requests, batches, swaps, workers). Not an iteration
+    /// stage — never part of [`CORE`] or a `RunReport`.
+    pub const SERVE: &str = "serve-daemon";
 
     /// The seven core stages every completed iteration runs, in order.
     pub const CORE: [&str; 7] = [

@@ -43,6 +43,9 @@ pub enum ServeError {
     Data(String),
     /// A scorer worker thread panicked (captured, never unwound).
     Worker(String),
+    /// The scoring service has shut down; the submission was rejected
+    /// (the row was never accepted, so no response will arrive).
+    Closed,
 }
 
 impl fmt::Display for ServeError {
@@ -61,6 +64,7 @@ impl fmt::Display for ServeError {
             ServeError::Io { path, source } => write!(f, "{path}: {source}"),
             ServeError::Data(msg) => write!(f, "data error: {msg}"),
             ServeError::Worker(msg) => write!(f, "scoring worker panicked: {msg}"),
+            ServeError::Closed => write!(f, "scoring service is shut down: submission rejected"),
         }
     }
 }
@@ -103,6 +107,7 @@ mod tests {
         .contains("checksum"));
         assert!(ServeError::Schema("x".into()).to_string().contains('x'));
         assert!(ServeError::Worker("boom".into()).to_string().contains("boom"));
+        assert!(ServeError::Closed.to_string().contains("shut down"));
     }
 
     #[test]

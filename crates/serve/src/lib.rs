@@ -1,4 +1,4 @@
-//! # safe-serve — versioned artifacts + deterministic batch scoring
+//! # safe-serve — versioned artifacts + a long-lived scoring daemon
 //!
 //! The paper's deliverable is a feature-generation function Ψ "applicable
 //! at inference time"; this crate is that inference side:
@@ -8,26 +8,52 @@
 //!   expected raw input schema, and per-feature provenance metadata. A
 //!   save/load round trip preserves score bits exactly (every float is
 //!   serialized as its IEEE-754 bit pattern).
-//! - [`Scorer`] — a micro-batching scorer over a saved artifact. Batches
-//!   fan out across `safe_stats::par` with fixed-order merging, so output
-//!   is **bit-identical at any thread count**; per-batch buffer reuse
-//!   ([`safe_core::RowScratch`]) removes the naive row loop's per-row
-//!   allocations.
-//! - [`ScoreReport`] — rows/batches/threads/latency for each call, with
-//!   the same numbers mirrored to the `safe-obs` sink as a `score` span.
+//! - [`ScoreService`] — the long-lived request pipeline: submit rows one
+//!   at a time, a worker pool coalesces them into micro-batches through a
+//!   hand-rolled MPMC [`queue::BatchQueue`], and the loaded artifact can
+//!   be **hot-swapped atomically** with a monotonic version stamped on
+//!   every [`ScoreResponse`].
+//! - [`ScorerHandle`] — the narrow offline surface for one-shot batch
+//!   scoring. Batches fan out across `safe_stats::par` with fixed-order
+//!   merging, so output is **bit-identical at any thread count** — and
+//!   the daemon runs the identical batch kernel, so streamed and offline
+//!   scores agree bit-for-bit.
+//! - [`ScoreReport`] / [`ServiceReport`] — volume, batching, threading,
+//!   and latency quantiles, mirrored to the `safe-obs` sink.
+//!
+//! Offline batch:
 //!
 //! ```no_run
-//! use safe_serve::{SafeArtifact, Scorer};
+//! use safe_serve::{SafeArtifact, ScorerHandle};
 //! use safe_ops::registry::OperatorRegistry;
 //!
 //! let artifact = SafeArtifact::load("model.safeartifact").unwrap();
-//! let scorer = Scorer::new(&artifact, &OperatorRegistry::standard())
+//! let scorer = ScorerHandle::new(&artifact, &OperatorRegistry::standard())
 //!     .unwrap()
 //!     .with_threads(4);
 //! # let incoming = safe_data::dataset::Dataset::with_rows(0);
 //! let (scores, report) = scorer.score_dataset(&incoming).unwrap();
 //! println!("{} rows at {:.0} rows/s", report.rows, report.rows_per_sec);
 //! # let _ = scores;
+//! ```
+//!
+//! Streamed daemon with a zero-downtime model rollover:
+//!
+//! ```no_run
+//! use safe_serve::{SafeArtifact, ScoreService, ServiceConfig};
+//! use safe_ops::registry::OperatorRegistry;
+//!
+//! let registry = OperatorRegistry::standard();
+//! let artifact = SafeArtifact::load("model-v1.safeartifact").unwrap();
+//! let service = ScoreService::start(&artifact, &registry, ServiceConfig::default()).unwrap();
+//! let ticket = service.submit(vec![0.1, 0.2, 0.3]).unwrap();
+//! let next = SafeArtifact::load("model-v2.safeartifact").unwrap();
+//! let version = service.swap_artifact(&next, &registry).unwrap(); // zero downtime
+//! let response = ticket.wait().unwrap();
+//! println!("score {} from artifact v{} (now serving v{version})",
+//!     response.score, response.version);
+//! let report = service.shutdown();
+//! println!("{} requests in {} batches", report.completed, report.batches);
 //! ```
 
 #![warn(missing_docs)]
@@ -36,11 +62,17 @@
 
 pub mod artifact;
 pub mod error;
-pub mod scorer;
+pub mod queue;
+mod scorer;
+mod service;
 
 pub use artifact::{SafeArtifact, ARTIFACT_FORMAT_VERSION};
 pub use error::ServeError;
-pub use scorer::{ScoreReport, Scorer, DEFAULT_BATCH_SIZE};
+pub use scorer::{ScoreReport, ScorerHandle, DEFAULT_BATCH_SIZE};
+pub use service::{
+    ScoreResponse, ScoreService, ServiceConfig, ServiceReport, Ticket, DEFAULT_MAX_BATCH,
+    DEFAULT_QUEUE_CAPACITY,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -1,0 +1,354 @@
+//! Hand-rolled MPMC work queue with micro-batch coalescing.
+//!
+//! The scoring daemon's request pipeline sits on this queue: any number of
+//! producers ([`crate::ScoreService::submit`] callers) push single-row
+//! jobs, any number of consumers (the worker pool) pop them — and the pop
+//! side drains **up to `max` items in one lock acquisition**, so requests
+//! that arrive close together coalesce into one micro-batch and pay for
+//! one plan-apply + one tree-outer predict pass instead of many.
+//!
+//! Built entirely on `std::sync` (`Mutex` + two `Condvar`s) — no external
+//! dependencies, no unsafe. Storage is *segmented*: items live in
+//! fixed-capacity segments ([`SEGMENT_CAP`]) chained in a `VecDeque`, so a
+//! deep backlog grows by appending segments (no reallocation-and-copy of
+//! the whole backlog) and a fully drained segment frees its memory instead
+//! of pinning the high-water mark forever, which is what a single ring
+//! buffer would do under bursty industrial traffic.
+//!
+//! # Ordering and blocking contract
+//!
+//! - **FIFO.** Items pop in push order (the mutex serializes both sides),
+//!   so queue-wait time is fair. Correctness never depends on this —
+//!   every job is scored independently — but latency reporting does.
+//! - **Bounded.** `push` blocks once `len == capacity` (backpressure to
+//!   producers) and wakes when a consumer drains. The queue can never grow
+//!   without bound just because scoring falls behind.
+//! - **Close-and-drain.** After [`BatchQueue::close`], pushes fail fast
+//!   (returning the rejected item) but consumers keep draining whatever
+//!   was accepted; `pop_batch` returns `0` only when the queue is closed
+//!   *and* empty. Every accepted job is therefore eventually delivered —
+//!   shutdown never strands a caller waiting on a response.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Items per storage segment. Large enough that segment churn is rare at
+/// serving batch sizes, small enough that an idle queue holds almost no
+/// memory.
+pub const SEGMENT_CAP: usize = 256;
+
+/// Queue traffic counters, snapshotted by [`BatchQueue::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items accepted by `push`.
+    pub pushed: u64,
+    /// Items delivered by `pop_batch`.
+    pub popped: u64,
+    /// Non-empty batches delivered (so `popped / batches` is the realized
+    /// coalescing factor).
+    pub batches: u64,
+}
+
+/// One fixed-capacity storage segment. A ring buffer internally, so front
+/// pops are O(1) with no element shifting; dropped (memory freed) once
+/// fully consumed and no longer the push target.
+struct Segment<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Segment<T> {
+    fn new() -> Self {
+        Segment { items: VecDeque::with_capacity(SEGMENT_CAP) }
+    }
+
+    fn is_full(&self) -> bool {
+        self.items.len() >= SEGMENT_CAP
+    }
+}
+
+struct Inner<T> {
+    segments: VecDeque<Segment<T>>,
+    len: usize,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// Bounded MPMC queue whose consumers drain micro-batches. See the module
+/// docs for the full contract.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on push and on close: consumers waiting for work.
+    not_empty: Condvar,
+    /// Signalled on pop and on close: producers waiting for room.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue accepting at most `capacity` queued items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                segments: VecDeque::new(),
+                len: 0,
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Recover the guard from a poisoned mutex: every invariant is
+    /// restored before the guard drops in all paths below, so the data is
+    /// consistent even if another thread panicked while holding the lock.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueue one item, blocking while the queue is full. Returns the
+    /// item back when the queue has been closed (the caller keeps
+    /// ownership and can report the rejection).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut g = self.lock();
+        while g.len >= self.capacity && !g.closed {
+            g = self.not_full.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if g.closed {
+            return Err(item);
+        }
+        if g.segments.back().is_none_or(Segment::is_full) {
+            g.segments.push_back(Segment::new());
+        }
+        if let Some(seg) = g.segments.back_mut() {
+            seg.items.push_back(item);
+        }
+        g.len += 1;
+        g.stats.pushed += 1;
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until at least one item is available (or the queue closes),
+    /// then append up to `max` items to `out` in FIFO order — one lock
+    /// acquisition for the whole batch. Returns the number delivered;
+    /// `0` means closed-and-drained (the shutdown signal).
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let max = max.max(1);
+        let mut g = self.lock();
+        while g.len == 0 {
+            if g.closed {
+                return 0;
+            }
+            g = self.not_empty.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let take = max.min(g.len);
+        let mut taken = 0;
+        while taken < take {
+            let Some(front) = g.segments.front_mut() else { break };
+            match front.items.pop_front() {
+                Some(item) => {
+                    out.push(item);
+                    taken += 1;
+                }
+                // Drained segment: free it and move to the next. A new
+                // one is allocated on demand by the push side.
+                None => {
+                    g.segments.pop_front();
+                }
+            }
+        }
+        g.len -= taken;
+        g.stats.popped += taken as u64;
+        g.stats.batches += 1;
+        drop(g);
+        // Room freed: wake blocked producers (all of them — one batch may
+        // free room for many).
+        self.not_full.notify_all();
+        taken
+    }
+
+    /// Close the queue: subsequent pushes fail fast, consumers drain the
+    /// backlog then observe shutdown. Idempotent.
+    pub fn close(&self) {
+        let mut g = self.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+}
+
+impl<T> std::fmt::Debug for BatchQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.lock();
+        f.debug_struct("BatchQueue")
+            .field("len", &g.len)
+            .field("capacity", &self.capacity)
+            .field("closed", &g.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let q = BatchQueue::new(1024);
+        for i in 0..1000 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        while !q.is_empty() {
+            q.pop_batch(64, &mut out);
+        }
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 1000);
+        assert_eq!(stats.popped, 1000);
+        assert!(stats.batches >= 1000 / 64);
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max() {
+        let q = BatchQueue::new(1024);
+        for i in 0..100 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(7, &mut out), 7);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(q.len(), 93);
+    }
+
+    #[test]
+    fn segments_chain_and_drain_across_boundaries() {
+        let q = BatchQueue::new(10 * SEGMENT_CAP);
+        for i in 0..(3 * SEGMENT_CAP) {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        // Odd-sized batches force pops to straddle segment boundaries.
+        while !q.is_empty() {
+            q.pop_batch(97, &mut out);
+        }
+        assert_eq!(out.len(), 3 * SEGMENT_CAP);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn close_drains_then_signals_shutdown() {
+        let q = BatchQueue::new(64);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "closed queue rejects pushes");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(64, &mut out), 2, "backlog still drains");
+        assert_eq!(q.pop_batch(64, &mut out), 0, "then shutdown");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(BatchQueue::new(64));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            q2.pop_batch(8, &mut out);
+            out
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42u64).unwrap();
+        assert_eq!(h.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_drained() {
+        let q = Arc::new(BatchQueue::new(2));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push(2).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "third push must still be blocked");
+        let mut out = Vec::new();
+        q.pop_batch(1, &mut out);
+        assert!(producer.join().unwrap(), "freed capacity unblocks the push");
+        while !q.is_empty() {
+            q.pop_batch(4, &mut out);
+        }
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn close_unblocks_full_queue_producer() {
+        let q = Arc::new(BatchQueue::new(1));
+        q.push(0).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(1), "close returns the item");
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 500;
+        let q = Arc::new(BatchQueue::new(128));
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.push(p * PER_PRODUCER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while q.pop_batch(16, &mut got) > 0 {}
+                got
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+    }
+}

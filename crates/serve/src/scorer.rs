@@ -69,7 +69,14 @@ pub struct Scorer {
 impl Scorer {
     /// Compile `artifact` against `registry` and validate that the booster
     /// and plan agree on the feature count.
-    pub fn new(artifact: &SafeArtifact, registry: &OperatorRegistry) -> Result<Scorer, ServeError> {
+    ///
+    /// Sealed: external callers construct scoring surfaces through
+    /// [`ScorerHandle`] (offline batches) or [`crate::ScoreService`]
+    /// (streamed requests); the raw executor is crate-internal.
+    pub(crate) fn new(
+        artifact: &SafeArtifact,
+        registry: &OperatorRegistry,
+    ) -> Result<Scorer, ServeError> {
         artifact.validate()?;
         let compiled = artifact.plan.compile(registry)?;
         Ok(Scorer {
@@ -104,6 +111,24 @@ impl Scorer {
     /// Number of raw input values each row must carry.
     pub fn n_inputs(&self) -> usize {
         self.compiled.n_inputs()
+    }
+
+    /// Execute one micro-batch into reused buffers: plan apply into
+    /// `features`, then a tree-outer predict into `scores` (both cleared
+    /// first). This is the single batch kernel shared by the offline
+    /// scorer and the [`crate::ScoreService`] workers — one definition,
+    /// so the two surfaces are bit-identical by construction.
+    pub(crate) fn execute_batch(
+        &self,
+        rows: &[f64],
+        n_cols: usize,
+        features: &mut Vec<f64>,
+        scores: &mut Vec<f64>,
+    ) -> Result<(), PlanError> {
+        self.compiled.apply_rows(rows, n_cols, features)?;
+        self.model
+            .predict_rows_into(features, self.compiled.n_outputs(), scores);
+        Ok(())
     }
 
     /// Score a row-major flat batch (`n_cols` values per row, aligned with
@@ -152,20 +177,17 @@ impl Scorer {
             let lo = b * self.batch_size;
             let hi = ((b + 1) * self.batch_size).min(n_rows);
             // Per-batch buffers: one engineered-feature matrix and one
-            // score vector, reused across every row in the batch.
+            // score vector, reused across every row in the batch. The
+            // kernel (plan apply + tree-outer predict) is `execute_batch`,
+            // shared verbatim with the daemon's workers.
             let mut features = Vec::with_capacity((hi - lo) * n_outputs);
             let mut scores = Vec::with_capacity(hi - lo);
-            match self
-                .compiled
-                .apply_rows(&rows[lo * n_cols..hi * n_cols], n_cols, &mut features)
+            if let Err(e) =
+                self.execute_batch(&rows[lo * n_cols..hi * n_cols], n_cols, &mut features, &mut scores)
             {
-                // Tree-outer batch prediction: bit-identical to the row
-                // path (see `GbmModel::predict_rows_into`), but each
-                // tree's nodes stay cache-hot across the batch.
-                Ok(()) => self.model.predict_rows_into(&features, n_outputs, &mut scores),
                 // Unreachable: the shape was validated above once for the
                 // whole batch.
-                Err(e) => panic!("pre-validated batch failed: {e}"),
+                panic!("pre-validated batch failed: {e}");
             }
             (scores, u64::try_from(batch_start.elapsed().as_micros()).unwrap_or(u64::MAX))
         })
@@ -228,6 +250,75 @@ impl Scorer {
             batch_p50_us: 0,
             batch_p99_us: 0,
         }
+    }
+}
+
+/// Narrow public handle for **offline** batch scoring over a saved
+/// [`SafeArtifact`].
+///
+/// This is the sealed construction surface for the internal [`Scorer`]
+/// executor: external code scores either through a `ScorerHandle` (whole
+/// batches, one call) or through [`crate::ScoreService`] (streamed
+/// requests, long-lived daemon) — both run the identical batch kernel, so
+/// their outputs are bit-identical by construction. The handle
+/// intentionally exposes no executor internals; configure it with the
+/// builder methods and call [`ScorerHandle::score_rows`] /
+/// [`ScorerHandle::score_dataset`].
+#[derive(Debug)]
+pub struct ScorerHandle {
+    inner: Scorer,
+}
+
+impl ScorerHandle {
+    /// Compile `artifact` against `registry` and validate that the booster
+    /// and plan agree on the feature count.
+    pub fn new(
+        artifact: &SafeArtifact,
+        registry: &OperatorRegistry,
+    ) -> Result<ScorerHandle, ServeError> {
+        Ok(ScorerHandle { inner: Scorer::new(artifact, registry)? })
+    }
+
+    /// Rows per micro-batch (values below 1 are clamped to 1). Never
+    /// changes output bits.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.inner = self.inner.with_batch_size(batch_size);
+        self
+    }
+
+    /// Worker budget (`0` = auto-detect, `1` = serial). Any setting yields
+    /// bit-identical scores.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.inner = self.inner.with_threads(threads);
+        self
+    }
+
+    /// Telemetry sink: each call emits a `score` span with `rows`,
+    /// `batches`, and `threads` counters. Never influences scores.
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.inner = self.inner.with_sink(sink);
+        self
+    }
+
+    /// Number of raw input values each row must carry.
+    pub fn n_inputs(&self) -> usize {
+        self.inner.n_inputs()
+    }
+
+    /// Score a row-major flat batch (`n_cols` values per row, aligned with
+    /// the artifact's input schema). See [`Scorer::score_rows`].
+    pub fn score_rows(
+        &self,
+        rows: &[f64],
+        n_cols: usize,
+    ) -> Result<(Vec<f64>, ScoreReport), ServeError> {
+        self.inner.score_rows(rows, n_cols)
+    }
+
+    /// Score a dataset: columns are located by the artifact's input schema
+    /// (extra columns are ignored; order does not matter).
+    pub fn score_dataset(&self, ds: &Dataset) -> Result<(Vec<f64>, ScoreReport), ServeError> {
+        self.inner.score_dataset(ds)
     }
 }
 
@@ -388,6 +479,25 @@ mod tests {
             s.score_dataset(&bad).unwrap_err(),
             ServeError::Plan(PlanError::MissingInput(_))
         ));
+    }
+
+    #[test]
+    fn handle_surface_matches_internal_scorer() {
+        let artifact = toy_artifact(29);
+        let handle = ScorerHandle::new(&artifact, &OperatorRegistry::standard())
+            .unwrap()
+            .with_threads(2)
+            .with_batch_size(8);
+        assert_eq!(handle.n_inputs(), 3);
+        let (_, valid) = toy_split(29);
+        let (via_handle, report) = handle.score_dataset(&valid).unwrap();
+        let (_, direct) = scorer(29);
+        let (bits, _) = direct.score_dataset(&valid).unwrap();
+        for (i, (a, b)) in via_handle.iter().zip(&bits).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.batch_size, 8);
     }
 
     #[test]

@@ -17,6 +17,7 @@ for check in \
     check_metrics \
     check_selection \
     check_serving \
+    check_serve_daemon \
     check_cache \
     check_crash_safety \
     check_oocore \

@@ -1,0 +1,362 @@
+//! Daemon differential suite: the long-lived `ScoreService` must reproduce
+//! the offline `ScorerHandle` bit-for-bit under every execution shape the
+//! ISSUE's gate names — worker counts {1,2,4}, ragged submission patterns,
+//! coalescing caps from 1 to effectively-unbounded, and requests that
+//! straddle a mid-stream artifact hot-swap. The swap contract is the sharp
+//! edge: every response's `(version, score_bits)` pair must match a
+//! single-artifact offline replay under the artifact of that version —
+//! never a hybrid.
+//!
+//! Like `serving_differential.rs`, the fixtures are *real* SAFE fits over
+//! synthetic interaction data, not hand-built toy plans.
+
+use std::sync::OnceLock;
+
+use safe::core::{Safe, SafeConfig};
+use safe::data::split::train_test_split;
+use safe::data::Dataset;
+use safe::datagen::synth::{generate, SyntheticConfig};
+use safe::gbm::GbmConfig;
+use safe::ops::registry::OperatorRegistry;
+use safe::serve::{SafeArtifact, ScoreService, ScorerHandle, ServiceConfig};
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+struct Fixture {
+    /// Same schema, independently-seeded boosters: swap targets. Index i
+    /// is installed as artifact version i+1.
+    artifacts: Vec<SafeArtifact>,
+    /// Request stream, row-major.
+    rows: Vec<f64>,
+    n_inputs: usize,
+    /// `bits[i][r]` = offline score bits of request row r under
+    /// `artifacts[i]`.
+    bits: Vec<Vec<u64>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = generate(&SyntheticConfig {
+            n_rows: 600,
+            dim: 5,
+            n_signal: 3,
+            n_interactions: 2,
+            noise: 0.2,
+            seed: 41,
+            ..Default::default()
+        });
+        let (train, valid) = train_test_split(&ds, 0.3, 41).expect("split");
+        let config = SafeConfig::builder()
+            .seed(41)
+            .operators(OperatorRegistry::standard())
+            .build()
+            .expect("valid config");
+        let outcome = Safe::new(config).fit(&train, Some(&valid)).expect("SAFE fit");
+        let registry = OperatorRegistry::standard();
+        // Four swap targets: one plan, different boosting budgets, so the
+        // schemas agree but the score bits differ artifact to artifact.
+        let artifacts: Vec<SafeArtifact> = [60usize, 25, 40, 10]
+            .iter()
+            .map(|&n_rounds| {
+                SafeArtifact::train(
+                    &outcome.plan,
+                    &registry,
+                    &train,
+                    Some(&valid),
+                    &GbmConfig { n_rounds, ..GbmConfig::classifier() },
+                )
+                .expect("artifact training")
+            })
+            .collect();
+
+        let n_inputs = artifacts[0].input_schema.len();
+        let rows = request_rows(&valid, n_inputs, 251);
+        let bits = artifacts
+            .iter()
+            .map(|artifact| {
+                let scorer = ScorerHandle::new(artifact, &registry).expect("scorer");
+                let (scores, _) = scorer.score_rows(&rows, n_inputs).expect("offline replay");
+                scores.iter().map(|s| s.to_bits()).collect()
+            })
+            .collect();
+        Fixture { artifacts, rows, n_inputs, bits }
+    })
+}
+
+/// Row-major request stream drawn from the validation split (cycled to
+/// `n` rows — a prime, so every chunking pattern ends ragged).
+fn request_rows(ds: &Dataset, n_inputs: usize, n: usize) -> Vec<f64> {
+    let cols: Vec<&[f64]> = (0..n_inputs).map(|c| ds.column(c).expect("column")).collect();
+    let mut rows = Vec::with_capacity(n * n_inputs);
+    for r in 0..n {
+        for col in &cols {
+            rows.push(col[r % col.len()]);
+        }
+    }
+    rows
+}
+
+fn row(fx: &Fixture, r: usize) -> Vec<f64> {
+    fx.rows[r * fx.n_inputs..(r + 1) * fx.n_inputs].to_vec()
+}
+
+fn n_rows(fx: &Fixture) -> usize {
+    fx.rows.len() / fx.n_inputs
+}
+
+/// Bits streamed through a service must equal the offline replay of
+/// `artifacts[0]`, whatever the worker count, submission chunking, and
+/// coalescing cap.
+#[test]
+fn streamed_bits_match_offline_at_every_worker_count_and_chunking() {
+    let fx = fixture();
+    let registry = OperatorRegistry::standard();
+    // Submission patterns: one-by-one with immediate wait, chunks of 7
+    // (submit a chunk, then wait it), and fire-everything-then-drain.
+    for workers in WORKERS {
+        for (pattern, chunk) in [("1-by-1", 1usize), ("chunks-of-7", 7), ("all-at-once", usize::MAX)] {
+            for max_batch in [1usize, 3, 1024] {
+                let service = ScoreService::start(
+                    &fx.artifacts[0],
+                    &registry,
+                    ServiceConfig { workers, max_batch, ..ServiceConfig::default() },
+                )
+                .expect("service starts");
+                let mut got = vec![0u64; n_rows(fx)];
+                let mut pending: Vec<(usize, safe::serve::Ticket)> = Vec::new();
+                for r in 0..n_rows(fx) {
+                    pending.push((r, service.submit(row(fx, r)).expect("submit")));
+                    if pending.len() >= chunk {
+                        for (idx, ticket) in pending.drain(..) {
+                            let resp = ticket.wait().expect("response");
+                            assert_eq!(resp.version, 1);
+                            got[idx] = resp.score.to_bits();
+                        }
+                    }
+                }
+                for (idx, ticket) in pending.drain(..) {
+                    got[idx] = ticket.wait().expect("response").score.to_bits();
+                }
+                let report = service.shutdown();
+                assert_eq!(report.completed, n_rows(fx) as u64);
+                assert_eq!(report.failed, 0);
+                for (r, (&g, &e)) in got.iter().zip(&fx.bits[0]).enumerate() {
+                    assert_eq!(
+                        g, e,
+                        "workers={workers} pattern={pattern} max_batch={max_batch}: \
+                         row {r} diverged from the offline scorer"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic swap coverage: the stream is cut into one phase per
+/// artifact, swaps happen on a barrier between phases, and because
+/// submitters wait out every ticket before the barrier, each phase's
+/// responses must carry **exactly** the phase's version and bits. The
+/// barrier gives the happens-before chain (swap → barrier → submit →
+/// queue → worker) that makes this exact, not just eventual.
+#[test]
+fn phased_swaps_stamp_exact_versions_and_bits() {
+    let fx = fixture();
+    let registry = OperatorRegistry::standard();
+    let n = n_rows(fx);
+    let n_phases = fx.artifacts.len();
+    for workers in WORKERS {
+        let service = ScoreService::start(
+            &fx.artifacts[0],
+            &registry,
+            ServiceConfig { workers, max_batch: 4, ..ServiceConfig::default() },
+        )
+        .expect("service starts");
+        // 4 submitters + the swapper meet twice per phase boundary: once
+        // to close the old phase, once after the swap is installed.
+        let barrier = std::sync::Barrier::new(5);
+
+        let mut responses = Vec::new();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let barrier = &barrier;
+            let mut handles = Vec::new();
+            for submitter in 0..4usize {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for phase in 0..n_phases {
+                        barrier.wait(); // phase closed
+                        barrier.wait(); // swap (if any) installed
+                        let (lo, hi) = (phase * n / n_phases, (phase + 1) * n / n_phases);
+                        for r in (lo + submitter..hi).step_by(4) {
+                            let ticket = service.submit(row(fx, r)).expect("submit");
+                            out.push((phase, r, ticket.wait().expect("response")));
+                        }
+                    }
+                    out
+                }));
+            }
+            // Swapper: no swap before phase 0, then one per boundary.
+            for phase in 0..n_phases {
+                barrier.wait();
+                if phase > 0 {
+                    service.swap_artifact(&fx.artifacts[phase], &registry).expect("swap");
+                }
+                barrier.wait();
+            }
+            for h in handles {
+                responses.extend(h.join().expect("submitter thread"));
+            }
+        });
+
+        assert_eq!(service.version(), n_phases as u64);
+        let report = service.shutdown();
+        assert_eq!(report.swaps, (n_phases - 1) as u64);
+        assert_eq!(report.completed, n as u64);
+        assert_eq!(responses.len(), n);
+        for (phase, r, resp) in &responses {
+            assert_eq!(
+                resp.version,
+                (*phase + 1) as u64,
+                "workers={workers}: phase {phase} row {r} carries the wrong version"
+            );
+            assert_eq!(
+                resp.score.to_bits(),
+                fx.bits[*phase][*r],
+                "workers={workers}: phase {phase} row {r} bits diverged from the \
+                 offline replay under artifact v{}",
+                phase + 1
+            );
+        }
+    }
+}
+
+/// The racing gate: N submitter threads run flat out while swaps land at
+/// unpredictable points, so requests genuinely straddle each swap. Every
+/// response's `(version, score_bits)` pair must still match the offline
+/// replay under the artifact of exactly that version — never a hybrid.
+#[test]
+fn responses_straddling_racing_swaps_stay_version_consistent() {
+    let fx = fixture();
+    let registry = OperatorRegistry::standard();
+    let n = n_rows(fx);
+    for workers in WORKERS {
+        let service = ScoreService::start(
+            &fx.artifacts[0],
+            &registry,
+            // Tiny coalescing cap: more batches in flight around each swap.
+            ServiceConfig { workers, max_batch: 4, ..ServiceConfig::default() },
+        )
+        .expect("service starts");
+
+        // (row index, response) from every submitter.
+        let mut responses = Vec::new();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let mut handles = Vec::new();
+            for submitter in 0..4usize {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    // Interleaved row ranges so all submitters are active
+                    // across the whole stream (and therefore every swap).
+                    for r in (submitter..n).step_by(4) {
+                        let ticket = service.submit(row(fx, r)).expect("submit");
+                        out.push((r, ticket.wait().expect("response")));
+                    }
+                    out
+                }));
+            }
+            // Swap through versions 2, 3, 4 while the submitters run,
+            // pinned to completion quartiles so every swap provably lands
+            // mid-stream (submitters wait per ticket, so at most a few
+            // requests are in flight around each threshold).
+            for (i, next) in fx.artifacts[1..].iter().enumerate() {
+                let threshold = (n as u64) * (i as u64 + 1) / 4;
+                while service.report().completed < threshold {
+                    std::thread::yield_now();
+                }
+                service.swap_artifact(next, &registry).expect("swap");
+            }
+            for h in handles {
+                responses.extend(h.join().expect("submitter thread"));
+            }
+        });
+
+        assert_eq!(service.version(), fx.artifacts.len() as u64);
+        let report = service.shutdown();
+        assert_eq!(report.swaps, (fx.artifacts.len() - 1) as u64);
+        assert_eq!(report.completed, n as u64);
+
+        let mut seen_versions = std::collections::BTreeSet::new();
+        for (r, resp) in &responses {
+            let version = resp.version;
+            assert!(
+                (1..=fx.artifacts.len() as u64).contains(&version),
+                "impossible version {version}"
+            );
+            seen_versions.insert(version);
+            let expected = fx.bits[(version - 1) as usize][*r];
+            assert_eq!(
+                resp.score.to_bits(),
+                expected,
+                "workers={workers}: row {r} stamped v{version} but its bits do not \
+                 match that artifact's offline replay"
+            );
+        }
+        // The first swap waited for a quarter of the stream to complete,
+        // so version 1 must have scored traffic. Later coverage depends on
+        // scheduling (the phased test above pins it deterministically).
+        assert!(seen_versions.contains(&1), "no pre-swap responses at workers={workers}");
+    }
+}
+
+/// Swapping to an artifact with a different input schema must be rejected
+/// and leave the running version untouched.
+#[test]
+fn swap_to_different_schema_is_rejected() {
+    let fx = fixture();
+    let registry = OperatorRegistry::standard();
+    // An artifact over a narrower schema (drop the last input column).
+    let ds = generate(&SyntheticConfig {
+        n_rows: 300,
+        dim: fx.n_inputs.saturating_sub(1).max(2),
+        n_signal: 2,
+        n_interactions: 1,
+        noise: 0.2,
+        seed: 43,
+        ..Default::default()
+    });
+    let (train, valid) = train_test_split(&ds, 0.3, 43).expect("split");
+    let config = SafeConfig::builder()
+        .seed(43)
+        .operators(OperatorRegistry::standard())
+        .build()
+        .expect("valid config");
+    let outcome = Safe::new(config).fit(&train, Some(&valid)).expect("SAFE fit");
+    let other = SafeArtifact::train(
+        &outcome.plan,
+        &registry,
+        &train,
+        None,
+        &GbmConfig::classifier(),
+    )
+    .expect("artifact training");
+    assert_ne!(other.input_schema, fx.artifacts[0].input_schema);
+
+    let service = ScoreService::start(&fx.artifacts[0], &registry, ServiceConfig::default())
+        .expect("service starts");
+    let before = service.version();
+    let err = service.swap_artifact(&other, &registry).expect_err("schema change must fail");
+    assert!(err.to_string().contains("schema"), "unexpected error: {err}");
+    assert_eq!(service.version(), before, "failed swap must not bump the version");
+
+    // And the service still scores correctly afterwards.
+    let resp = service
+        .submit(row(fx, 0))
+        .expect("submit")
+        .wait()
+        .expect("response");
+    assert_eq!(resp.score.to_bits(), fx.bits[0][0]);
+    assert_eq!(resp.version, before);
+    service.shutdown();
+}

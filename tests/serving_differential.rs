@@ -4,7 +4,7 @@
 //!
 //! 1. **Artifact round trip** — `SafeArtifact` text/disk round trips
 //!    preserve every score bit and the recorded validation AUC bits.
-//! 2. **Scorer vs. column path** — the micro-batching `Scorer` is
+//! 2. **Scorer vs. column path** — the micro-batching `ScorerHandle` is
 //!    bit-identical to `plan.apply(ds)` + `model.predict(ds)`.
 //! 3. **Thread/batch invariance** — scores are bit-identical for threads
 //!    in {1,2,4,7} and across batch sizes, including ragged tails.
@@ -19,7 +19,7 @@ use safe::data::Dataset;
 use safe::datagen::synth::{generate, SyntheticConfig};
 use safe::gbm::GbmConfig;
 use safe::ops::registry::OperatorRegistry;
-use safe::serve::{SafeArtifact, Scorer};
+use safe::serve::{SafeArtifact, ScorerHandle};
 
 /// Thread budgets under test: serial, even splits, and a prime that does
 /// not divide most item counts (ragged chunk boundaries).
@@ -112,7 +112,7 @@ fn artifact_disk_round_trip_preserves_real_fit_bits() {
 fn scorer_matches_in_process_column_path_bitwise() {
     let fx = fixture();
     let expected = column_path_scores(&fx.artifact, &fx.valid);
-    let scorer = Scorer::new(&fx.artifact, &OperatorRegistry::standard()).expect("scorer");
+    let scorer = ScorerHandle::new(&fx.artifact, &OperatorRegistry::standard()).expect("scorer");
     let (scores, report) = scorer.score_dataset(&fx.valid).expect("scoring");
     assert_bits_equal(&expected, &scores, "scorer vs column path");
     assert_eq!(report.rows as usize, fx.valid.n_rows());
@@ -125,7 +125,7 @@ fn scorer_is_thread_and_batch_invariant_on_a_real_fit() {
     for threads in THREADS {
         // Batch 37 leaves a ragged tail on almost any row count.
         for batch in [37usize, 1024] {
-            let scorer = Scorer::new(&fx.artifact, &OperatorRegistry::standard())
+            let scorer = ScorerHandle::new(&fx.artifact, &OperatorRegistry::standard())
                 .expect("scorer")
                 .with_threads(threads)
                 .with_batch_size(batch);
